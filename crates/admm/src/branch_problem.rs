@@ -1,0 +1,463 @@
+//! The branch subproblem (4): a 6-variable bound-constrained nonconvex
+//! problem solved by the batch TRON solver.
+//!
+//! Variables, in order: `[v_i, v_j, θ_i, θ_j, s_ij, s_ji]`. The objective is
+//! the sum of
+//!
+//! * ADMM consensus terms `y (u − t) + ρ/2 (u − t)²` for the four flow
+//!   consensus constraints (where `u` is the flow computed from the branch
+//!   voltages and `t = v_bus − z` is fixed during the branch solve),
+//! * the analogous terms for the four voltage/angle consensus constraints,
+//! * inner augmented-Lagrangian terms
+//!   `λ̃ (p² + q² + s) + ρ̃/2 (p² + q² + s)²` for the two line-limit slack
+//!   equalities (only when the branch has a finite rating).
+//!
+//! Slack bounds are `s ∈ [−(margin·rate)², 0]`, so that `p² + q² ≤ (margin·
+//! rate)²` at a feasible point.
+
+use gridsim_grid::branch::BranchAdmittance;
+use gridsim_acopf::flows::BranchFlow;
+use gridsim_sparse::dense::SmallMatrix;
+use gridsim_tron::BoundProblem;
+
+/// Per-constraint ADMM data seen by the branch problem: the combined target
+/// `t = v − z` of the consensus term, the multiplier `y`, and the penalty ρ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConsensusTerm {
+    /// Target value `v − z` (fixed during the branch solve).
+    pub target: f64,
+    /// ADMM multiplier `y`.
+    pub y: f64,
+    /// ADMM penalty ρ.
+    pub rho: f64,
+}
+
+impl ConsensusTerm {
+    /// Value of the term at x-side value `u`.
+    #[inline]
+    fn value(&self, u: f64) -> f64 {
+        let r = u - self.target;
+        self.y * r + 0.5 * self.rho * r * r
+    }
+
+    /// Derivative of the term with respect to `u`.
+    #[inline]
+    fn deriv(&self, u: f64) -> f64 {
+        self.y + self.rho * (u - self.target)
+    }
+}
+
+/// The branch subproblem of one branch in one ADMM iteration.
+#[derive(Debug, Clone)]
+pub struct BranchProblem {
+    /// The four flow functions in the order `[p_ij, q_ij, p_ji, q_ji]`.
+    pub flows: [BranchFlow; 4],
+    /// Consensus terms of the four flow constraints (same order).
+    pub flow_terms: [ConsensusTerm; 4],
+    /// Consensus terms of `[w_i, θ_i, w_j, θ_j]`.
+    pub volt_terms: [ConsensusTerm; 4],
+    /// Voltage magnitude bounds `[v_i^min, v_i^max, v_j^min, v_j^max]`.
+    pub v_bounds: [f64; 4],
+    /// Inner augmented-Lagrangian multipliers for the from/to line limits.
+    pub alm_lambda: [f64; 2],
+    /// Inner augmented-Lagrangian penalty.
+    pub alm_rho: f64,
+    /// Squared (tightened) line limit; `f64::INFINITY` when unlimited.
+    pub limit_sq: f64,
+}
+
+impl BranchProblem {
+    /// Build a problem skeleton from a branch admittance. Consensus and ALM
+    /// data must be filled in by the caller before each solve.
+    pub fn new(y: &BranchAdmittance, vmin_i: f64, vmax_i: f64, vmin_j: f64, vmax_j: f64) -> Self {
+        BranchProblem {
+            flows: BranchFlow::all_from_admittance(y),
+            flow_terms: [ConsensusTerm::default(); 4],
+            volt_terms: [ConsensusTerm::default(); 4],
+            v_bounds: [vmin_i, vmax_i, vmin_j, vmax_j],
+            alm_lambda: [0.0; 2],
+            alm_rho: 0.0,
+            limit_sq: f64::INFINITY,
+        }
+    }
+
+    /// True when this branch has a finite line limit (and therefore slack
+    /// variables and ALM terms).
+    pub fn has_limit(&self) -> bool {
+        self.limit_sq.is_finite()
+    }
+
+    /// The four flow values at the given voltages.
+    pub fn flow_values(&self, x: &[f64]) -> [f64; 4] {
+        let (vi, vj, ti, tj) = (x[0], x[1], x[2], x[3]);
+        [
+            self.flows[0].value(vi, vj, ti, tj),
+            self.flows[1].value(vi, vj, ti, tj),
+            self.flows[2].value(vi, vj, ti, tj),
+            self.flows[3].value(vi, vj, ti, tj),
+        ]
+    }
+
+    /// Line-limit slack residuals `p² + q² + s` for the from and to sides.
+    pub fn slack_residuals(&self, x: &[f64]) -> [f64; 2] {
+        if !self.has_limit() {
+            return [0.0; 2];
+        }
+        let f = self.flow_values(x);
+        [
+            f[0] * f[0] + f[1] * f[1] + x[4],
+            f[2] * f[2] + f[3] * f[3] + x[5],
+        ]
+    }
+}
+
+impl BoundProblem for BranchProblem {
+    fn dim(&self) -> usize {
+        6
+    }
+
+    fn lower(&self, i: usize) -> f64 {
+        match i {
+            0 => self.v_bounds[0],
+            1 => self.v_bounds[2],
+            2 | 3 => -2.0 * std::f64::consts::PI,
+            _ => {
+                if self.has_limit() {
+                    -self.limit_sq
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn upper(&self, i: usize) -> f64 {
+        match i {
+            0 => self.v_bounds[1],
+            1 => self.v_bounds[3],
+            2 | 3 => 2.0 * std::f64::consts::PI,
+            _ => 0.0,
+        }
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        let (vi, vj, ti, tj) = (x[0], x[1], x[2], x[3]);
+        let flows = self.flow_values(x);
+        let mut obj = 0.0;
+        for k in 0..4 {
+            obj += self.flow_terms[k].value(flows[k]);
+        }
+        obj += self.volt_terms[0].value(vi * vi);
+        obj += self.volt_terms[1].value(ti);
+        obj += self.volt_terms[2].value(vj * vj);
+        obj += self.volt_terms[3].value(tj);
+        if self.has_limit() {
+            let res = self.slack_residuals(x);
+            for side in 0..2 {
+                obj += self.alm_lambda[side] * res[side] + 0.5 * self.alm_rho * res[side] * res[side];
+            }
+        }
+        obj
+    }
+
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        g.fill(0.0);
+        let (vi, vj, ti, tj) = (x[0], x[1], x[2], x[3]);
+        let flows = self.flow_values(x);
+        // Flow gradients with respect to (v_i, v_j, θ_i, θ_j).
+        let grads: Vec<[f64; 4]> = self
+            .flows
+            .iter()
+            .map(|f| {
+                let fg = f.gradient(vi, vj, ti, tj);
+                [fg.dvi, fg.dvj, fg.dti, fg.dtj]
+            })
+            .collect();
+        // Consensus terms on the flows.
+        for k in 0..4 {
+            let w = self.flow_terms[k].deriv(flows[k]);
+            for d in 0..4 {
+                g[d] += w * grads[k][d];
+            }
+        }
+        // Voltage/angle consensus terms.
+        g[0] += self.volt_terms[0].deriv(vi * vi) * 2.0 * vi;
+        g[2] += self.volt_terms[1].deriv(ti);
+        g[1] += self.volt_terms[2].deriv(vj * vj) * 2.0 * vj;
+        g[3] += self.volt_terms[3].deriv(tj);
+        // ALM terms on the line limits.
+        if self.has_limit() {
+            let res = self.slack_residuals(x);
+            for side in 0..2 {
+                let w = self.alm_lambda[side] + self.alm_rho * res[side];
+                let (pk, qk) = (2 * side, 2 * side + 1);
+                for d in 0..4 {
+                    g[d] += w * (2.0 * flows[pk] * grads[pk][d] + 2.0 * flows[qk] * grads[qk][d]);
+                }
+                g[4 + side] += w;
+            }
+        }
+    }
+
+    fn hessian(&self, x: &[f64], h: &mut SmallMatrix) {
+        h.data.fill(0.0);
+        let (vi, vj, ti, tj) = (x[0], x[1], x[2], x[3]);
+        let flows = self.flow_values(x);
+        let grads: Vec<[f64; 4]> = self
+            .flows
+            .iter()
+            .map(|f| {
+                let fg = f.gradient(vi, vj, ti, tj);
+                [fg.dvi, fg.dvj, fg.dti, fg.dtj]
+            })
+            .collect();
+        let hesses: Vec<[[f64; 4]; 4]> = self
+            .flows
+            .iter()
+            .map(|f| f.hessian(vi, vj, ti, tj).to_dense())
+            .collect();
+        // Consensus terms on the flows:
+        // rho * grad grad^T + (y + rho (u - t)) * hess.
+        for k in 0..4 {
+            let w1 = self.flow_terms[k].rho;
+            let w2 = self.flow_terms[k].deriv(flows[k]);
+            for r in 0..4 {
+                for c in 0..4 {
+                    h[(r, c)] += w1 * grads[k][r] * grads[k][c] + w2 * hesses[k][r][c];
+                }
+            }
+        }
+        // Voltage terms: d²/dvi² [y(vi²−t) + rho/2 (vi²−t)²]
+        //  = 2(y + rho(vi²−t)) + rho (2 vi)².
+        h[(0, 0)] +=
+            2.0 * self.volt_terms[0].deriv(vi * vi) + self.volt_terms[0].rho * 4.0 * vi * vi;
+        h[(1, 1)] +=
+            2.0 * self.volt_terms[2].deriv(vj * vj) + self.volt_terms[2].rho * 4.0 * vj * vj;
+        h[(2, 2)] += self.volt_terms[1].rho;
+        h[(3, 3)] += self.volt_terms[3].rho;
+        // ALM terms.
+        if self.has_limit() {
+            let res = self.slack_residuals(x);
+            for side in 0..2 {
+                let w = self.alm_lambda[side] + self.alm_rho * res[side];
+                let (pk, qk) = (2 * side, 2 * side + 1);
+                // Gradient of the residual r = p² + q² + s over all 6 vars.
+                let mut gr = [0.0f64; 6];
+                for d in 0..4 {
+                    gr[d] = 2.0 * flows[pk] * grads[pk][d] + 2.0 * flows[qk] * grads[qk][d];
+                }
+                gr[4 + side] = 1.0;
+                // rho * gr gr^T
+                for r in 0..6 {
+                    for c in 0..6 {
+                        h[(r, c)] += self.alm_rho * gr[r] * gr[c];
+                    }
+                }
+                // w * hess(r): 2 grad p grad p^T + 2 p hess p + same for q.
+                for r in 0..4 {
+                    for c in 0..4 {
+                        h[(r, c)] += w
+                            * (2.0 * grads[pk][r] * grads[pk][c]
+                                + 2.0 * flows[pk] * hesses[pk][r][c]
+                                + 2.0 * grads[qk][r] * grads[qk][c]
+                                + 2.0 * flows[qk] * hesses[qk][r][c]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim_grid::branch::Branch;
+
+    fn sample_problem(with_limit: bool) -> BranchProblem {
+        let y = Branch::line(1, 2, 0.02, 0.12, 0.05, 130.0).admittance();
+        let mut p = BranchProblem::new(&y, 0.9, 1.1, 0.9, 1.1);
+        for k in 0..4 {
+            p.flow_terms[k] = ConsensusTerm {
+                target: 0.1 * (k as f64) - 0.15,
+                y: 0.2 - 0.05 * k as f64,
+                rho: 10.0,
+            };
+        }
+        p.volt_terms = [
+            ConsensusTerm {
+                target: 1.02,
+                y: 0.5,
+                rho: 1000.0,
+            },
+            ConsensusTerm {
+                target: 0.05,
+                y: -0.3,
+                rho: 1000.0,
+            },
+            ConsensusTerm {
+                target: 0.98,
+                y: 0.1,
+                rho: 1000.0,
+            },
+            ConsensusTerm {
+                target: -0.02,
+                y: 0.2,
+                rho: 1000.0,
+            },
+        ];
+        if with_limit {
+            p.limit_sq = (0.99f64 * 1.3).powi(2);
+            p.alm_lambda = [0.4, -0.2];
+            p.alm_rho = 25.0;
+        }
+        p
+    }
+
+    fn sample_x() -> Vec<f64> {
+        vec![1.03, 0.97, 0.08, -0.03, -0.4, -0.6]
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        for with_limit in [false, true] {
+            let p = sample_problem(with_limit);
+            let x = sample_x();
+            let mut g = vec![0.0; 6];
+            p.gradient(&x, &mut g);
+            let h = 1e-6;
+            for i in 0..6 {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp[i] += h;
+                xm[i] -= h;
+                let fd = (p.objective(&xp) - p.objective(&xm)) / (2.0 * h);
+                assert!(
+                    (g[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "limit={with_limit} var {i}: {} vs {fd}",
+                    g[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_difference() {
+        for with_limit in [false, true] {
+            let p = sample_problem(with_limit);
+            let x = sample_x();
+            let mut hess = SmallMatrix::zeros(6);
+            p.hessian(&x, &mut hess);
+            let h = 1e-5;
+            let mut gp = vec![0.0; 6];
+            let mut gm = vec![0.0; 6];
+            for c in 0..6 {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp[c] += h;
+                xm[c] -= h;
+                p.gradient(&xp, &mut gp);
+                p.gradient(&xm, &mut gm);
+                for r in 0..6 {
+                    let fd = (gp[r] - gm[r]) / (2.0 * h);
+                    assert!(
+                        (hess[(r, c)] - fd).abs() < 2e-3 * (1.0 + fd.abs()),
+                        "limit={with_limit} H({r},{c}) = {} vs {fd}",
+                        hess[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hessian_is_symmetric() {
+        let p = sample_problem(true);
+        let mut h = SmallMatrix::zeros(6);
+        p.hessian(&sample_x(), &mut h);
+        for r in 0..6 {
+            for c in 0..6 {
+                assert!((h[(r, c)] - h[(c, r)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_reflect_limit_presence() {
+        let with = sample_problem(true);
+        let without = sample_problem(false);
+        assert!(with.has_limit());
+        assert!(!without.has_limit());
+        // With a limit the slack range is [-(0.99*rate)^2, 0].
+        assert!(with.lower(4) < 0.0);
+        assert_eq!(with.upper(4), 0.0);
+        // Without a limit the slacks are pinned to zero.
+        assert_eq!(without.lower(4), 0.0);
+        assert_eq!(without.upper(4), 0.0);
+        // Voltage bounds pass through.
+        assert_eq!(with.lower(0), 0.9);
+        assert_eq!(with.upper(1), 1.1);
+    }
+
+    #[test]
+    fn tron_solves_branch_problem_to_first_order() {
+        use gridsim_tron::{TronOptions, TronSolver};
+        let p = sample_problem(true);
+        let solver = TronSolver::new(TronOptions {
+            gtol: 1e-8,
+            max_iter: 200,
+            ..Default::default()
+        });
+        let res = solver.solve(&p, &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(
+            res.pg_norm < 1e-6,
+            "projected gradient norm {}",
+            res.pg_norm
+        );
+        // The result respects every bound.
+        for i in 0..6 {
+            assert!(res.x[i] >= p.lower(i) - 1e-10);
+            assert!(res.x[i] <= p.upper(i) + 1e-10);
+        }
+    }
+
+    #[test]
+    fn consensus_pull_moves_solution_toward_targets() {
+        // With huge voltage penalties and no flow/limit terms the optimal
+        // vi², θ must match their targets.
+        let y = Branch::line(1, 2, 0.01, 0.1, 0.0, 0.0).admittance();
+        let mut p = BranchProblem::new(&y, 0.9, 1.1, 0.9, 1.1);
+        p.volt_terms = [
+            ConsensusTerm {
+                target: 1.0404, // 1.02^2
+                y: 0.0,
+                rho: 1e6,
+            },
+            ConsensusTerm {
+                target: 0.03,
+                y: 0.0,
+                rho: 1e6,
+            },
+            ConsensusTerm {
+                target: 0.9604, // 0.98^2
+                y: 0.0,
+                rho: 1e6,
+            },
+            ConsensusTerm {
+                target: -0.01,
+                y: 0.0,
+                rho: 1e6,
+            },
+        ];
+        use gridsim_tron::{TronOptions, TronSolver};
+        let solver = TronSolver::new(TronOptions {
+            gtol: 1e-10,
+            max_iter: 300,
+            ..Default::default()
+        });
+        let res = solver.solve(&p, &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((res.x[0] - 1.02).abs() < 1e-3, "vi = {}", res.x[0]);
+        assert!((res.x[1] - 0.98).abs() < 1e-3, "vj = {}", res.x[1]);
+        assert!((res.x[2] - 0.03).abs() < 1e-3, "ti = {}", res.x[2]);
+        assert!((res.x[3] + 0.01).abs() < 1e-3, "tj = {}", res.x[3]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gridsim-admm
+//!
+//! The paper's contribution: a component-based, two-level ADMM solver for
+//! ACOPF that runs every algorithmic step as a batch kernel on a (simulated)
+//! GPU device.
+//!
+//! The ACOPF problem is decomposed by grid component — generators, branches,
+//! and buses — with consensus (coupling) constraints tying the duplicated
+//! variables together (Section II-B of the paper). An artificial variable `z`
+//! is added to every coupling constraint and driven to zero by an outer
+//! augmented-Lagrangian loop (the two-level scheme of Sun & Sun), which gives
+//! the inner ADMM convergence guarantees. Per inner iteration:
+//!
+//! * **generator subproblems** have the closed form (6) — one thread each,
+//! * **bus subproblems** are equality-constrained diagonal QPs with the
+//!   closed form (7) — one thread each,
+//! * **branch subproblems** are 6-variable bound-constrained nonconvex
+//!   problems (4), solved in batch by [`gridsim_tron`] (the ExaTron
+//!   substitute) — one thread block each, with line limits handled by an
+//!   inner augmented-Lagrangian loop,
+//! * **z / multiplier updates** are elementwise closed forms (8).
+//!
+//! No host–device transfers occur during the solve; the transfer counters of
+//! [`gridsim_batch`] verify this.
+
+pub mod branch_problem;
+pub mod layout;
+pub mod params;
+pub mod solver;
+pub mod tracking;
+
+pub use branch_problem::BranchProblem;
+pub use layout::{ConstraintKind, Layout};
+pub use params::AdmmParams;
+pub use solver::{AdmmResult, AdmmSolver, AdmmStatus};
+pub use tracking::{track_horizon, PeriodResult, TrackingConfig};

@@ -1,0 +1,912 @@
+//! The two-level ADMM driver (Algorithm 1 of the paper).
+//!
+//! All per-iteration work is expressed as kernels on the simulated batch
+//! device: generator, bus, z and multiplier updates map one thread per
+//! element; branch subproblems map one thread block per branch and are solved
+//! by the batch TRON solver. Residual norms are device-side reductions, so no
+//! host–device transfer happens inside the solve.
+
+use crate::branch_problem::{BranchProblem, ConsensusTerm};
+use crate::layout::{BusSlot, ConstraintKind, Layout};
+use crate::params::AdmmParams;
+use gridsim_acopf::flows::branch_flows;
+use gridsim_acopf::solution::OpfSolution;
+use gridsim_acopf::violations::SolutionQuality;
+use gridsim_batch::{Device, DeviceBuffer};
+use gridsim_grid::branch::BranchAdmittance;
+use gridsim_grid::network::Network;
+use gridsim_sparse::dense::solve2;
+use gridsim_tron::TronSolver;
+use std::time::{Duration, Instant};
+
+/// Termination status of an ADMM solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmmStatus {
+    /// The outer loop drove `‖z‖∞` below the tolerance.
+    Converged,
+    /// The maximum number of outer iterations was reached.
+    MaxOuterIterations,
+}
+
+/// Host-side snapshot of the full ADMM state, used for warm starting the next
+/// period of the tracking experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmState {
+    gen_pg: Vec<f64>,
+    gen_qg: Vec<f64>,
+    branch_x: Vec<[f64; 6]>,
+    branch_alm_lambda: Vec<[f64; 2]>,
+    branch_alm_rho: Vec<f64>,
+    bus_w: Vec<f64>,
+    bus_theta: Vec<f64>,
+    bus_copies: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    lam: Vec<f64>,
+    z: Vec<f64>,
+}
+
+/// Result of an ADMM solve.
+#[derive(Debug, Clone)]
+pub struct AdmmResult {
+    /// The extracted operating point (dispatch from generator subproblems,
+    /// voltages from bus subproblems).
+    pub solution: OpfSolution,
+    /// Objective value ($/hr) of the extracted solution.
+    pub objective: f64,
+    /// Solution-quality metrics of the extracted solution.
+    pub quality: SolutionQuality,
+    /// Termination status.
+    pub status: AdmmStatus,
+    /// Cumulative number of inner ADMM iterations (the paper's Table II
+    /// "Iterations" column).
+    pub inner_iterations: usize,
+    /// Number of outer (augmented-Lagrangian) iterations.
+    pub outer_iterations: usize,
+    /// Final `‖z‖∞`.
+    pub z_inf: f64,
+    /// Final primal residual `‖u − v + z‖∞`.
+    pub primal_residual: f64,
+    /// Wall-clock solve time.
+    pub solve_time: Duration,
+    /// State snapshot for warm-starting the next solve.
+    pub warm_state: WarmState,
+}
+
+// ---------------------------------------------------------------------------
+// read-only per-component data
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct GenData {
+    pmin: f64,
+    pmax: f64,
+    qmin: f64,
+    qmax: f64,
+    c2: f64,
+    c1: f64,
+    k_p: usize,
+    k_q: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BranchData {
+    y: BranchAdmittance,
+    limit_sq: f64,
+    k_base: usize,
+    vmin_i: f64,
+    vmax_i: f64,
+    vmin_j: f64,
+    vmax_j: f64,
+}
+
+#[derive(Debug, Clone)]
+struct BusData {
+    pd: f64,
+    qd: f64,
+    gs: f64,
+    bs: f64,
+    /// Constraint indices of real-power copies with their balance
+    /// coefficient (+1 for generator copies, −1 for flow copies).
+    p_terms: Vec<(usize, f64)>,
+    /// Same for reactive-power copies.
+    q_terms: Vec<(usize, f64)>,
+    w_constraints: Vec<usize>,
+    theta_constraints: Vec<usize>,
+}
+
+struct ProblemData {
+    gens: Vec<GenData>,
+    branches: Vec<BranchData>,
+    buses: Vec<BusData>,
+}
+
+impl ProblemData {
+    fn build(
+        net: &Network,
+        layout: &Layout,
+        params: &AdmmParams,
+        pg_bounds: Option<&(Vec<f64>, Vec<f64>)>,
+    ) -> ProblemData {
+        // Internal objective scaling (see `AdmmParams::obj_scale`): keep the
+        // largest marginal cost comparable to rho_pq so the generator
+        // consensus converges at the same rate as the rest of the algorithm.
+        let obj_scale = params.obj_scale.unwrap_or_else(|| {
+            let grad_max = (0..net.ngen)
+                .map(|g| 2.0 * net.cost_c2[g] * net.pmax[g] + net.cost_c1[g].abs())
+                .fold(1.0f64, f64::max);
+            (10.0 * params.rho_pq / grad_max).min(1.0)
+        });
+        let gens = (0..net.ngen)
+            .map(|g| {
+                let (pmin, pmax) = match pg_bounds {
+                    Some((lo, hi)) => (lo[g], hi[g]),
+                    None => (net.pmin[g], net.pmax[g]),
+                };
+                GenData {
+                    pmin,
+                    pmax,
+                    qmin: net.qmin[g],
+                    qmax: net.qmax[g],
+                    c2: obj_scale * net.cost_c2[g],
+                    c1: obj_scale * net.cost_c1[g],
+                    k_p: layout.gen_p(g),
+                    k_q: layout.gen_q(g),
+                }
+            })
+            .collect();
+        let branches = (0..net.nbranch)
+            .map(|l| {
+                let f = net.br_from[l];
+                let t = net.br_to[l];
+                BranchData {
+                    y: net.br_y[l],
+                    limit_sq: net.rate_limit_sq(l, params.line_limit_margin),
+                    k_base: layout.branch_base(l),
+                    vmin_i: net.vmin[f],
+                    vmax_i: net.vmax[f],
+                    vmin_j: net.vmin[t],
+                    vmax_j: net.vmax[t],
+                }
+            })
+            .collect();
+        let buses = (0..net.nbus)
+            .map(|b| {
+                let plan = &layout.bus_plans[b];
+                let sign = |k: usize| -> f64 {
+                    match layout.constraints[k].kind {
+                        ConstraintKind::GenP | ConstraintKind::GenQ => 1.0,
+                        _ => -1.0,
+                    }
+                };
+                BusData {
+                    pd: net.pd[b],
+                    qd: net.qd[b],
+                    gs: net.gs[b],
+                    bs: net.bs[b],
+                    p_terms: plan.p_copies.iter().map(|&k| (k, sign(k))).collect(),
+                    q_terms: plan.q_copies.iter().map(|&k| (k, sign(k))).collect(),
+                    w_constraints: plan.w_constraints.clone(),
+                    theta_constraints: plan.theta_constraints.clone(),
+                }
+            })
+            .collect();
+        ProblemData {
+            gens,
+            branches,
+            buses,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mutable per-component device state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct GenState {
+    pg: f64,
+    qg: f64,
+}
+
+#[derive(Debug, Clone)]
+struct BranchState {
+    x: [f64; 6],
+    flows: [f64; 4],
+    alm_lambda: [f64; 2],
+    alm_rho: f64,
+}
+
+impl Default for BranchState {
+    fn default() -> Self {
+        BranchState {
+            x: [1.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            flows: [0.0; 4],
+            alm_lambda: [0.0; 2],
+            alm_rho: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct BusState {
+    w: f64,
+    theta: f64,
+    copies: Vec<f64>,
+}
+
+struct DeviceState {
+    gens: DeviceBuffer<GenState>,
+    branches: DeviceBuffer<BranchState>,
+    buses: DeviceBuffer<BusState>,
+    u: DeviceBuffer<f64>,
+    v: DeviceBuffer<f64>,
+    z: DeviceBuffer<f64>,
+    z_prev: DeviceBuffer<f64>,
+    y: DeviceBuffer<f64>,
+    lam: DeviceBuffer<f64>,
+    rho: DeviceBuffer<f64>,
+}
+
+/// The component-based two-level ADMM solver.
+#[derive(Debug, Clone)]
+pub struct AdmmSolver {
+    /// Algorithm parameters.
+    pub params: AdmmParams,
+    /// Batch device executing the kernels.
+    pub device: Device,
+}
+
+impl AdmmSolver {
+    /// Create a solver with the given parameters on a parallel device.
+    pub fn new(params: AdmmParams) -> Self {
+        AdmmSolver {
+            params,
+            device: Device::parallel(),
+        }
+    }
+
+    /// Create a solver on a specific device (e.g. sequential for
+    /// deterministic tests).
+    pub fn with_device(params: AdmmParams, device: Device) -> Self {
+        AdmmSolver { params, device }
+    }
+
+    /// Solve from a cold start (Section IV-B).
+    pub fn solve(&self, net: &Network) -> AdmmResult {
+        self.solve_inner(net, None, None)
+    }
+
+    /// Solve warm-started from a previous period's state, optionally with
+    /// ramp-limited generator bounds (Section IV-C).
+    pub fn solve_warm(
+        &self,
+        net: &Network,
+        warm: &WarmState,
+        pg_bounds: Option<(Vec<f64>, Vec<f64>)>,
+    ) -> AdmmResult {
+        self.solve_inner(net, Some(warm), pg_bounds)
+    }
+
+    fn solve_inner(
+        &self,
+        net: &Network,
+        warm: Option<&WarmState>,
+        pg_bounds: Option<(Vec<f64>, Vec<f64>)>,
+    ) -> AdmmResult {
+        let start_time = Instant::now();
+        let params = &self.params;
+        let layout = Layout::build(net, params);
+        let data = ProblemData::build(net, &layout, params, pg_bounds.as_ref());
+        let mut st = self.init_state(net, &layout, &data, warm);
+        let tron = TronSolver::new(params.tron.clone());
+
+        let mut beta = params.beta_init;
+        let mut total_inner = 0usize;
+        let mut outer_done = 0usize;
+        let mut z_inf_prev = f64::INFINITY;
+        let mut z_inf = f64::INFINITY;
+        let mut primres = f64::INFINITY;
+        let mut status = AdmmStatus::MaxOuterIterations;
+
+        for outer in 0..params.max_outer {
+            outer_done = outer + 1;
+            for _inner in 0..params.max_inner {
+                total_inner += 1;
+                // x block: generators and branches (lines 3 of Algorithm 1).
+                self.generator_update(&mut st, &data);
+                self.branch_update(&mut st, &data, &tron, params);
+                self.scatter_u(&mut st, &data);
+                // x̄ block: buses (line 4).
+                self.bus_update(&mut st, &data, &layout);
+                self.scatter_v(&mut st, &layout);
+                // z and multiplier updates (lines 5-6).
+                st.z_prev
+                    .as_mut_slice()
+                    .copy_from_slice(st.z.as_slice());
+                self.z_update(&mut st, beta);
+                self.y_update(&mut st);
+                // Residuals.
+                primres = self.device.reduce_max("primal_residual", &st.z, {
+                    let u = st.u.as_slice();
+                    let v = st.v.as_slice();
+                    move |k, zk| (u[k] - v[k] + zk).abs()
+                });
+                let dualres = self.device.reduce_max("dual_residual", &st.z, {
+                    let zp = st.z_prev.as_slice();
+                    let rho = st.rho.as_slice();
+                    move |k, zk| (rho[k] * (zk - zp[k])).abs()
+                });
+                if primres <= params.eps_inner && dualres <= params.eps_inner {
+                    break;
+                }
+            }
+            // Outer-level update (line 8) and termination (line 9).
+            z_inf = self.device.reduce_max("z_norm", &st.z, |_, zk| zk.abs());
+            if z_inf <= params.eps_outer {
+                status = AdmmStatus::Converged;
+                break;
+            }
+            self.lambda_update(&mut st, beta, params.lambda_bound);
+            if z_inf > params.z_decrease_factor * z_inf_prev {
+                beta *= params.beta_factor;
+            }
+            z_inf_prev = z_inf;
+        }
+
+        let (solution, warm_state) = self.extract(net, &st);
+        let quality = SolutionQuality::evaluate(net, &solution);
+        AdmmResult {
+            objective: solution.objective(net),
+            quality,
+            solution,
+            status,
+            inner_iterations: total_inner,
+            outer_iterations: outer_done,
+            z_inf,
+            primal_residual: primres,
+            solve_time: start_time.elapsed(),
+            warm_state,
+        }
+    }
+
+    // -- state initialization ------------------------------------------------
+
+    fn init_state(
+        &self,
+        net: &Network,
+        layout: &Layout,
+        data: &ProblemData,
+        warm: Option<&WarmState>,
+    ) -> DeviceState {
+        let stats = self.device.stats().clone();
+        let m = layout.num_constraints();
+
+        let (gen_host, branch_host, bus_host, y_host, lam_host, z_host) = match warm {
+            Some(w) => {
+                let gens: Vec<GenState> = w
+                    .gen_pg
+                    .iter()
+                    .zip(&w.gen_qg)
+                    .map(|(&pg, &qg)| GenState { pg, qg })
+                    .collect();
+                let branches: Vec<BranchState> = (0..net.nbranch)
+                    .map(|l| BranchState {
+                        x: w.branch_x[l],
+                        flows: {
+                            let x = w.branch_x[l];
+                            branch_flows(&net.br_y[l], x[0], x[1], x[2], x[3])
+                        },
+                        alm_lambda: w.branch_alm_lambda[l],
+                        alm_rho: w.branch_alm_rho[l],
+                    })
+                    .collect();
+                let buses: Vec<BusState> = (0..net.nbus)
+                    .map(|b| BusState {
+                        w: w.bus_w[b],
+                        theta: w.bus_theta[b],
+                        copies: w.bus_copies[b].clone(),
+                    })
+                    .collect();
+                (
+                    gens,
+                    branches,
+                    buses,
+                    w.y.clone(),
+                    w.lam.clone(),
+                    w.z.clone(),
+                )
+            }
+            None => {
+                // Cold start: midpoints of bounds, zero angles, flows from
+                // the initial voltages (Section IV-B).
+                let gens: Vec<GenState> = data
+                    .gens
+                    .iter()
+                    .map(|g| GenState {
+                        pg: 0.5 * (g.pmin + g.pmax),
+                        qg: 0.5 * (g.qmin + g.qmax),
+                    })
+                    .collect();
+                let branches: Vec<BranchState> = data
+                    .branches
+                    .iter()
+                    .map(|bd| {
+                        let vi = 0.5 * (bd.vmin_i + bd.vmax_i);
+                        let vj = 0.5 * (bd.vmin_j + bd.vmax_j);
+                        let flows = branch_flows(&bd.y, vi, vj, 0.0, 0.0);
+                        let mut x = [vi, vj, 0.0, 0.0, 0.0, 0.0];
+                        if bd.limit_sq.is_finite() {
+                            x[4] = (-(flows[0] * flows[0] + flows[1] * flows[1]))
+                                .clamp(-bd.limit_sq, 0.0);
+                            x[5] = (-(flows[2] * flows[2] + flows[3] * flows[3]))
+                                .clamp(-bd.limit_sq, 0.0);
+                        }
+                        BranchState {
+                            x,
+                            flows,
+                            alm_lambda: [0.0; 2],
+                            alm_rho: 0.0,
+                        }
+                    })
+                    .collect();
+                let buses: Vec<BusState> = (0..net.nbus)
+                    .map(|b| {
+                        let vm = 0.5 * (net.vmin[b] + net.vmax[b]);
+                        BusState {
+                            w: vm * vm,
+                            theta: 0.0,
+                            copies: vec![0.0; layout.bus_plans[b].num_copies],
+                        }
+                    })
+                    .collect();
+                (
+                    gens,
+                    branches,
+                    buses,
+                    vec![0.0; m],
+                    vec![0.0; m],
+                    vec![0.0; m],
+                )
+            }
+        };
+
+        let mut st = DeviceState {
+            gens: DeviceBuffer::from_host(stats.clone(), &gen_host),
+            branches: DeviceBuffer::from_host(stats.clone(), &branch_host),
+            buses: DeviceBuffer::from_host(stats.clone(), &bus_host),
+            u: DeviceBuffer::zeroed(stats.clone(), m),
+            v: DeviceBuffer::zeroed(stats.clone(), m),
+            z: DeviceBuffer::from_host(stats.clone(), &z_host),
+            z_prev: DeviceBuffer::zeroed(stats.clone(), m),
+            y: DeviceBuffer::from_host(stats.clone(), &y_host),
+            lam: DeviceBuffer::from_host(stats.clone(), &lam_host),
+            rho: DeviceBuffer::from_host(stats, &layout.rho_vector()),
+        };
+        // Populate u from the component states and, for a cold start, seed
+        // the bus copies with the consistent component values so the first
+        // iteration starts from agreement.
+        self.scatter_u(&mut st, data);
+        if warm.is_none() {
+            let u = st.u.as_slice().to_vec();
+            let constraints = &layout.constraints;
+            self.device
+                .launch_map("bus_copy_seed", &mut st.buses, |b, bus| {
+                    for (k, info) in constraints.iter().enumerate() {
+                        if info.bus == b {
+                            if let BusSlot::Copy(s) = info.slot {
+                                bus.copies[s] = u[k];
+                            }
+                        }
+                    }
+                });
+        }
+        self.scatter_v(&mut st, layout);
+        st
+    }
+
+    // -- kernels ---------------------------------------------------------------
+
+    fn generator_update(&self, st: &mut DeviceState, data: &ProblemData) {
+        let gens_data = &data.gens;
+        let v = st.v.as_slice();
+        let z = st.z.as_slice();
+        let y = st.y.as_slice();
+        let rho = st.rho.as_slice();
+        self.device
+            .launch_map("generator_update", &mut st.gens, move |g, state| {
+                let d = &gens_data[g];
+                // Closed form (6) for the box-constrained quadratic.
+                let (kp, kq) = (d.k_p, d.k_q);
+                let tp = v[kp] - z[kp];
+                let pg = (rho[kp] * tp - y[kp] - d.c1) / (2.0 * d.c2 + rho[kp]);
+                state.pg = pg.clamp(d.pmin, d.pmax);
+                let tq = v[kq] - z[kq];
+                let qg = tq - y[kq] / rho[kq];
+                state.qg = qg.clamp(d.qmin, d.qmax);
+            });
+    }
+
+    fn branch_update(
+        &self,
+        st: &mut DeviceState,
+        data: &ProblemData,
+        tron: &TronSolver,
+        params: &AdmmParams,
+    ) {
+        let branches_data = &data.branches;
+        let v = st.v.as_slice();
+        let z = st.z.as_slice();
+        let y = st.y.as_slice();
+        let rho = st.rho.as_slice();
+        let max_alm = params.max_alm_iter;
+        let alm_tol = params.alm_tol;
+        let alm_rho_init = params.alm_rho_init;
+        let alm_rho_max = params.alm_rho_max;
+        self.device
+            .launch_blocks("branch_tron", &mut st.branches, move |l, state| {
+                let d = &branches_data[l];
+                let mut problem =
+                    BranchProblem::new(&d.y, d.vmin_i, d.vmax_i, d.vmin_j, d.vmax_j);
+                problem.limit_sq = d.limit_sq;
+                let term = |k: usize| ConsensusTerm {
+                    target: v[k] - z[k],
+                    y: y[k],
+                    rho: rho[k],
+                };
+                for j in 0..4 {
+                    problem.flow_terms[j] = term(d.k_base + j);
+                    problem.volt_terms[j] = term(d.k_base + 4 + j);
+                }
+                problem.alm_lambda = state.alm_lambda;
+                problem.alm_rho = if state.alm_rho > 0.0 {
+                    state.alm_rho
+                } else {
+                    alm_rho_init
+                };
+                // Inner augmented-Lagrangian loop on the line-limit slack
+                // equalities; a single TRON solve when there is no limit.
+                let mut prev_viol = f64::INFINITY;
+                let rounds = if problem.has_limit() { max_alm } else { 1 };
+                for _ in 0..rounds {
+                    let result = tron.solve(&problem, &state.x);
+                    state.x = [
+                        result.x[0],
+                        result.x[1],
+                        result.x[2],
+                        result.x[3],
+                        result.x[4],
+                        result.x[5],
+                    ];
+                    if !problem.has_limit() {
+                        break;
+                    }
+                    let res = problem.slack_residuals(&state.x);
+                    let viol = res[0].abs().max(res[1].abs());
+                    if viol < alm_tol {
+                        break;
+                    }
+                    problem.alm_lambda[0] += problem.alm_rho * res[0];
+                    problem.alm_lambda[1] += problem.alm_rho * res[1];
+                    if viol > 0.25 * prev_viol {
+                        problem.alm_rho = (problem.alm_rho * 10.0).min(alm_rho_max);
+                    }
+                    prev_viol = viol;
+                }
+                state.alm_lambda = problem.alm_lambda;
+                state.alm_rho = problem.alm_rho;
+                state.flows = problem.flow_values(&state.x);
+            });
+    }
+
+    fn scatter_u(&self, st: &mut DeviceState, data: &ProblemData) {
+        let ngen = data.gens.len();
+        let gens = st.gens.as_slice();
+        let branches = st.branches.as_slice();
+        self.device.launch_map("u_scatter", &mut st.u, move |k, uk| {
+            *uk = if k < 2 * ngen {
+                let g = &gens[k / 2];
+                if k % 2 == 0 {
+                    g.pg
+                } else {
+                    g.qg
+                }
+            } else {
+                let l = (k - 2 * ngen) / 8;
+                let offset = (k - 2 * ngen) % 8;
+                let b = &branches[l];
+                match offset {
+                    0..=3 => b.flows[offset],
+                    4 => b.x[0] * b.x[0],
+                    5 => b.x[2],
+                    6 => b.x[1] * b.x[1],
+                    _ => b.x[3],
+                }
+            };
+        });
+    }
+
+    fn bus_update(&self, st: &mut DeviceState, data: &ProblemData, layout: &Layout) {
+        let buses_data = &data.buses;
+        let constraints = &layout.constraints;
+        let u = st.u.as_slice();
+        let z = st.z.as_slice();
+        let y = st.y.as_slice();
+        let rho = st.rho.as_slice();
+        self.device
+            .launch_map("bus_update", &mut st.buses, move |b, state| {
+                let d = &buses_data[b];
+                // Linear/quadratic coefficients of each variable in the
+                // separable objective:  0.5 * q * x² − c * x.
+                let coef = |k: usize| -> (f64, f64) { (rho[k], rho[k] * (u[k] + z[k]) + y[k]) };
+
+                // θ update: unconstrained, separable.
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &k in &d.theta_constraints {
+                    let (q, c) = coef(k);
+                    num += c;
+                    den += q;
+                }
+                if den > 0.0 {
+                    state.theta = num / den;
+                }
+
+                // Equality-constrained diagonal QP (7) over w and the copies.
+                let mut qw = 0.0;
+                let mut cw = 0.0;
+                for &k in &d.w_constraints {
+                    let (q, c) = coef(k);
+                    qw += q;
+                    cw += c;
+                }
+                // A has two rows (P and Q balance). Coefficients on w:
+                let aw = [-d.gs, d.bs];
+                // Accumulate A Q^{-1} A^T and A Q^{-1} c.
+                let mut aqat = [[0.0f64; 2]; 2];
+                let mut aqc = [0.0f64; 2];
+                if qw > 0.0 {
+                    aqat[0][0] += aw[0] * aw[0] / qw;
+                    aqat[0][1] += aw[0] * aw[1] / qw;
+                    aqat[1][0] += aw[1] * aw[0] / qw;
+                    aqat[1][1] += aw[1] * aw[1] / qw;
+                    aqc[0] += aw[0] * cw / qw;
+                    aqc[1] += aw[1] * cw / qw;
+                }
+                for &(k, sign) in &d.p_terms {
+                    let (q, c) = coef(k);
+                    aqat[0][0] += sign * sign / q;
+                    aqc[0] += sign * c / q;
+                }
+                for &(k, sign) in &d.q_terms {
+                    let (q, c) = coef(k);
+                    aqat[1][1] += sign * sign / q;
+                    aqc[1] += sign * c / q;
+                }
+                let rhs = [aqc[0] - d.pd, aqc[1] - d.qd];
+                let mu = solve2(aqat, rhs).unwrap_or([0.0, 0.0]);
+                // Recover the primal variables: x = Q^{-1}(c − A^T μ).
+                if qw > 0.0 {
+                    state.w = (cw - aw[0] * mu[0] - aw[1] * mu[1]) / qw;
+                }
+                for &(k, sign) in &d.p_terms {
+                    let (q, c) = coef(k);
+                    let value = (c - sign * mu[0]) / q;
+                    if let BusSlot::Copy(s) = constraints[k].slot {
+                        state.copies[s] = value;
+                    }
+                }
+                for &(k, sign) in &d.q_terms {
+                    let (q, c) = coef(k);
+                    let value = (c - sign * mu[1]) / q;
+                    if let BusSlot::Copy(s) = constraints[k].slot {
+                        state.copies[s] = value;
+                    }
+                }
+            });
+    }
+
+    fn scatter_v(&self, st: &mut DeviceState, layout: &Layout) {
+        let constraints = &layout.constraints;
+        let buses = st.buses.as_slice();
+        self.device.launch_map("v_scatter", &mut st.v, move |k, vk| {
+            let info = &constraints[k];
+            let bus = &buses[info.bus];
+            *vk = match info.slot {
+                BusSlot::Copy(s) => bus.copies[s],
+                BusSlot::W => bus.w,
+                BusSlot::Theta => bus.theta,
+            };
+        });
+    }
+
+    fn z_update(&self, st: &mut DeviceState, beta: f64) {
+        let u = st.u.as_slice();
+        let v = st.v.as_slice();
+        let y = st.y.as_slice();
+        let lam = st.lam.as_slice();
+        let rho = st.rho.as_slice();
+        self.device.launch_map("z_update", &mut st.z, move |k, zk| {
+            *zk = -(lam[k] + y[k] + rho[k] * (u[k] - v[k])) / (beta + rho[k]);
+        });
+    }
+
+    fn y_update(&self, st: &mut DeviceState) {
+        let u = st.u.as_slice();
+        let v = st.v.as_slice();
+        let z = st.z.as_slice();
+        let rho = st.rho.as_slice();
+        self.device.launch_map("y_update", &mut st.y, move |k, yk| {
+            *yk += rho[k] * (u[k] - v[k] + z[k]);
+        });
+    }
+
+    fn lambda_update(&self, st: &mut DeviceState, beta: f64, bound: f64) {
+        let z = st.z.as_slice();
+        self.device
+            .launch_map("lambda_update", &mut st.lam, move |k, lk| {
+                *lk = (*lk + beta * z[k]).clamp(-bound, bound);
+            });
+    }
+
+    // -- solution extraction -------------------------------------------------
+
+    fn extract(&self, net: &Network, st: &DeviceState) -> (OpfSolution, WarmState) {
+        let gens = st.gens.to_host();
+        let branches = st.branches.to_host();
+        let buses = st.buses.to_host();
+        let solution = OpfSolution {
+            vm: buses.iter().map(|b| b.w.max(0.0).sqrt()).collect(),
+            va: buses.iter().map(|b| b.theta).collect(),
+            pg: gens.iter().map(|g| g.pg).collect(),
+            qg: gens.iter().map(|g| g.qg).collect(),
+        };
+        let warm = WarmState {
+            gen_pg: gens.iter().map(|g| g.pg).collect(),
+            gen_qg: gens.iter().map(|g| g.qg).collect(),
+            branch_x: branches.iter().map(|b| b.x).collect(),
+            branch_alm_lambda: branches.iter().map(|b| b.alm_lambda).collect(),
+            branch_alm_rho: branches.iter().map(|b| b.alm_rho).collect(),
+            bus_w: buses.iter().map(|b| b.w).collect(),
+            bus_theta: buses.iter().map(|b| b.theta).collect(),
+            bus_copies: buses.iter().map(|b| b.copies.clone()).collect(),
+            y: st.y.to_host(),
+            lam: st.lam.to_host(),
+            z: st.z.to_host(),
+        };
+        let _ = net;
+        (solution, warm)
+    }
+}
+
+impl WarmState {
+    /// Previous-period real-power dispatch (used to build ramp limits).
+    pub fn previous_pg(&self) -> &[f64] {
+        &self.gen_pg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim_grid::cases;
+
+    fn solve_case(case: gridsim_grid::Case, params: AdmmParams) -> (Network, AdmmResult) {
+        let net = case.compile().unwrap();
+        let solver = AdmmSolver::new(params);
+        let result = solver.solve(&net);
+        (net, result)
+    }
+
+    #[test]
+    fn two_bus_admm_matches_physics() {
+        let (net, result) = solve_case(cases::two_bus(), AdmmParams::default());
+        assert!(
+            result.quality.max_violation() < 2e-2,
+            "violation {:?}",
+            result.quality
+        );
+        // Generation covers the 0.8 p.u. load plus small losses.
+        assert!(result.solution.pg[0] > 0.78 && result.solution.pg[0] < 0.9);
+        let _ = net;
+    }
+
+    #[test]
+    fn case9_admm_converges_to_feasible_point() {
+        let (_net, result) = solve_case(cases::case9(), AdmmParams::default());
+        assert!(
+            result.quality.max_violation() < 2e-2,
+            "violation {:?}",
+            result.quality
+        );
+        let total_pg: f64 = result.solution.pg.iter().sum();
+        assert!(total_pg > 3.1 && total_pg < 3.5, "total pg {total_pg}");
+        assert!(result.inner_iterations > 10);
+    }
+
+    #[test]
+    fn parallel_and_sequential_devices_agree() {
+        let net = cases::two_bus().compile().unwrap();
+        let mut params = AdmmParams::default();
+        params.max_outer = 3;
+        params.max_inner = 50;
+        let par = AdmmSolver::with_device(params.clone(), Device::parallel()).solve(&net);
+        let seq = AdmmSolver::with_device(params, Device::sequential()).solve(&net);
+        assert_eq!(par.inner_iterations, seq.inner_iterations);
+        for (a, b) in par.solution.pg.iter().zip(&seq.solution.pg) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in par.solution.vm.iter().zip(&seq.solution.vm) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_transfers_during_iterations() {
+        let net = cases::two_bus().compile().unwrap();
+        let mut params = AdmmParams::default();
+        params.max_outer = 2;
+        params.max_inner = 20;
+        let solver = AdmmSolver::new(params);
+        let before = solver.device.stats().snapshot();
+        let _ = solver.solve(&net);
+        let delta = solver.device.stats().snapshot().since(&before);
+        // Transfers happen only at setup (host -> device) and extraction
+        // (device -> host), never per iteration: with 40+ inner iterations the
+        // transfer count stays equal to the fixed setup/teardown count.
+        assert!(
+            delta.host_to_device_transfers <= 12,
+            "h2d {}",
+            delta.host_to_device_transfers
+        );
+        assert!(
+            delta.device_to_host_transfers <= 8,
+            "d2h {}",
+            delta.device_to_host_transfers
+        );
+        assert!(delta.kernels["z_update"].launches >= 20);
+    }
+
+    #[test]
+    fn warm_start_converges_faster_after_small_load_change() {
+        let base = cases::case9();
+        let net = base.compile().unwrap();
+        let solver = AdmmSolver::new(AdmmParams::default());
+        let cold = solver.solve(&net);
+        assert!(cold.quality.max_violation() < 2e-2);
+
+        let bumped = base.scale_load(1.02).compile().unwrap();
+        let warm = solver.solve_warm(&bumped, &cold.warm_state, None);
+        assert!(warm.quality.max_violation() < 2e-2);
+        assert!(
+            warm.inner_iterations < cold.inner_iterations,
+            "warm {} vs cold {}",
+            warm.inner_iterations,
+            cold.inner_iterations
+        );
+
+        let cold2 = solver.solve(&bumped);
+        assert!(
+            warm.inner_iterations <= cold2.inner_iterations,
+            "warm {} vs cold-on-new-load {}",
+            warm.inner_iterations,
+            cold2.inner_iterations
+        );
+    }
+
+    #[test]
+    fn ramp_limits_are_respected_in_warm_solve() {
+        let base = cases::case9();
+        let net = base.compile().unwrap();
+        let solver = AdmmSolver::new(AdmmParams::default());
+        let cold = solver.solve(&net);
+        let prev_pg = cold.warm_state.previous_pg().to_vec();
+        let ramp = 0.02;
+        let (lo, hi) = gridsim_acopf::start::ramp_limited_bounds(&net, &prev_pg, ramp);
+        let bumped = base.scale_load(1.01).compile().unwrap();
+        let warm = solver.solve_warm(&bumped, &cold.warm_state, Some((lo.clone(), hi.clone())));
+        for g in 0..net.ngen {
+            assert!(warm.solution.pg[g] >= lo[g] - 1e-9);
+            assert!(warm.solution.pg[g] <= hi[g] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Device-resident buffers with explicit, counted host↔device transfers.
+
+use crate::stats::DeviceStats;
+use std::sync::Arc;
+
+/// An array that lives in "device memory". Creating one from host data or
+/// copying it back are the only operations that count as transfers; kernels
+/// access the contents in place for free — exactly the cost model the paper's
+/// "entirely on GPUs, without any data transfer" design targets.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    stats: Arc<DeviceStats>,
+}
+
+impl<T: Clone> DeviceBuffer<T> {
+    /// Allocate a device buffer by copying host data (counts one
+    /// host-to-device transfer).
+    pub fn from_host(stats: Arc<DeviceStats>, host: &[T]) -> Self {
+        stats.record_h2d(std::mem::size_of_val(host));
+        DeviceBuffer {
+            data: host.to_vec(),
+            stats,
+        }
+    }
+
+    /// Copy the contents back to the host (counts one device-to-host
+    /// transfer).
+    pub fn to_host(&self) -> Vec<T> {
+        self.stats
+            .record_d2h(self.data.len() * std::mem::size_of::<T>());
+        self.data.clone()
+    }
+
+    /// Copy new host data into the existing buffer (counts one transfer).
+    /// Lengths must match.
+    pub fn upload(&mut self, host: &[T]) {
+        assert_eq!(host.len(), self.data.len(), "upload length mismatch");
+        self.stats.record_h2d(std::mem::size_of_val(host));
+        self.data.clone_from_slice(host);
+    }
+}
+
+impl<T: Default + Clone> DeviceBuffer<T> {
+    /// Allocate a zero-initialized buffer directly on the device (no
+    /// transfer: `cudaMalloc` + in-kernel initialization).
+    pub fn zeroed(stats: Arc<DeviceStats>, len: usize) -> Self {
+        DeviceBuffer {
+            data: vec![T::default(); len],
+            stats,
+        }
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Length of the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Device-side view (free; used by kernel launches).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable device-side view (free; used by kernel launches).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// The stats collector this buffer reports transfers to.
+    pub fn stats(&self) -> &Arc<DeviceStats> {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_host_counts_one_h2d() {
+        let stats = Arc::new(DeviceStats::default());
+        let buf = DeviceBuffer::from_host(stats.clone(), &[1.0f64, 2.0, 3.0]);
+        assert_eq!(buf.len(), 3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.host_to_device_transfers, 1);
+        assert_eq!(snap.host_to_device_bytes, 24);
+        assert_eq!(snap.device_to_host_transfers, 0);
+    }
+
+    #[test]
+    fn to_host_counts_one_d2h() {
+        let stats = Arc::new(DeviceStats::default());
+        let buf = DeviceBuffer::from_host(stats.clone(), &[5u32; 10]);
+        let back = buf.to_host();
+        assert_eq!(back, vec![5u32; 10]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.device_to_host_transfers, 1);
+        assert_eq!(snap.device_to_host_bytes, 40);
+    }
+
+    #[test]
+    fn zeroed_allocation_is_transfer_free() {
+        let stats = Arc::new(DeviceStats::default());
+        let buf: DeviceBuffer<f64> = DeviceBuffer::zeroed(stats.clone(), 100);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(stats.snapshot().total_transfers(), 0);
+    }
+
+    #[test]
+    fn device_side_mutation_is_free() {
+        let stats = Arc::new(DeviceStats::default());
+        let mut buf = DeviceBuffer::from_host(stats.clone(), &[0.0f64; 4]);
+        let before = stats.snapshot();
+        for x in buf.as_mut_slice() {
+            *x += 1.0;
+        }
+        let after = stats.snapshot();
+        assert_eq!(after.since(&before).total_transfers(), 0);
+        assert!(buf.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn upload_requires_matching_length_and_counts() {
+        let stats = Arc::new(DeviceStats::default());
+        let mut buf = DeviceBuffer::from_host(stats.clone(), &[0.0f64; 4]);
+        buf.upload(&[9.0; 4]);
+        assert_eq!(stats.snapshot().host_to_device_transfers, 2);
+        assert_eq!(buf.as_slice()[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn upload_length_mismatch_panics() {
+        let stats = Arc::new(DeviceStats::default());
+        let mut buf = DeviceBuffer::from_host(stats, &[0.0f64; 4]);
+        buf.upload(&[1.0; 5]);
+    }
+}

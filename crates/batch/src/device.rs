@@ -1,0 +1,112 @@
+//! The batch device: configuration and construction.
+
+use crate::stats::DeviceStats;
+use std::sync::Arc;
+
+/// Execution backend for kernel launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Run thread blocks on the Rayon thread pool (GPU block-scheduler
+    /// stand-in). Results are identical to [`Backend::Sequential`] because
+    /// blocks never share mutable state.
+    Parallel,
+    /// Run thread blocks one at a time on the calling thread. Useful for
+    /// debugging and for deterministic micro-benchmarks.
+    Sequential,
+}
+
+/// Device configuration.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Execution backend.
+    pub backend: Backend,
+    /// Nominal threads per block (informational; mirrors the CUDA launch
+    /// geometry the paper uses — 32 threads per branch block).
+    pub threads_per_block: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            backend: Backend::Parallel,
+            threads_per_block: 32,
+        }
+    }
+}
+
+/// A simulated batch device. Cheap to clone; all clones share the same
+/// statistics collector.
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub(crate) config: DeviceConfig,
+    pub(crate) stats: Arc<DeviceStats>,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Device {
+            config,
+            stats: Arc::new(DeviceStats::default()),
+        }
+    }
+
+    /// A parallel device with default configuration.
+    pub fn parallel() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+
+    /// A sequential (deterministic, single-threaded) device.
+    pub fn sequential() -> Self {
+        Self::new(DeviceConfig {
+            backend: Backend::Sequential,
+            ..Default::default()
+        })
+    }
+
+    /// The device's statistics collector.
+    pub fn stats(&self) -> &Arc<DeviceStats> {
+        &self.stats
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.config.backend
+    }
+
+    /// Configured threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.config.threads_per_block
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_device_is_parallel() {
+        let d = Device::default();
+        assert_eq!(d.backend(), Backend::Parallel);
+        assert_eq!(d.threads_per_block(), 32);
+    }
+
+    #[test]
+    fn sequential_constructor() {
+        assert_eq!(Device::sequential().backend(), Backend::Sequential);
+    }
+
+    #[test]
+    fn clones_share_stats() {
+        let d = Device::parallel();
+        let d2 = d.clone();
+        d.stats().record_h2d(8);
+        assert_eq!(d2.stats().snapshot().host_to_device_transfers, 1);
+    }
+}

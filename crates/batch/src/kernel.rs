@@ -1,0 +1,259 @@
+//! Kernel launch APIs.
+//!
+//! A *kernel* is a named unit of device work. Two launch geometries cover
+//! everything the ADMM solver needs:
+//!
+//! * [`Device::launch_map`] — one thread per element; used for the
+//!   closed-form generator / bus / z / multiplier updates, which the paper
+//!   implements by launching as many threads as there are elements.
+//! * [`Device::launch_blocks`] — one thread block per element of a state
+//!   array; used for the batch TRON branch solves, where each block owns one
+//!   branch subproblem.
+//!
+//! Reductions ([`Device::reduce_max`], [`Device::reduce_sum`]) cover the
+//! residual-norm computations that decide convergence without copying data
+//! back to the host.
+
+use crate::buffer::DeviceBuffer;
+use crate::device::{Backend, Device};
+use rayon::prelude::*;
+use std::time::Instant;
+
+impl Device {
+    /// Launch a kernel with one thread per element of `buf`. The closure
+    /// receives the element index and a mutable reference to the element;
+    /// read-only data can be captured by the closure.
+    pub fn launch_map<T, F>(&self, name: &str, buf: &mut DeviceBuffer<T>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let start = Instant::now();
+        let n = buf.len() as u64;
+        match self.config.backend {
+            Backend::Parallel => {
+                buf.as_mut_slice()
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(i, x)| f(i, x));
+            }
+            Backend::Sequential => {
+                for (i, x) in buf.as_mut_slice().iter_mut().enumerate() {
+                    f(i, x);
+                }
+            }
+        }
+        self.stats.record_launch(name, n, start.elapsed());
+    }
+
+    /// Launch a kernel with one thread block per element of `states`. This is
+    /// identical to [`Self::launch_map`] except that the block index is
+    /// reported in the statistics under the mental model "one block per
+    /// subproblem" (the paper's ExaTron launch geometry), and the closure is
+    /// expected to do substantial per-element work.
+    pub fn launch_blocks<T, F>(&self, name: &str, states: &mut DeviceBuffer<T>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        self.launch_map(name, states, f);
+    }
+
+    /// Launch a kernel over two equally-sized buffers, one thread per index.
+    /// Used when an update writes one array while reading another that is
+    /// updated elsewhere in the same iteration (e.g. multiplier update reads
+    /// residuals and writes `y`).
+    pub fn launch_zip<A, B, F>(
+        &self,
+        name: &str,
+        a: &mut DeviceBuffer<A>,
+        b: &mut DeviceBuffer<B>,
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut A, &mut B) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "launch_zip requires equal lengths");
+        let start = Instant::now();
+        let n = a.len() as u64;
+        match self.config.backend {
+            Backend::Parallel => {
+                a.as_mut_slice()
+                    .par_iter_mut()
+                    .zip(b.as_mut_slice().par_iter_mut())
+                    .enumerate()
+                    .for_each(|(i, (x, y))| f(i, x, y));
+            }
+            Backend::Sequential => {
+                for (i, (x, y)) in a
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(b.as_mut_slice().iter_mut())
+                    .enumerate()
+                {
+                    f(i, x, y);
+                }
+            }
+        }
+        self.stats.record_launch(name, n, start.elapsed());
+    }
+
+    /// Device-side max-reduction of a per-element score. No host transfer is
+    /// recorded: the reduction result is a scalar produced on the device,
+    /// mirroring a `cub::DeviceReduce` call.
+    pub fn reduce_max<T, F>(&self, name: &str, buf: &DeviceBuffer<T>, f: F) -> f64
+    where
+        T: Sync,
+        F: Fn(usize, &T) -> f64 + Sync,
+    {
+        let start = Instant::now();
+        let result = match self.config.backend {
+            Backend::Parallel => buf
+                .as_slice()
+                .par_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .reduce(|| f64::NEG_INFINITY, f64::max),
+            Backend::Sequential => buf
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .fold(f64::NEG_INFINITY, f64::max),
+        };
+        self.stats
+            .record_launch(name, buf.len() as u64, start.elapsed());
+        if result == f64::NEG_INFINITY {
+            0.0
+        } else {
+            result
+        }
+    }
+
+    /// Device-side sum-reduction of a per-element score.
+    pub fn reduce_sum<T, F>(&self, name: &str, buf: &DeviceBuffer<T>, f: F) -> f64
+    where
+        T: Sync,
+        F: Fn(usize, &T) -> f64 + Sync,
+    {
+        let start = Instant::now();
+        let result = match self.config.backend {
+            Backend::Parallel => buf
+                .as_slice()
+                .par_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .sum(),
+            Backend::Sequential => buf.as_slice().iter().enumerate().map(|(i, x)| f(i, x)).sum(),
+        };
+        self.stats
+            .record_launch(name, buf.len() as u64, start.elapsed());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use std::sync::Arc;
+
+    fn devices() -> Vec<Device> {
+        vec![Device::parallel(), Device::sequential()]
+    }
+
+    #[test]
+    fn launch_map_applies_to_every_element() {
+        for dev in devices() {
+            let mut buf =
+                DeviceBuffer::from_host(Arc::clone(dev.stats()), &(0..1000).collect::<Vec<i64>>());
+            dev.launch_map("double", &mut buf, |i, x| {
+                *x *= 2;
+                assert_eq!(*x, 2 * i as i64);
+            });
+            assert!(buf
+                .as_slice()
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == 2 * i as i64));
+            let snap = dev.stats().snapshot();
+            assert_eq!(snap.kernels["double"].launches, 1);
+            assert_eq!(snap.kernels["double"].blocks, 1000);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let host: Vec<f64> = (0..512).map(|i| i as f64 * 0.25).collect();
+        let mut results = Vec::new();
+        for dev in devices() {
+            let mut buf = DeviceBuffer::from_host(Arc::clone(dev.stats()), &host);
+            dev.launch_map("sin", &mut buf, |_, x| *x = x.sin() * 3.0 + 1.0);
+            results.push(buf.to_host());
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn launch_zip_updates_both_buffers() {
+        let dev = Device::parallel();
+        let stats = Arc::clone(dev.stats());
+        let mut a = DeviceBuffer::from_host(stats.clone(), &vec![1.0f64; 64]);
+        let mut b = DeviceBuffer::from_host(stats, &vec![2.0f64; 64]);
+        dev.launch_zip("swap_add", &mut a, &mut b, |_, x, y| {
+            let t = *x;
+            *x = *y;
+            *y = t + *y;
+        });
+        assert!(a.as_slice().iter().all(|&x| x == 2.0));
+        assert!(b.as_slice().iter().all(|&y| y == 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn launch_zip_length_mismatch_panics() {
+        let dev = Device::sequential();
+        let stats = Arc::clone(dev.stats());
+        let mut a = DeviceBuffer::from_host(stats.clone(), &[1.0f64; 3]);
+        let mut b = DeviceBuffer::from_host(stats, &[1.0f64; 4]);
+        dev.launch_zip("bad", &mut a, &mut b, |_, _, _| {});
+    }
+
+    #[test]
+    fn reductions_match_reference() {
+        for dev in devices() {
+            let host: Vec<f64> = (0..777).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+            let buf = DeviceBuffer::from_host(Arc::clone(dev.stats()), &host);
+            let max = dev.reduce_max("max_abs", &buf, |_, x| x.abs());
+            let sum = dev.reduce_sum("sum", &buf, |_, x| *x);
+            let expect_max = host.iter().map(|x| x.abs()).fold(0.0f64, f64::max);
+            let expect_sum: f64 = host.iter().sum();
+            assert_eq!(max, expect_max);
+            assert!((sum - expect_sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduce_on_empty_buffer_is_zero() {
+        let dev = Device::sequential();
+        let buf: DeviceBuffer<f64> = DeviceBuffer::zeroed(Arc::clone(dev.stats()), 0);
+        assert_eq!(dev.reduce_max("m", &buf, |_, x| *x), 0.0);
+        assert_eq!(dev.reduce_sum("s", &buf, |_, x| *x), 0.0);
+    }
+
+    #[test]
+    fn no_transfers_recorded_during_kernels() {
+        let dev = Device::new(DeviceConfig::default());
+        let stats = Arc::clone(dev.stats());
+        let mut buf = DeviceBuffer::from_host(stats.clone(), &vec![1.0f64; 128]);
+        let before = stats.snapshot();
+        for _ in 0..10 {
+            dev.launch_map("inc", &mut buf, |_, x| *x += 1.0);
+            let _ = dev.reduce_max("norm", &buf, |_, x| *x);
+        }
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.total_transfers(), 0, "kernels must not transfer");
+        assert_eq!(delta.kernels["inc"].launches, 10);
+    }
+}

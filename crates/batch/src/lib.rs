@@ -1,0 +1,35 @@
+//! # gridsim-batch
+//!
+//! A simulated GPU batch-execution device.
+//!
+//! The paper runs every step of its ADMM algorithm as CUDA kernels on a
+//! Quadro GV100: closed-form component updates map one *thread* per variable,
+//! and branch subproblems map one *thread block* per branch (solved by the
+//! batch TRON solver ExaTron), with **no host–device data transfer during the
+//! solve**. No GPU is available in this environment, so this crate provides a
+//! faithful stand-in for the *execution model*:
+//!
+//! * [`Device`] — a batch device with a configurable backend
+//!   ([`Backend::Parallel`] uses a Rayon thread pool as the stand-in for the
+//!   GPU's block scheduler, [`Backend::Sequential`] is a deterministic
+//!   single-threaded reference),
+//! * [`DeviceBuffer`] — device-resident arrays whose host↔device movements
+//!   are explicit and *counted*, so the paper's "no transfers during the
+//!   solve" claim becomes a checkable property (see the `transfer_audit`
+//!   experiment binary),
+//! * kernel-launch APIs (`launch_map`, `launch_blocks`, reductions) that
+//!   record per-kernel launch counts, block counts and elapsed time in
+//!   [`DeviceStats`].
+//!
+//! The algorithmic structure — what is a kernel, what runs per thread, what
+//! runs per block, what never leaves the device — is therefore identical to
+//! the paper's implementation; only the physical execution substrate differs.
+
+pub mod buffer;
+pub mod device;
+pub mod kernel;
+pub mod stats;
+
+pub use buffer::DeviceBuffer;
+pub use device::{Backend, Device, DeviceConfig};
+pub use stats::{DeviceStats, KernelStats, StatsSnapshot};

@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Table II: cold-start solve time of the ADMM
+//! solver and of the interior-point baseline on the two smallest scaled
+//! evaluation cases.
+//!
+//! Absolute numbers are substrate-dependent; the reproduced claim is the
+//! *relative* behaviour (ADMM time grows slowly with case size, the
+//! baseline's much faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsim_admm::AdmmSolver;
+use gridsim_bench::BenchCase;
+use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver};
+
+fn bench_coldstart(c: &mut Criterion) {
+    let cases = BenchCase::criterion_subset();
+    let mut group = c.benchmark_group("coldstart");
+    group.sample_size(10);
+
+    for bc in &cases {
+        let net = bc.case.compile().expect("case compiles");
+        group.bench_with_input(BenchmarkId::new("admm", &bc.name), &net, |b, net| {
+            let solver = AdmmSolver::new(bc.params.clone());
+            b.iter(|| std::hint::black_box(solver.solve(net)));
+        });
+        group.bench_with_input(BenchmarkId::new("ipm_baseline", &bc.name), &net, |b, net| {
+            b.iter(|| {
+                let nlp = AcopfNlp::new(net);
+                let solver = IpmSolver::new(IpmOptions {
+                    tol: 1e-6,
+                    ..Default::default()
+                });
+                std::hint::black_box(solver.solve(&nlp))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coldstart);
+criterion_main!(benches);

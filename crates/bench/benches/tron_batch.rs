@@ -1,0 +1,48 @@
+//! Batch TRON scaling: solve time of a batch of small bound-constrained
+//! problems as the batch size grows (the ExaTron scaling argument — the
+//! per-problem size is constant, only the number of thread blocks grows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsim_batch::Device;
+use gridsim_tron::{solve_batch_from_host, QuadraticBox, TronSolver};
+
+fn make_batch(n: usize) -> (Vec<QuadraticBox>, Vec<Vec<f64>>) {
+    let mut problems = Vec::with_capacity(n);
+    let mut starts = Vec::with_capacity(n);
+    for k in 0..n {
+        let shift = (k % 17) as f64 * 0.1 - 0.8;
+        problems.push(QuadraticBox::diagonal(
+            &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            &[shift, 1.0, -2.0, 0.5, -0.25, 3.0],
+            &[-1.0; 6],
+            &[1.0; 6],
+        ));
+        starts.push(vec![0.0; 6]);
+    }
+    (problems, starts)
+}
+
+fn bench_tron_batch(c: &mut Criterion) {
+    let solver = TronSolver::default();
+    let mut group = c.benchmark_group("tron_batch");
+    group.sample_size(10);
+    for &batch_size in &[100usize, 1000, 5000] {
+        let (problems, starts) = make_batch(batch_size);
+        group.bench_with_input(
+            BenchmarkId::new("parallel", batch_size),
+            &batch_size,
+            |b, _| {
+                let device = Device::parallel();
+                b.iter(|| {
+                    std::hint::black_box(solve_batch_from_host(
+                        &device, &solver, &problems, &starts,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tron_batch);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates the paper's **Table I**: data and parameters for experiments
+//! (component counts of every evaluation case and the ADMM penalty
+//! parameters ρ_pq / ρ_va).
+//!
+//! ```text
+//! cargo run -p gridsim-bench --release --bin table1 [--scale small|medium|paper]
+//! ```
+//!
+//! At `--scale paper` the synthetic stand-in cases have exactly the
+//! generator / branch / bus counts of the paper's MATPOWER cases; at smaller
+//! scales the counts are proportionally reduced (and printed so the reader
+//! can see what the other experiment binaries actually ran).
+
+use gridsim_bench::{BenchCase, Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cases = BenchCase::all(scale);
+
+    let mut table = TextTable::new(vec![
+        "Data",
+        "# Generators",
+        "# Branches",
+        "# Buses",
+        "rho_pq",
+        "rho_va",
+    ]);
+    for bc in &cases {
+        table.add_row(vec![
+            bc.name.clone(),
+            bc.case.generators.len().to_string(),
+            bc.case.branches.len().to_string(),
+            bc.case.buses.len().to_string(),
+            format!("{:.0e}", bc.params.rho_pq),
+            format!("{:.0e}", bc.params.rho_va),
+        ]);
+    }
+    println!("TABLE I: DATA AND PARAMETERS FOR EXPERIMENTS (scale: {scale:?})");
+    println!("{table}");
+
+    println!("Paper reference values (Table I):");
+    let mut reference = TextTable::new(vec![
+        "Data",
+        "# Generators",
+        "# Branches",
+        "# Buses",
+        "rho_pq",
+        "rho_va",
+    ]);
+    for bc in &cases {
+        let (g, l, b) = bc.source.dimensions();
+        let (pq, va) = bc.source.penalties();
+        reference.add_row(vec![
+            bc.source.name().to_string(),
+            g.to_string(),
+            l.to_string(),
+            b.to_string(),
+            format!("{pq:.0e}"),
+            format!("{va:.0e}"),
+        ]);
+    }
+    println!("{reference}");
+}

@@ -1,0 +1,32 @@
+//! # gridsim-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! Table I, Table II and Figures 1–3, plus the ablations called out in
+//! DESIGN.md. The library part holds the shared machinery (case registry,
+//! experiment runners, table formatting, JSON export); each experiment is a
+//! binary in `src/bin/` and each micro-benchmark a Criterion bench in
+//! `benches/`.
+//!
+//! | Paper artifact | Binary | Notes |
+//! |---|---|---|
+//! | Table I   | `table1`   | case dimensions + penalty parameters |
+//! | Table II  | `table2`   | cold-start ADMM vs interior-point baseline |
+//! | Figure 1  | `warmstart`| cumulative time over 30 one-minute periods |
+//! | Figure 2  | `warmstart`| max constraint violation per period |
+//! | Figure 3  | `warmstart`| relative objective gap per period |
+//! | Ablation A| `cargo bench --bench kernels` | per-kernel cost split |
+//! | Ablation B| `penalty_sweep` | ρ sensitivity |
+//! | Ablation C| `transfer_audit` | host↔device transfer counts |
+//!
+//! The paper's full case sizes (up to 70,000 buses) are expensive for the
+//! *baseline* on a CPU-only substrate, so every binary accepts
+//! `--scale small|medium|paper` (default `small`) selecting proportionally
+//! scaled synthetic cases with the same structure; see EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod registry;
+pub mod table;
+
+pub use experiments::{run_cold_start, run_tracking_comparison, ColdStartRow, TrackingRow};
+pub use registry::{BenchCase, Scale};
+pub use table::TextTable;

@@ -1,0 +1,417 @@
+//! Embedded reference cases.
+//!
+//! These are small, self-contained test systems used by unit tests,
+//! integration tests and the quickstart example. `case9` and `case14` follow
+//! the topology and parameter magnitudes of the classic WSCC 9-bus and IEEE
+//! 14-bus systems (as distributed with MATPOWER); they are *reconstructions*
+//! for testing, not byte-exact copies of the MATPOWER files — correctness
+//! tests therefore compare the two solvers against each other rather than
+//! against published objective values.
+
+use crate::branch::Branch;
+use crate::bus::{Bus, BusType};
+use crate::generator::{GenCost, Generator};
+use crate::network::Case;
+
+fn bus(id: usize, t: BusType, pd: f64, qd: f64) -> Bus {
+    Bus {
+        id,
+        bus_type: t,
+        pd,
+        qd,
+        gs: 0.0,
+        bs: 0.0,
+        area: 1,
+        vm: 1.0,
+        va: 0.0,
+        base_kv: 345.0,
+        zone: 1,
+        vmax: 1.1,
+        vmin: 0.9,
+    }
+}
+
+fn gen(bus: usize, pmin: f64, pmax: f64, qmin: f64, qmax: f64, cost: GenCost) -> Generator {
+    Generator {
+        bus,
+        pg: 0.5 * (pmin + pmax),
+        qg: 0.0,
+        qmax,
+        qmin,
+        vg: 1.0,
+        mbase: 100.0,
+        status: true,
+        pmax,
+        pmin,
+        cost,
+    }
+}
+
+/// A minimal two-bus system: one generator feeding one load over a single
+/// line. The smallest case on which every solver code path (generator, bus,
+/// branch subproblems; balance constraints; line limit) is exercised.
+pub fn two_bus() -> Case {
+    Case {
+        name: "two_bus".into(),
+        base_mva: 100.0,
+        buses: vec![
+            bus(1, BusType::Ref, 0.0, 0.0),
+            bus(2, BusType::Pq, 80.0, 20.0),
+        ],
+        generators: vec![gen(
+            1,
+            0.0,
+            200.0,
+            -100.0,
+            100.0,
+            GenCost {
+                c2: 0.02,
+                c1: 20.0,
+                c0: 0.0,
+            },
+        )],
+        branches: vec![Branch::line(1, 2, 0.01, 0.08, 0.02, 150.0)],
+    }
+}
+
+/// A 5-bus, 3-generator meshed system (PJM-style 5-bus test case layout).
+pub fn case5() -> Case {
+    Case {
+        name: "case5".into(),
+        base_mva: 100.0,
+        buses: vec![
+            bus(1, BusType::Pv, 0.0, 0.0),
+            bus(2, BusType::Pq, 300.0, 98.61),
+            bus(3, BusType::Pq, 300.0, 98.61),
+            bus(4, BusType::Ref, 400.0, 131.47),
+            bus(5, BusType::Pv, 0.0, 0.0),
+        ],
+        generators: vec![
+            gen(
+                1,
+                0.0,
+                210.0,
+                -127.5,
+                127.5,
+                GenCost {
+                    c2: 0.0,
+                    c1: 14.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                1,
+                0.0,
+                170.0,
+                -127.5,
+                127.5,
+                GenCost {
+                    c2: 0.0,
+                    c1: 15.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                3,
+                0.0,
+                520.0,
+                -390.0,
+                390.0,
+                GenCost {
+                    c2: 0.0,
+                    c1: 30.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                4,
+                0.0,
+                200.0,
+                -150.0,
+                150.0,
+                GenCost {
+                    c2: 0.0,
+                    c1: 40.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                5,
+                0.0,
+                600.0,
+                -450.0,
+                450.0,
+                GenCost {
+                    c2: 0.0,
+                    c1: 10.0,
+                    c0: 0.0,
+                },
+            ),
+        ],
+        branches: vec![
+            Branch::line(1, 2, 0.00281, 0.0281, 0.00712, 400.0),
+            Branch::line(1, 4, 0.00304, 0.0304, 0.00658, 426.0),
+            Branch::line(1, 5, 0.00064, 0.0064, 0.03126, 426.0),
+            Branch::line(2, 3, 0.00108, 0.0108, 0.01852, 426.0),
+            Branch::line(3, 4, 0.00297, 0.0297, 0.00674, 426.0),
+            Branch::line(4, 5, 0.00297, 0.0297, 0.00674, 240.0),
+        ],
+    }
+}
+
+/// WSCC 9-bus, 3-generator, 9-branch system.
+pub fn case9() -> Case {
+    Case {
+        name: "case9".into(),
+        base_mva: 100.0,
+        buses: vec![
+            bus(1, BusType::Ref, 0.0, 0.0),
+            bus(2, BusType::Pv, 0.0, 0.0),
+            bus(3, BusType::Pv, 0.0, 0.0),
+            bus(4, BusType::Pq, 0.0, 0.0),
+            bus(5, BusType::Pq, 90.0, 30.0),
+            bus(6, BusType::Pq, 0.0, 0.0),
+            bus(7, BusType::Pq, 100.0, 35.0),
+            bus(8, BusType::Pq, 0.0, 0.0),
+            bus(9, BusType::Pq, 125.0, 50.0),
+        ],
+        generators: vec![
+            gen(
+                1,
+                10.0,
+                250.0,
+                -300.0,
+                300.0,
+                GenCost {
+                    c2: 0.11,
+                    c1: 5.0,
+                    c0: 150.0,
+                },
+            ),
+            gen(
+                2,
+                10.0,
+                300.0,
+                -300.0,
+                300.0,
+                GenCost {
+                    c2: 0.085,
+                    c1: 1.2,
+                    c0: 600.0,
+                },
+            ),
+            gen(
+                3,
+                10.0,
+                270.0,
+                -300.0,
+                300.0,
+                GenCost {
+                    c2: 0.1225,
+                    c1: 1.0,
+                    c0: 335.0,
+                },
+            ),
+        ],
+        branches: vec![
+            Branch::line(1, 4, 0.0001, 0.0576, 0.0, 250.0),
+            Branch::line(4, 5, 0.017, 0.092, 0.158, 250.0),
+            Branch::line(5, 6, 0.039, 0.17, 0.358, 150.0),
+            Branch::line(3, 6, 0.0001, 0.0586, 0.0, 300.0),
+            Branch::line(6, 7, 0.0119, 0.1008, 0.209, 150.0),
+            Branch::line(7, 8, 0.0085, 0.072, 0.149, 250.0),
+            Branch::line(8, 2, 0.0001, 0.0625, 0.0, 250.0),
+            Branch::line(8, 9, 0.032, 0.161, 0.306, 250.0),
+            Branch::line(9, 4, 0.01, 0.085, 0.176, 250.0),
+        ],
+    }
+}
+
+/// An IEEE 14-bus style system: 14 buses, 5 generators/synchronous
+/// condensers, 20 branches.
+pub fn case14() -> Case {
+    let mut buses = vec![
+        bus(1, BusType::Ref, 0.0, 0.0),
+        bus(2, BusType::Pv, 21.7, 12.7),
+        bus(3, BusType::Pv, 94.2, 19.0),
+        bus(4, BusType::Pq, 47.8, -3.9),
+        bus(5, BusType::Pq, 7.6, 1.6),
+        bus(6, BusType::Pv, 11.2, 7.5),
+        bus(7, BusType::Pq, 0.0, 0.0),
+        bus(8, BusType::Pv, 0.0, 0.0),
+        bus(9, BusType::Pq, 29.5, 16.6),
+        bus(10, BusType::Pq, 9.0, 5.8),
+        bus(11, BusType::Pq, 3.5, 1.8),
+        bus(12, BusType::Pq, 6.1, 1.6),
+        bus(13, BusType::Pq, 13.5, 5.8),
+        bus(14, BusType::Pq, 14.9, 5.0),
+    ];
+    // Bus 9 has a shunt capacitor in the IEEE 14-bus system.
+    buses[8].bs = 19.0;
+
+    Case {
+        name: "case14".into(),
+        base_mva: 100.0,
+        buses,
+        generators: vec![
+            gen(
+                1,
+                0.0,
+                332.4,
+                -50.0,
+                100.0,
+                GenCost {
+                    c2: 0.043,
+                    c1: 20.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                2,
+                0.0,
+                140.0,
+                -40.0,
+                50.0,
+                GenCost {
+                    c2: 0.25,
+                    c1: 20.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                3,
+                0.0,
+                100.0,
+                0.0,
+                40.0,
+                GenCost {
+                    c2: 0.01,
+                    c1: 40.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                6,
+                0.0,
+                100.0,
+                -6.0,
+                24.0,
+                GenCost {
+                    c2: 0.01,
+                    c1: 40.0,
+                    c0: 0.0,
+                },
+            ),
+            gen(
+                8,
+                0.0,
+                100.0,
+                -6.0,
+                24.0,
+                GenCost {
+                    c2: 0.01,
+                    c1: 40.0,
+                    c0: 0.0,
+                },
+            ),
+        ],
+        branches: vec![
+            Branch::line(1, 2, 0.01938, 0.05917, 0.0528, 472.0),
+            Branch::line(1, 5, 0.05403, 0.22304, 0.0492, 128.0),
+            Branch::line(2, 3, 0.04699, 0.19797, 0.0438, 145.0),
+            Branch::line(2, 4, 0.05811, 0.17632, 0.034, 158.0),
+            Branch::line(2, 5, 0.05695, 0.17388, 0.0346, 161.0),
+            Branch::line(3, 4, 0.06701, 0.17103, 0.0128, 160.0),
+            Branch::line(4, 5, 0.01335, 0.04211, 0.0, 302.0),
+            {
+                let mut b = Branch::line(4, 7, 0.0001, 0.20912, 0.0, 175.0);
+                b.tap = 0.978;
+                b
+            },
+            {
+                let mut b = Branch::line(4, 9, 0.0001, 0.55618, 0.0, 175.0);
+                b.tap = 0.969;
+                b
+            },
+            {
+                let mut b = Branch::line(5, 6, 0.0001, 0.25202, 0.0, 175.0);
+                b.tap = 0.932;
+                b
+            },
+            Branch::line(6, 11, 0.09498, 0.1989, 0.0, 175.0),
+            Branch::line(6, 12, 0.12291, 0.25581, 0.0, 175.0),
+            Branch::line(6, 13, 0.06615, 0.13027, 0.0, 175.0),
+            Branch::line(7, 8, 0.0001, 0.17615, 0.0, 175.0),
+            Branch::line(7, 9, 0.0001, 0.11001, 0.0, 175.0),
+            Branch::line(9, 10, 0.03181, 0.0845, 0.0, 175.0),
+            Branch::line(9, 14, 0.12711, 0.27038, 0.0, 175.0),
+            Branch::line(10, 11, 0.08205, 0.19207, 0.0, 175.0),
+            Branch::line(12, 13, 0.22092, 0.19988, 0.0, 175.0),
+            Branch::line(13, 14, 0.17093, 0.34802, 0.0, 175.0),
+        ],
+    }
+}
+
+/// A 30-bus style meshed system built from the synthetic generator with a
+/// fixed seed (used when a mid-size deterministic case is needed in tests).
+pub fn case30_like() -> Case {
+    crate::synthetic::SyntheticSpec {
+        name: "case30_like".into(),
+        nbus: 30,
+        ngen: 6,
+        nbranch: 41,
+        seed: 30,
+        ..Default::default()
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_embedded_cases_compile() {
+        for case in [two_bus(), case5(), case9(), case14(), case30_like()] {
+            let net = case.compile().expect("case should compile");
+            assert!(net.nbus >= 2);
+            assert!(net.ngen >= 1);
+            assert!(net.nbranch >= 1);
+        }
+    }
+
+    #[test]
+    fn case9_dimensions() {
+        let c = case9();
+        assert_eq!(c.buses.len(), 9);
+        assert_eq!(c.generators.len(), 3);
+        assert_eq!(c.branches.len(), 9);
+        assert!((c.total_load_mw() - 315.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case14_dimensions() {
+        let c = case14();
+        assert_eq!(c.buses.len(), 14);
+        assert_eq!(c.generators.len(), 5);
+        assert_eq!(c.branches.len(), 20);
+    }
+
+    #[test]
+    fn capacity_exceeds_load() {
+        for case in [two_bus(), case5(), case9(), case14(), case30_like()] {
+            assert!(
+                case.total_capacity_mw() > case.total_load_mw(),
+                "{} must have enough generation",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn case30_like_is_deterministic() {
+        let a = case30_like();
+        let b = case30_like();
+        assert_eq!(a, b);
+    }
+}

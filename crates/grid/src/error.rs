@@ -1,0 +1,85 @@
+//! Error type shared across the grid substrate.
+
+use std::fmt;
+
+/// Errors raised while parsing, validating, or compiling grid data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// A MATPOWER file could not be parsed.
+    Parse { line: usize, message: String },
+    /// The case data is structurally invalid (dangling references, empty
+    /// component sets, non-positive base MVA, ...).
+    Invalid(String),
+    /// A referenced bus id does not exist in the bus table.
+    UnknownBus(usize),
+    /// The network is not connected from the reference bus.
+    Disconnected { unreachable_buses: usize },
+    /// I/O failure while reading a case file.
+    Io(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GridError::Invalid(msg) => write!(f, "invalid case data: {msg}"),
+            GridError::UnknownBus(id) => write!(f, "reference to unknown bus id {id}"),
+            GridError::Disconnected { unreachable_buses } => write!(
+                f,
+                "network is disconnected: {unreachable_buses} buses unreachable from the reference bus"
+            ),
+            GridError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<std::io::Error> for GridError {
+    fn from(e: std::io::Error) -> Self {
+        GridError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error_mentions_line() {
+        let e = GridError::Parse {
+            line: 42,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn display_invalid() {
+        let e = GridError::Invalid("no buses".into());
+        assert!(e.to_string().contains("no buses"));
+    }
+
+    #[test]
+    fn display_unknown_bus() {
+        assert!(GridError::UnknownBus(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn display_disconnected() {
+        let e = GridError::Disconnected {
+            unreachable_buses: 3,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GridError = io.into();
+        assert!(matches!(e, GridError::Io(_)));
+    }
+}

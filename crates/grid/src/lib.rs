@@ -1,0 +1,40 @@
+//! # gridsim-grid
+//!
+//! Power-grid data model substrate for the GridADMM reproduction of
+//! *"Accelerated Computation and Tracking of AC Optimal Power Flow Solutions
+//! Using GPUs"* (Kim & Kim, ICPP 2022).
+//!
+//! This crate provides everything the optimization layers need to know about
+//! an electrical network:
+//!
+//! * raw case data in MATPOWER-style records ([`Case`], [`Bus`], [`Branch`],
+//!   [`Generator`], [`GenCost`]),
+//! * a MATPOWER `.m` file parser and writer ([`matpower`]),
+//! * embedded reference cases for tests and examples ([`cases`]),
+//! * a deterministic synthetic-grid generator able to produce cases with the
+//!   exact component counts of the paper's Table I ([`synthetic`]),
+//! * time-varying load profiles for the warm-start tracking experiment
+//!   ([`load_profile`]),
+//! * and a compiled, per-unit, internally-indexed [`Network`] with branch
+//!   admittances and adjacency used by both the ADMM solver and the
+//!   interior-point baseline.
+
+pub mod branch;
+pub mod bus;
+pub mod cases;
+pub mod error;
+pub mod generator;
+pub mod load_profile;
+pub mod matpower;
+pub mod network;
+pub mod perunit;
+pub mod synthetic;
+
+pub use branch::Branch;
+pub use bus::{Bus, BusType};
+pub use cases::{case14, case30_like, case5, case9, two_bus};
+pub use error::GridError;
+pub use generator::{GenCost, Generator};
+pub use load_profile::LoadProfile;
+pub use network::{Case, Network};
+pub use synthetic::{SyntheticSpec, TableICase};

@@ -1,0 +1,641 @@
+//! The full polar ACOPF formulation (1) as a smooth NLP.
+//!
+//! This is the formulation the paper hands to Ipopt through PowerModels.jl
+//! (with the automatic angle-difference tightening disabled, as described in
+//! Section IV-A). Variables are bus voltage angles and magnitudes plus
+//! generator dispatch:
+//!
+//! ```text
+//! x = [ va (nbus) | vm (nbus) | pg (ngen) | qg (ngen) ]
+//! ```
+//!
+//! Equality constraints: real and reactive power balance at every bus plus
+//! the reference-angle anchor. Inequality constraints: squared apparent-power
+//! line limits at both ends of every rated branch.
+
+use crate::nlp::Nlp;
+use gridsim_acopf::flows::{BranchFlow, FlowGrad, FlowKind};
+use gridsim_acopf::solution::OpfSolution;
+use gridsim_acopf::start::cold_start;
+use gridsim_grid::network::Network;
+use gridsim_sparse::Coo;
+
+/// The ACOPF NLP over a compiled [`Network`].
+#[derive(Debug, Clone)]
+pub struct AcopfNlp<'a> {
+    net: &'a Network,
+    /// Branches with a finite thermal rating (only these get limit
+    /// constraints).
+    limited: Vec<usize>,
+    /// Optional override of the generator real-power bounds (used by the
+    /// warm-start tracking experiment to impose ramp limits).
+    pg_bounds: Option<(Vec<f64>, Vec<f64>)>,
+    /// Optional override of the starting point.
+    start: Option<OpfSolution>,
+}
+
+impl<'a> AcopfNlp<'a> {
+    /// Build the NLP for a network.
+    pub fn new(net: &'a Network) -> Self {
+        let limited = (0..net.nbranch)
+            .filter(|&l| net.rate_a[l].is_finite())
+            .collect();
+        AcopfNlp {
+            net,
+            limited,
+            pg_bounds: None,
+            start: None,
+        }
+    }
+
+    /// Override the generator real-power bounds (ramp-limited tracking).
+    pub fn with_pg_bounds(mut self, pmin: Vec<f64>, pmax: Vec<f64>) -> Self {
+        assert_eq!(pmin.len(), self.net.ngen);
+        assert_eq!(pmax.len(), self.net.ngen);
+        self.pg_bounds = Some((pmin, pmax));
+        self
+    }
+
+    /// Override the starting point (warm start).
+    pub fn with_start(mut self, start: OpfSolution) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// The network this NLP was built from.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// Number of line-limit constraints (two per rated branch).
+    pub fn num_line_limits(&self) -> usize {
+        2 * self.limited.len()
+    }
+
+    #[inline]
+    fn va_idx(&self, b: usize) -> usize {
+        b
+    }
+    #[inline]
+    fn vm_idx(&self, b: usize) -> usize {
+        self.net.nbus + b
+    }
+    #[inline]
+    fn pg_idx(&self, g: usize) -> usize {
+        2 * self.net.nbus + g
+    }
+    #[inline]
+    fn qg_idx(&self, g: usize) -> usize {
+        2 * self.net.nbus + self.net.ngen + g
+    }
+
+    /// Branch-variable global indices in the flow-derivative order
+    /// `(v_i, v_j, θ_i, θ_j)`.
+    #[inline]
+    fn branch_var_indices(&self, l: usize) -> [usize; 4] {
+        let f = self.net.br_from[l];
+        let t = self.net.br_to[l];
+        [self.vm_idx(f), self.vm_idx(t), self.va_idx(f), self.va_idx(t)]
+    }
+
+    #[inline]
+    fn branch_state(&self, x: &[f64], l: usize) -> (f64, f64, f64, f64) {
+        let f = self.net.br_from[l];
+        let t = self.net.br_to[l];
+        (
+            x[self.vm_idx(f)],
+            x[self.vm_idx(t)],
+            x[self.va_idx(f)],
+            x[self.va_idx(t)],
+        )
+    }
+
+    /// Convert a raw solver vector into an [`OpfSolution`].
+    pub fn to_solution(&self, x: &[f64]) -> OpfSolution {
+        let n = self.net;
+        OpfSolution {
+            va: x[..n.nbus].to_vec(),
+            vm: x[n.nbus..2 * n.nbus].to_vec(),
+            pg: (0..n.ngen).map(|g| x[self.pg_idx(g)]).collect(),
+            qg: (0..n.ngen).map(|g| x[self.qg_idx(g)]).collect(),
+        }
+    }
+
+    /// Flatten an [`OpfSolution`] into the solver's variable order.
+    pub fn from_solution(&self, sol: &OpfSolution) -> Vec<f64> {
+        let n = self.net;
+        let mut x = vec![0.0; self.num_vars()];
+        x[..n.nbus].copy_from_slice(&sol.va);
+        x[n.nbus..2 * n.nbus].copy_from_slice(&sol.vm);
+        for g in 0..n.ngen {
+            x[self.pg_idx(g)] = sol.pg[g];
+            x[self.qg_idx(g)] = sol.qg[g];
+        }
+        x
+    }
+
+    fn flow_grad(grad: &FlowGrad) -> [f64; 4] {
+        [grad.dvi, grad.dvj, grad.dti, grad.dtj]
+    }
+}
+
+impl Nlp for AcopfNlp<'_> {
+    fn num_vars(&self) -> usize {
+        2 * self.net.nbus + 2 * self.net.ngen
+    }
+
+    fn num_eq(&self) -> usize {
+        2 * self.net.nbus + 1
+    }
+
+    fn num_ineq(&self) -> usize {
+        self.num_line_limits()
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.net;
+        let mut lo = Vec::with_capacity(self.num_vars());
+        let mut hi = Vec::with_capacity(self.num_vars());
+        // Angles: formulation (1h).
+        let two_pi = 2.0 * std::f64::consts::PI;
+        lo.extend(std::iter::repeat(-two_pi).take(n.nbus));
+        hi.extend(std::iter::repeat(two_pi).take(n.nbus));
+        // Magnitudes.
+        lo.extend_from_slice(&n.vmin);
+        hi.extend_from_slice(&n.vmax);
+        // Dispatch.
+        let (pmin, pmax) = match &self.pg_bounds {
+            Some((lo_pg, hi_pg)) => (lo_pg.clone(), hi_pg.clone()),
+            None => (n.pmin.clone(), n.pmax.clone()),
+        };
+        lo.extend_from_slice(&pmin);
+        hi.extend_from_slice(&pmax);
+        lo.extend_from_slice(&n.qmin);
+        hi.extend_from_slice(&n.qmax);
+        (lo, hi)
+    }
+
+    fn initial_point(&self) -> Vec<f64> {
+        let start = self
+            .start
+            .clone()
+            .unwrap_or_else(|| cold_start(self.net));
+        self.from_solution(&start)
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        let n = self.net;
+        (0..n.ngen)
+            .map(|g| {
+                let pg = x[self.pg_idx(g)];
+                (n.cost_c2[g] * pg + n.cost_c1[g]) * pg + n.cost_c0[g]
+            })
+            .sum()
+    }
+
+    fn objective_grad(&self, x: &[f64], grad: &mut [f64]) {
+        grad.fill(0.0);
+        let n = self.net;
+        for g in 0..n.ngen {
+            let pg = x[self.pg_idx(g)];
+            grad[self.pg_idx(g)] = 2.0 * n.cost_c2[g] * pg + n.cost_c1[g];
+        }
+    }
+
+    fn eq_constraints(&self, x: &[f64], c: &mut [f64]) {
+        let n = self.net;
+        // Initialize with load, shunt and generation.
+        for b in 0..n.nbus {
+            let vm = x[self.vm_idx(b)];
+            c[b] = -n.pd[b] - n.gs[b] * vm * vm;
+            c[n.nbus + b] = -n.qd[b] + n.bs[b] * vm * vm;
+        }
+        for g in 0..n.ngen {
+            let b = n.gen_bus[g];
+            c[b] += x[self.pg_idx(g)];
+            c[n.nbus + b] += x[self.qg_idx(g)];
+        }
+        // Subtract branch flows leaving each bus.
+        for l in 0..n.nbranch {
+            let (vi, vj, ti, tj) = self.branch_state(x, l);
+            let y = &n.br_y[l];
+            let f = n.br_from[l];
+            let t = n.br_to[l];
+            let pij = BranchFlow::from_admittance(y, FlowKind::Pij).value(vi, vj, ti, tj);
+            let qij = BranchFlow::from_admittance(y, FlowKind::Qij).value(vi, vj, ti, tj);
+            let pji = BranchFlow::from_admittance(y, FlowKind::Pji).value(vi, vj, ti, tj);
+            let qji = BranchFlow::from_admittance(y, FlowKind::Qji).value(vi, vj, ti, tj);
+            c[f] -= pij;
+            c[n.nbus + f] -= qij;
+            c[t] -= pji;
+            c[n.nbus + t] -= qji;
+        }
+        // Reference-angle anchor.
+        c[2 * n.nbus] = x[self.va_idx(n.ref_bus)];
+    }
+
+    fn ineq_constraints(&self, x: &[f64], c: &mut [f64]) {
+        let n = self.net;
+        for (k, &l) in self.limited.iter().enumerate() {
+            let (vi, vj, ti, tj) = self.branch_state(x, l);
+            let y = &n.br_y[l];
+            let limit = n.rate_a[l] * n.rate_a[l];
+            let pij = BranchFlow::from_admittance(y, FlowKind::Pij).value(vi, vj, ti, tj);
+            let qij = BranchFlow::from_admittance(y, FlowKind::Qij).value(vi, vj, ti, tj);
+            let pji = BranchFlow::from_admittance(y, FlowKind::Pji).value(vi, vj, ti, tj);
+            let qji = BranchFlow::from_admittance(y, FlowKind::Qji).value(vi, vj, ti, tj);
+            c[2 * k] = pij * pij + qij * qij - limit;
+            c[2 * k + 1] = pji * pji + qji * qji - limit;
+        }
+    }
+
+    fn eq_jacobian(&self, x: &[f64]) -> Coo {
+        let n = self.net;
+        let mut jac = Coo::with_capacity(self.num_eq(), self.num_vars(), 16 * n.nbranch + 4 * n.ngen + 2 * n.nbus + 1);
+        // Shunt terms.
+        for b in 0..n.nbus {
+            let vm = x[self.vm_idx(b)];
+            if n.gs[b] != 0.0 {
+                jac.push(b, self.vm_idx(b), -2.0 * n.gs[b] * vm);
+            }
+            if n.bs[b] != 0.0 {
+                jac.push(n.nbus + b, self.vm_idx(b), 2.0 * n.bs[b] * vm);
+            }
+        }
+        // Generator injections.
+        for g in 0..n.ngen {
+            let b = n.gen_bus[g];
+            jac.push(b, self.pg_idx(g), 1.0);
+            jac.push(n.nbus + b, self.qg_idx(g), 1.0);
+        }
+        // Branch flows.
+        for l in 0..n.nbranch {
+            let (vi, vj, ti, tj) = self.branch_state(x, l);
+            let y = &n.br_y[l];
+            let idx = self.branch_var_indices(l);
+            let f = n.br_from[l];
+            let t = n.br_to[l];
+            let rows = [f, n.nbus + f, t, n.nbus + t];
+            for (kind, row) in FlowKind::all().into_iter().zip(rows) {
+                let grad = BranchFlow::from_admittance(y, kind).gradient(vi, vj, ti, tj);
+                let g4 = Self::flow_grad(&grad);
+                for (col, val) in idx.iter().zip(g4) {
+                    if val != 0.0 {
+                        jac.push(row, *col, -val);
+                    }
+                }
+            }
+        }
+        // Reference angle.
+        jac.push(2 * n.nbus, self.va_idx(n.ref_bus), 1.0);
+        jac
+    }
+
+    fn ineq_jacobian(&self, x: &[f64]) -> Coo {
+        let n = self.net;
+        let mut jac = Coo::with_capacity(self.num_ineq(), self.num_vars(), 8 * self.limited.len());
+        for (k, &l) in self.limited.iter().enumerate() {
+            let (vi, vj, ti, tj) = self.branch_state(x, l);
+            let y = &n.br_y[l];
+            let idx = self.branch_var_indices(l);
+            for (row_offset, kinds) in [
+                (0usize, (FlowKind::Pij, FlowKind::Qij)),
+                (1usize, (FlowKind::Pji, FlowKind::Qji)),
+            ] {
+                let fp = BranchFlow::from_admittance(y, kinds.0);
+                let fq = BranchFlow::from_admittance(y, kinds.1);
+                let p = fp.value(vi, vj, ti, tj);
+                let q = fq.value(vi, vj, ti, tj);
+                let gp = Self::flow_grad(&fp.gradient(vi, vj, ti, tj));
+                let gq = Self::flow_grad(&fq.gradient(vi, vj, ti, tj));
+                for c4 in 0..4 {
+                    let val = 2.0 * p * gp[c4] + 2.0 * q * gq[c4];
+                    if val != 0.0 {
+                        jac.push(2 * k + row_offset, idx[c4], val);
+                    }
+                }
+            }
+        }
+        jac
+    }
+
+    fn lagrangian_hessian(
+        &self,
+        x: &[f64],
+        obj_factor: f64,
+        lambda_eq: &[f64],
+        lambda_ineq: &[f64],
+    ) -> Coo {
+        let n = self.net;
+        let nv = self.num_vars();
+        let mut hess = Coo::with_capacity(nv, nv, 32 * n.nbranch + n.ngen + n.nbus);
+
+        // Objective: quadratic generation cost.
+        for g in 0..n.ngen {
+            if n.cost_c2[g] != 0.0 {
+                hess.push(
+                    self.pg_idx(g),
+                    self.pg_idx(g),
+                    2.0 * obj_factor * n.cost_c2[g],
+                );
+            }
+        }
+        // Shunt second derivatives in the balance constraints.
+        for b in 0..n.nbus {
+            let mut v = 0.0;
+            if n.gs[b] != 0.0 {
+                v += lambda_eq[b] * (-2.0 * n.gs[b]);
+            }
+            if n.bs[b] != 0.0 {
+                v += lambda_eq[n.nbus + b] * (2.0 * n.bs[b]);
+            }
+            if v != 0.0 {
+                hess.push(self.vm_idx(b), self.vm_idx(b), v);
+            }
+        }
+        // Branch flow second derivatives.
+        for l in 0..n.nbranch {
+            let (vi, vj, ti, tj) = self.branch_state(x, l);
+            let y = &n.br_y[l];
+            let idx = self.branch_var_indices(l);
+            let f = n.br_from[l];
+            let t = n.br_to[l];
+            // Balance-constraint multipliers: the flow enters with a minus
+            // sign in the constraint.
+            let eq_weights = [
+                -lambda_eq[f],
+                -lambda_eq[n.nbus + f],
+                -lambda_eq[t],
+                -lambda_eq[n.nbus + t],
+            ];
+            let mut block = [[0.0f64; 4]; 4];
+            let flows = BranchFlow::all_from_admittance(y);
+            for (kf, w) in flows.iter().zip(eq_weights) {
+                if w == 0.0 {
+                    continue;
+                }
+                let h = kf.hessian(vi, vj, ti, tj).to_dense();
+                for r in 0..4 {
+                    for c in 0..4 {
+                        block[r][c] += w * h[r][c];
+                    }
+                }
+            }
+            // Line-limit constraint contributions.
+            if let Some(k) = self.limited.iter().position(|&b| b == l) {
+                for (row_offset, kinds) in [
+                    (0usize, (FlowKind::Pij, FlowKind::Qij)),
+                    (1usize, (FlowKind::Pji, FlowKind::Qji)),
+                ] {
+                    let sigma = lambda_ineq[2 * k + row_offset];
+                    if sigma == 0.0 {
+                        continue;
+                    }
+                    let fp = BranchFlow::from_admittance(y, kinds.0);
+                    let fq = BranchFlow::from_admittance(y, kinds.1);
+                    let p = fp.value(vi, vj, ti, tj);
+                    let q = fq.value(vi, vj, ti, tj);
+                    let gp = Self::flow_grad(&fp.gradient(vi, vj, ti, tj));
+                    let gq = Self::flow_grad(&fq.gradient(vi, vj, ti, tj));
+                    let hp = fp.hessian(vi, vj, ti, tj).to_dense();
+                    let hq = fq.hessian(vi, vj, ti, tj).to_dense();
+                    for r in 0..4 {
+                        for c in 0..4 {
+                            block[r][c] += sigma
+                                * (2.0 * gp[r] * gp[c]
+                                    + 2.0 * p * hp[r][c]
+                                    + 2.0 * gq[r] * gq[c]
+                                    + 2.0 * q * hq[r][c]);
+                        }
+                    }
+                }
+            }
+            for r in 0..4 {
+                for c in 0..4 {
+                    if block[r][c] != 0.0 {
+                        hess.push(idx[r], idx[c], block[r][c]);
+                    }
+                }
+            }
+        }
+        hess
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim_grid::cases;
+
+    fn sample_x(nlp: &AcopfNlp<'_>) -> Vec<f64> {
+        // A perturbed interior point exercising all nonlinearities.
+        let n = nlp.network();
+        let mut sol = cold_start(n);
+        for b in 0..n.nbus {
+            sol.va[b] = 0.02 * (b as f64 % 7.0) - 0.05;
+            sol.vm[b] = 1.0 + 0.01 * ((b % 5) as f64 - 2.0);
+        }
+        sol.va[n.ref_bus] = 0.0;
+        for g in 0..n.ngen {
+            sol.pg[g] = 0.4 * (n.pmin[g] + n.pmax[g]);
+            sol.qg[g] = 0.25 * (n.qmin[g] + n.qmax[g]);
+        }
+        nlp.from_solution(&sol)
+    }
+
+    #[test]
+    fn dimensions_are_consistent() {
+        let net = cases::case9().compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        assert_eq!(nlp.num_vars(), 2 * 9 + 2 * 3);
+        assert_eq!(nlp.num_eq(), 19);
+        assert_eq!(nlp.num_ineq(), 18);
+        let (lo, hi) = nlp.bounds();
+        assert_eq!(lo.len(), nlp.num_vars());
+        assert!(lo.iter().zip(&hi).all(|(l, u)| l <= u));
+    }
+
+    #[test]
+    fn solution_roundtrip() {
+        let net = cases::case14().compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        let sol = cold_start(&net);
+        let x = nlp.from_solution(&sol);
+        let back = nlp.to_solution(&x);
+        assert_eq!(sol, back);
+    }
+
+    #[test]
+    fn eq_constraints_match_power_mismatch() {
+        let net = cases::case9().compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        let x = sample_x(&nlp);
+        let sol = nlp.to_solution(&x);
+        let (dp, dq) = sol.power_mismatch(&net);
+        let mut c = vec![0.0; nlp.num_eq()];
+        nlp.eq_constraints(&x, &mut c);
+        for b in 0..net.nbus {
+            assert!((c[b] - dp[b]).abs() < 1e-10, "bus {b} P");
+            assert!((c[net.nbus + b] - dq[b]).abs() < 1e-10, "bus {b} Q");
+        }
+        assert!((c[2 * net.nbus] - sol.va[net.ref_bus]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn objective_gradient_matches_finite_difference() {
+        let net = cases::case9().compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        let x = sample_x(&nlp);
+        let mut g = vec![0.0; nlp.num_vars()];
+        nlp.objective_grad(&x, &mut g);
+        let h = 1e-6;
+        for i in 0..nlp.num_vars() {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[i] += h;
+            xm[i] -= h;
+            let fd = (nlp.objective(&xp) - nlp.objective(&xm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-4, "var {i}: {} vs {fd}", g[i]);
+        }
+    }
+
+    #[test]
+    fn eq_jacobian_matches_finite_difference() {
+        let net = cases::case9().compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        let x = sample_x(&nlp);
+        let jac = nlp.eq_jacobian(&x).to_csc();
+        let m = nlp.num_eq();
+        let h = 1e-6;
+        let mut cp = vec![0.0; m];
+        let mut cm = vec![0.0; m];
+        for col in 0..nlp.num_vars() {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[col] += h;
+            xm[col] -= h;
+            nlp.eq_constraints(&xp, &mut cp);
+            nlp.eq_constraints(&xm, &mut cm);
+            for row in 0..m {
+                let fd = (cp[row] - cm[row]) / (2.0 * h);
+                let val = jac.get(row, col);
+                assert!(
+                    (val - fd).abs() < 1e-5,
+                    "eq jac ({row},{col}): {val} vs {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ineq_jacobian_matches_finite_difference() {
+        let net = cases::case9().compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        let x = sample_x(&nlp);
+        let jac = nlp.ineq_jacobian(&x).to_csc();
+        let m = nlp.num_ineq();
+        let h = 1e-6;
+        let mut cp = vec![0.0; m];
+        let mut cm = vec![0.0; m];
+        for col in 0..nlp.num_vars() {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[col] += h;
+            xm[col] -= h;
+            nlp.ineq_constraints(&xp, &mut cp);
+            nlp.ineq_constraints(&xm, &mut cm);
+            for row in 0..m {
+                let fd = (cp[row] - cm[row]) / (2.0 * h);
+                let val = jac.get(row, col);
+                assert!(
+                    (val - fd).abs() < 1e-4,
+                    "ineq jac ({row},{col}): {val} vs {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lagrangian_hessian_matches_finite_difference() {
+        let net = cases::case9().compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        let x = sample_x(&nlp);
+        let nv = nlp.num_vars();
+        // Arbitrary but fixed multipliers.
+        let lam_eq: Vec<f64> = (0..nlp.num_eq()).map(|i| 0.3 + 0.05 * (i as f64)).collect();
+        let lam_ineq: Vec<f64> = (0..nlp.num_ineq()).map(|i| 0.1 + 0.02 * (i as f64)).collect();
+        let obj_factor = 0.7;
+        let hess = nlp
+            .lagrangian_hessian(&x, obj_factor, &lam_eq, &lam_ineq)
+            .to_csc();
+
+        // Finite difference of the Lagrangian gradient.
+        let lag_grad = |x: &[f64]| -> Vec<f64> {
+            let mut g = vec![0.0; nv];
+            nlp.objective_grad(x, &mut g);
+            for v in &mut g {
+                *v *= obj_factor;
+            }
+            let je = nlp.eq_jacobian(x);
+            for k in 0..je.nnz() {
+                g[je.cols[k]] += je.vals[k] * lam_eq[je.rows[k]];
+            }
+            let ji = nlp.ineq_jacobian(x);
+            for k in 0..ji.nnz() {
+                g[ji.cols[k]] += ji.vals[k] * lam_ineq[ji.rows[k]];
+            }
+            g
+        };
+        let h = 1e-6;
+        // Spot check a subset of columns (full n^2 check is slow): every
+        // variable family is covered.
+        let cols_to_check: Vec<usize> = vec![
+            0,
+            net.ref_bus,
+            net.nbus + 1,
+            net.nbus + 4,
+            2 * net.nbus,
+            2 * net.nbus + net.ngen,
+        ];
+        for &col in &cols_to_check {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[col] += h;
+            xm[col] -= h;
+            let gp = lag_grad(&xp);
+            let gm = lag_grad(&xm);
+            for row in 0..nv {
+                let fd = (gp[row] - gm[row]) / (2.0 * h);
+                let val = hess.get(row, col);
+                assert!(
+                    (val - fd).abs() < 2e-4,
+                    "hessian ({row},{col}): {val} vs {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pg_bound_override_applies() {
+        let net = cases::case9().compile().unwrap();
+        let pmin = vec![0.5; 3];
+        let pmax = vec![1.5; 3];
+        let nlp = AcopfNlp::new(&net).with_pg_bounds(pmin.clone(), pmax.clone());
+        let (lo, hi) = nlp.bounds();
+        for g in 0..3 {
+            assert_eq!(lo[2 * net.nbus + g], 0.5);
+            assert_eq!(hi[2 * net.nbus + g], 1.5);
+        }
+    }
+
+    #[test]
+    fn unlimited_branches_have_no_line_constraints() {
+        let mut case = cases::case9();
+        for b in &mut case.branches {
+            b.rate_a = 0.0;
+        }
+        let net = case.compile().unwrap();
+        let nlp = AcopfNlp::new(&net);
+        assert_eq!(nlp.num_ineq(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Result and iteration-log types for the interior-point solver.
+
+use std::time::Duration;
+
+/// Termination status of an interior-point solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpmStatus {
+    /// First-order optimality satisfied to the requested tolerance.
+    Optimal,
+    /// Iteration limit reached; the returned point is the best iterate.
+    MaxIterations,
+    /// The linear algebra failed irrecoverably (singular KKT even after the
+    /// maximum regularization).
+    NumericalError,
+}
+
+/// One row of the iteration log (what Ipopt prints per iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration number.
+    pub iter: usize,
+    /// Objective value.
+    pub objective: f64,
+    /// Primal infeasibility (infinity norm of constraint violations).
+    pub primal_infeasibility: f64,
+    /// Dual infeasibility (infinity norm of the dual residual).
+    pub dual_infeasibility: f64,
+    /// Barrier parameter.
+    pub mu: f64,
+    /// Primal step length after the line search.
+    pub alpha_primal: f64,
+    /// Primal regularization used for this step.
+    pub delta_w: f64,
+}
+
+/// Result of an interior-point solve.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Final primal point (original variables, without slacks).
+    pub x: Vec<f64>,
+    /// Objective value at the final point.
+    pub objective: f64,
+    /// Equality-constraint multipliers.
+    pub lambda_eq: Vec<f64>,
+    /// Inequality-constraint multipliers.
+    pub lambda_ineq: Vec<f64>,
+    /// Termination status.
+    pub status: IpmStatus,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final scaled KKT error.
+    pub kkt_error: f64,
+    /// Final primal infeasibility.
+    pub primal_infeasibility: f64,
+    /// Wall-clock time of the solve.
+    pub solve_time: Duration,
+    /// Total number of KKT factorizations (including inertia-correction
+    /// refactorizations) — the quantity that dominates Ipopt's run time on
+    /// ACOPF.
+    pub factorizations: usize,
+    /// Per-iteration log.
+    pub log: Vec<IterationRecord>,
+}
+
+impl SolveReport {
+    /// True when the solve reached the optimality tolerance.
+    pub fn is_optimal(&self) -> bool {
+        self.status == IpmStatus::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_optimal_reflects_status() {
+        let report = SolveReport {
+            x: vec![],
+            objective: 0.0,
+            lambda_eq: vec![],
+            lambda_ineq: vec![],
+            status: IpmStatus::Optimal,
+            iterations: 3,
+            kkt_error: 1e-9,
+            primal_infeasibility: 1e-10,
+            solve_time: Duration::ZERO,
+            factorizations: 3,
+            log: vec![],
+        };
+        assert!(report.is_optimal());
+        let mut not_done = report.clone();
+        not_done.status = IpmStatus::MaxIterations;
+        assert!(!not_done.is_optimal());
+    }
+}

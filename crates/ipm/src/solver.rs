@@ -1,0 +1,702 @@
+//! The primal–dual interior-point iteration.
+//!
+//! Inequalities are slacked (`c_I(x) + s = 0`, `s ≥ 0`), bounds are handled
+//! with logarithmic barriers, and each Newton step solves the augmented KKT
+//! system assembled by [`crate::kkt`] with the sparse LDLᵀ of
+//! [`gridsim_sparse`]. Inertia is corrected by increasing primal
+//! regularization, steps respect the fraction-to-boundary rule, and a simple
+//! ℓ1-merit backtracking line search guards against divergence. The barrier
+//! parameter decreases monotonically once the barrier subproblem is solved to
+//! a multiple of μ (Fiacco–McCormick), as in Ipopt's monotone mode.
+
+use crate::kkt::{assemble_kkt, KktDims};
+use crate::nlp::Nlp;
+use crate::report::{IpmStatus, IterationRecord, SolveReport};
+use gridsim_sparse::{LdlFactor, LdlOptions, Ordering};
+use std::time::Instant;
+
+/// Options for the interior-point solver.
+#[derive(Debug, Clone)]
+pub struct IpmOptions {
+    /// Convergence tolerance on the unscaled KKT error.
+    pub tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Initial barrier parameter.
+    pub mu_init: f64,
+    /// Fraction-to-boundary floor (`τ = max(tau_min, 1 − μ)`).
+    pub tau_min: f64,
+    /// Relative push of the initial point away from its bounds.
+    pub bound_push: f64,
+    /// Maximum number of inertia-correction refactorizations per step.
+    pub max_refactorizations: usize,
+    /// Maximum backtracking steps in the merit line search.
+    pub max_backtracks: usize,
+    /// Dual regularization added to the constraint block of the KKT system.
+    pub delta_c: f64,
+    /// Optional primal warm start overriding [`Nlp::initial_point`].
+    pub initial_point: Option<Vec<f64>>,
+    /// Optional warm start for the constraint multipliers `[λ_E; λ_I]`.
+    pub initial_multipliers: Option<Vec<f64>>,
+}
+
+impl Default for IpmOptions {
+    fn default() -> Self {
+        IpmOptions {
+            tol: 1e-6,
+            max_iter: 300,
+            mu_init: 0.1,
+            tau_min: 0.99,
+            bound_push: 1e-2,
+            max_refactorizations: 40,
+            max_backtracks: 12,
+            delta_c: 1e-8,
+            initial_point: None,
+            initial_multipliers: None,
+        }
+    }
+}
+
+/// The interior-point solver.
+#[derive(Debug, Clone, Default)]
+pub struct IpmSolver {
+    /// Options used by [`IpmSolver::solve`].
+    pub options: IpmOptions,
+}
+
+impl IpmSolver {
+    /// Create a solver with the given options.
+    pub fn new(options: IpmOptions) -> Self {
+        IpmSolver { options }
+    }
+
+    /// Solve the NLP.
+    pub fn solve<N: Nlp>(&self, nlp: &N) -> SolveReport {
+        let start_time = Instant::now();
+        let opts = &self.options;
+
+        let nx = nlp.num_vars();
+        let m_eq = nlp.num_eq();
+        let m_ineq = nlp.num_ineq();
+        let dims = KktDims {
+            nx,
+            ns: m_ineq,
+            m_eq,
+            m_ineq,
+        };
+        let nv = dims.nv();
+        let mc = dims.mc();
+
+        // Bounds of the slacked variable vector v = [x; s].
+        let (lx, ux) = nlp.bounds();
+        let mut lower = lx.clone();
+        let mut upper = ux.clone();
+        lower.extend(std::iter::repeat(0.0).take(m_ineq));
+        upper.extend(std::iter::repeat(f64::INFINITY).take(m_ineq));
+
+        // --- initial point ---
+        let x_start = opts
+            .initial_point
+            .clone()
+            .unwrap_or_else(|| nlp.initial_point());
+        assert_eq!(x_start.len(), nx, "initial point has wrong dimension");
+        let mut v = vec![0.0; nv];
+        v[..nx].copy_from_slice(&x_start);
+        // Slacks from the inequality values.
+        let mut ci = vec![0.0; m_ineq];
+        nlp.ineq_constraints(&x_start, &mut ci);
+        for k in 0..m_ineq {
+            v[nx + k] = (-ci[k]).max(opts.bound_push);
+        }
+        push_into_interior(&mut v, &lower, &upper, opts.bound_push);
+
+        let mut lambda = vec![0.0; mc];
+        if let Some(l0) = &opts.initial_multipliers {
+            if l0.len() == mc {
+                lambda.copy_from_slice(l0);
+            }
+        }
+        let mut mu = opts.mu_init;
+        let mut zl = vec![0.0; nv];
+        let mut zu = vec![0.0; nv];
+        for i in 0..nv {
+            if lower[i].is_finite() {
+                zl[i] = mu / (v[i] - lower[i]);
+            }
+            if upper[i].is_finite() {
+                zu[i] = mu / (upper[i] - v[i]);
+            }
+        }
+
+        // Workspace.
+        let mut grad_f = vec![0.0; nx];
+        let mut ce = vec![0.0; m_eq];
+        let mut log = Vec::new();
+        let mut factorizations = 0usize;
+        let mut ordering: Option<Ordering> = None;
+        let mut delta_w_last = 0.0f64;
+        let mut status = IpmStatus::MaxIterations;
+        let mut iterations = 0usize;
+        let mut kkt_error = f64::INFINITY;
+        let mut primal_inf = f64::INFINITY;
+
+        'outer: for iter in 0..opts.max_iter {
+            iterations = iter;
+            let x = &v[..nx];
+
+            // --- evaluations ---
+            let f = nlp.objective(x);
+            nlp.objective_grad(x, &mut grad_f);
+            nlp.eq_constraints(x, &mut ce);
+            nlp.ineq_constraints(x, &mut ci);
+            let jac_eq = nlp.eq_jacobian(x);
+            let jac_ineq = nlp.ineq_jacobian(x);
+
+            // --- residuals ---
+            // Dual residual over v = [x; s].
+            let mut r_d = vec![0.0; nv];
+            r_d[..nx].copy_from_slice(&grad_f);
+            // + J_E^T lam_eq + J_I^T lam_ineq on the x block.
+            for k in 0..jac_eq.nnz() {
+                r_d[jac_eq.cols[k]] += jac_eq.vals[k] * lambda[jac_eq.rows[k]];
+            }
+            for k in 0..jac_ineq.nnz() {
+                r_d[jac_ineq.cols[k]] += jac_ineq.vals[k] * lambda[m_eq + jac_ineq.rows[k]];
+            }
+            // Slack block: lam_ineq - zl_s (+ zu_s = 0).
+            for k in 0..m_ineq {
+                r_d[nx + k] += lambda[m_eq + k];
+            }
+            for i in 0..nv {
+                r_d[i] += zu[i] - zl[i];
+            }
+            // Constraint residual.
+            let mut r_c = vec![0.0; mc];
+            r_c[..m_eq].copy_from_slice(&ce);
+            for k in 0..m_ineq {
+                r_c[m_eq + k] = ci[k] + v[nx + k];
+            }
+            // Complementarity.
+            let comp_error_mu = |mu: f64| -> f64 {
+                let mut e: f64 = 0.0;
+                for i in 0..nv {
+                    if lower[i].is_finite() {
+                        e = e.max(((v[i] - lower[i]) * zl[i] - mu).abs());
+                    }
+                    if upper[i].is_finite() {
+                        e = e.max(((upper[i] - v[i]) * zu[i] - mu).abs());
+                    }
+                }
+                e
+            };
+
+            let dual_inf = inf_norm(&r_d);
+            primal_inf = inf_norm(&r_c);
+            kkt_error = dual_inf.max(primal_inf).max(comp_error_mu(0.0));
+
+            log.push(IterationRecord {
+                iter,
+                objective: f,
+                primal_infeasibility: primal_inf,
+                dual_infeasibility: dual_inf,
+                mu,
+                alpha_primal: 0.0,
+                delta_w: delta_w_last,
+            });
+
+            if kkt_error <= opts.tol {
+                status = IpmStatus::Optimal;
+                break 'outer;
+            }
+
+            // --- barrier update (monotone) ---
+            let kappa_eps = 10.0;
+            while dual_inf.max(primal_inf).max(comp_error_mu(mu)) <= kappa_eps * mu
+                && mu > opts.tol / 10.0
+            {
+                mu = (opts.tol / 10.0).max((0.2 * mu).min(mu.powf(1.5)));
+            }
+
+            // --- Newton system ---
+            let hess = nlp.lagrangian_hessian(x, 1.0, &lambda[..m_eq], &lambda[m_eq..]);
+            let mut sigma = vec![0.0; nv];
+            for i in 0..nv {
+                if lower[i].is_finite() {
+                    sigma[i] += zl[i] / (v[i] - lower[i]);
+                }
+                if upper[i].is_finite() {
+                    sigma[i] += zu[i] / (upper[i] - v[i]);
+                }
+            }
+            // rhs = [-r_d - (V-L)^{-1} comp_l + (U-V)^{-1} comp_u; -r_c]
+            let mut rhs = vec![0.0; dims.dim()];
+            for i in 0..nv {
+                let mut r = -r_d[i];
+                if lower[i].is_finite() {
+                    let d = v[i] - lower[i];
+                    r -= (d * zl[i] - mu) / d;
+                }
+                if upper[i].is_finite() {
+                    let d = upper[i] - v[i];
+                    r += (d * zu[i] - mu) / d;
+                }
+                rhs[i] = r;
+            }
+            for j in 0..mc {
+                rhs[nv + j] = -r_c[j];
+            }
+
+            // Factorize with inertia correction.
+            let mut delta_w = 0.0f64;
+            let mut attempt = 0usize;
+            let solution = loop {
+                let kkt = assemble_kkt(
+                    &dims,
+                    &hess,
+                    &sigma,
+                    &jac_eq,
+                    &jac_ineq,
+                    delta_w,
+                    opts.delta_c,
+                );
+                if ordering.is_none() {
+                    ordering = Some(Ordering::rcm(&kkt));
+                }
+                let ldl_opts = LdlOptions {
+                    expected_signs: dims.expected_signs(),
+                    pivot_tol: 1e-13,
+                    pivot_reg: 1e-9,
+                    ..Default::default()
+                };
+                factorizations += 1;
+                let factor = LdlFactor::factorize_with(
+                    &kkt,
+                    ordering.clone().expect("ordering computed above"),
+                    &ldl_opts,
+                );
+                match factor {
+                    Ok(fac) => {
+                        let (pos, neg, zero) = fac.inertia();
+                        let inertia_ok =
+                            pos == nv && neg == mc && zero == 0 && fac.num_regularized == 0;
+                        if inertia_ok || attempt >= opts.max_refactorizations {
+                            break Some(fac.solve(&rhs));
+                        }
+                    }
+                    Err(_) => {
+                        if attempt >= opts.max_refactorizations {
+                            break None;
+                        }
+                    }
+                }
+                attempt += 1;
+                delta_w = if delta_w == 0.0 {
+                    if delta_w_last == 0.0 {
+                        1e-4
+                    } else {
+                        (delta_w_last / 3.0).max(1e-10)
+                    }
+                } else {
+                    delta_w * 10.0
+                };
+                if delta_w > 1e12 {
+                    break None;
+                }
+            };
+            let step = match solution {
+                Some(s) => s,
+                None => {
+                    status = IpmStatus::NumericalError;
+                    break 'outer;
+                }
+            };
+            delta_w_last = delta_w;
+
+            let dv = &step[..nv];
+            let dlambda = &step[nv..];
+
+            // Bound-multiplier steps.
+            let mut dzl = vec![0.0; nv];
+            let mut dzu = vec![0.0; nv];
+            for i in 0..nv {
+                if lower[i].is_finite() {
+                    let d = v[i] - lower[i];
+                    dzl[i] = -((d * zl[i] - mu) / d) - zl[i] / d * dv[i];
+                }
+                if upper[i].is_finite() {
+                    let d = upper[i] - v[i];
+                    dzu[i] = -((d * zu[i] - mu) / d) + zu[i] / d * dv[i];
+                }
+            }
+
+            // --- fraction to boundary ---
+            let tau = opts.tau_min.max(1.0 - mu);
+            let mut alpha_pri_max: f64 = 1.0;
+            for i in 0..nv {
+                if dv[i] < 0.0 && lower[i].is_finite() {
+                    alpha_pri_max = alpha_pri_max.min(tau * (v[i] - lower[i]) / (-dv[i]));
+                }
+                if dv[i] > 0.0 && upper[i].is_finite() {
+                    alpha_pri_max = alpha_pri_max.min(tau * (upper[i] - v[i]) / dv[i]);
+                }
+            }
+            let mut alpha_dual: f64 = 1.0;
+            for i in 0..nv {
+                if dzl[i] < 0.0 && zl[i] > 0.0 {
+                    alpha_dual = alpha_dual.min(tau * zl[i] / (-dzl[i]));
+                }
+                if dzu[i] < 0.0 && zu[i] > 0.0 {
+                    alpha_dual = alpha_dual.min(tau * zu[i] / (-dzu[i]));
+                }
+            }
+
+            // --- merit line search ---
+            let nu = 1.0_f64
+                .max(2.0 * lambda.iter().map(|l| l.abs()).fold(0.0, f64::max))
+                .max(2.0 * dlambda.iter().map(|l| l.abs()).fold(0.0, f64::max));
+            let merit = |v_trial: &[f64]| -> f64 {
+                let x_t = &v_trial[..nx];
+                let mut phi = nlp.objective(x_t);
+                for i in 0..nv {
+                    if lower[i].is_finite() {
+                        phi -= mu * (v_trial[i] - lower[i]).max(1e-300).ln();
+                    }
+                    if upper[i].is_finite() {
+                        phi -= mu * (upper[i] - v_trial[i]).max(1e-300).ln();
+                    }
+                }
+                let mut ce_t = vec![0.0; m_eq];
+                let mut ci_t = vec![0.0; m_ineq];
+                nlp.eq_constraints(x_t, &mut ce_t);
+                nlp.ineq_constraints(x_t, &mut ci_t);
+                let mut viol = ce_t.iter().map(|c| c.abs()).sum::<f64>();
+                for k in 0..m_ineq {
+                    viol += (ci_t[k] + v_trial[nx + k]).abs();
+                }
+                phi + nu * viol
+            };
+            let merit_0 = merit(&v);
+            let mut alpha = alpha_pri_max;
+            let mut v_new = v.clone();
+            for bt in 0..=opts.max_backtracks {
+                for i in 0..nv {
+                    v_new[i] = v[i] + alpha * dv[i];
+                }
+                let m_new = merit(&v_new);
+                if m_new <= merit_0 - 1e-8 * alpha * merit_0.abs().max(1.0)
+                    || m_new <= merit_0 + 1e-12
+                    || bt == opts.max_backtracks
+                {
+                    break;
+                }
+                alpha *= 0.5;
+            }
+
+            // --- updates ---
+            v.copy_from_slice(&v_new);
+            for j in 0..mc {
+                lambda[j] += alpha * dlambda[j];
+            }
+            for i in 0..nv {
+                zl[i] += alpha_dual * dzl[i];
+                zu[i] += alpha_dual * dzu[i];
+            }
+            // Keep bound multipliers within a large multiple of the primal
+            // estimates (Ipopt's kappa_Sigma safeguard).
+            let kappa_sigma = 1e10;
+            for i in 0..nv {
+                if lower[i].is_finite() {
+                    let p = mu / (v[i] - lower[i]).max(1e-300);
+                    zl[i] = zl[i].clamp(p / kappa_sigma, p * kappa_sigma);
+                }
+                if upper[i].is_finite() {
+                    let p = mu / (upper[i] - v[i]).max(1e-300);
+                    zu[i] = zu[i].clamp(p / kappa_sigma, p * kappa_sigma);
+                }
+            }
+            if let Some(last) = log.last_mut() {
+                last.alpha_primal = alpha;
+                last.delta_w = delta_w;
+            }
+        }
+
+        let x_final = v[..nx].to_vec();
+        let objective = nlp.objective(&x_final);
+        SolveReport {
+            x: x_final,
+            objective,
+            lambda_eq: lambda[..m_eq].to_vec(),
+            lambda_ineq: lambda[m_eq..].to_vec(),
+            status,
+            iterations,
+            kkt_error,
+            primal_infeasibility: primal_inf,
+            solve_time: start_time.elapsed(),
+            factorizations,
+            log,
+        }
+    }
+}
+
+/// Push a point strictly inside its bounds (Ipopt's `bound_push`).
+fn push_into_interior(v: &mut [f64], lower: &[f64], upper: &[f64], push: f64) {
+    for i in 0..v.len() {
+        let (l, u) = (lower[i], upper[i]);
+        match (l.is_finite(), u.is_finite()) {
+            (true, true) => {
+                let width = u - l;
+                let margin = (push * width.max(1.0)).min(0.49 * width.max(1e-12));
+                v[i] = v[i].clamp(l + margin, u - margin);
+                if width <= 0.0 {
+                    v[i] = l;
+                }
+            }
+            (true, false) => {
+                let margin = push * l.abs().max(1.0);
+                if v[i] < l + margin {
+                    v[i] = l + margin;
+                }
+            }
+            (false, true) => {
+                let margin = push * u.abs().max(1.0);
+                if v[i] > u - margin {
+                    v[i] = u - margin;
+                }
+            }
+            (false, false) => {}
+        }
+    }
+}
+
+fn inf_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nlp::test_problems::{EqualityQp, Hs071};
+    use crate::nlp::Nlp;
+    use gridsim_sparse::Coo;
+
+    #[test]
+    fn equality_qp_reaches_known_solution() {
+        let report = IpmSolver::default().solve(&EqualityQp);
+        assert!(report.is_optimal(), "status {:?}", report.status);
+        assert!((report.x[0] - 0.5).abs() < 1e-6, "x0 = {}", report.x[0]);
+        assert!((report.x[1] - 0.5).abs() < 1e-6);
+        assert!((report.objective - 0.5).abs() < 1e-6);
+        // The equality multiplier is -1 at the optimum (gradient 2*0.5 = 1).
+        assert!((report.lambda_eq[0] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn hs071_reaches_known_solution() {
+        let report = IpmSolver::new(IpmOptions {
+            tol: 1e-7,
+            ..Default::default()
+        })
+        .solve(&Hs071);
+        assert!(report.is_optimal(), "status {:?}", report.status);
+        assert!(
+            (report.objective - 17.0140173).abs() < 1e-3,
+            "objective {}",
+            report.objective
+        );
+        let expected = [1.0, 4.7429994, 3.8211503, 1.3794082];
+        for (a, b) in report.x.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        assert!(report.primal_infeasibility < 1e-7);
+    }
+
+    /// A bound-constrained problem whose solution sits on a bound:
+    /// `min (x-2)² s.t. 0 <= x <= 1` -> x = 1.
+    struct BoundOnly;
+    impl Nlp for BoundOnly {
+        fn num_vars(&self) -> usize {
+            1
+        }
+        fn num_eq(&self) -> usize {
+            0
+        }
+        fn num_ineq(&self) -> usize {
+            0
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0], vec![1.0])
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![0.2]
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            (x[0] - 2.0).powi(2)
+        }
+        fn objective_grad(&self, x: &[f64], g: &mut [f64]) {
+            g[0] = 2.0 * (x[0] - 2.0);
+        }
+        fn eq_constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+        fn ineq_constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+        fn eq_jacobian(&self, _x: &[f64]) -> Coo {
+            Coo::new(0, 1)
+        }
+        fn ineq_jacobian(&self, _x: &[f64]) -> Coo {
+            Coo::new(0, 1)
+        }
+        fn lagrangian_hessian(&self, _x: &[f64], s: f64, _le: &[f64], _li: &[f64]) -> Coo {
+            let mut h = Coo::new(1, 1);
+            h.push(0, 0, 2.0 * s);
+            h
+        }
+    }
+
+    #[test]
+    fn active_bound_solution() {
+        let report = IpmSolver::default().solve(&BoundOnly);
+        assert!(report.is_optimal());
+        assert!((report.x[0] - 1.0).abs() < 1e-5, "x = {}", report.x[0]);
+        assert!((report.objective - 1.0).abs() < 1e-4);
+    }
+
+    /// Inequality-constrained QP: `min x² + y² s.t. x + y >= 1`
+    /// (as `1 - x - y <= 0`), solution (0.5, 0.5).
+    struct InequalityQp;
+    impl Nlp for InequalityQp {
+        fn num_vars(&self) -> usize {
+            2
+        }
+        fn num_eq(&self) -> usize {
+            0
+        }
+        fn num_ineq(&self) -> usize {
+            1
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![f64::NEG_INFINITY; 2], vec![f64::INFINITY; 2])
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![-1.0, 2.5]
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            x[0] * x[0] + x[1] * x[1]
+        }
+        fn objective_grad(&self, x: &[f64], g: &mut [f64]) {
+            g[0] = 2.0 * x[0];
+            g[1] = 2.0 * x[1];
+        }
+        fn eq_constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+        fn ineq_constraints(&self, x: &[f64], c: &mut [f64]) {
+            c[0] = 1.0 - x[0] - x[1];
+        }
+        fn eq_jacobian(&self, _x: &[f64]) -> Coo {
+            Coo::new(0, 2)
+        }
+        fn ineq_jacobian(&self, _x: &[f64]) -> Coo {
+            let mut j = Coo::new(1, 2);
+            j.push(0, 0, -1.0);
+            j.push(0, 1, -1.0);
+            j
+        }
+        fn lagrangian_hessian(&self, _x: &[f64], s: f64, _le: &[f64], _li: &[f64]) -> Coo {
+            let mut h = Coo::new(2, 2);
+            h.push(0, 0, 2.0 * s);
+            h.push(1, 1, 2.0 * s);
+            h
+        }
+    }
+
+    #[test]
+    fn inequality_qp_active_at_solution() {
+        let report = IpmSolver::default().solve(&InequalityQp);
+        assert!(report.is_optimal(), "status {:?}", report.status);
+        assert!((report.x[0] - 0.5).abs() < 1e-5);
+        assert!((report.x[1] - 0.5).abs() < 1e-5);
+        // Multiplier of the active inequality is positive.
+        assert!(report.lambda_ineq[0] > 0.1);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let cold = IpmSolver::new(IpmOptions {
+            tol: 1e-7,
+            ..Default::default()
+        })
+        .solve(&Hs071);
+        assert!(cold.is_optimal());
+        let warm = IpmSolver::new(IpmOptions {
+            tol: 1e-7,
+            initial_point: Some(cold.x.clone()),
+            initial_multipliers: Some(
+                cold.lambda_eq
+                    .iter()
+                    .chain(cold.lambda_ineq.iter())
+                    .copied()
+                    .collect(),
+            ),
+            ..Default::default()
+        })
+        .solve(&Hs071);
+        assert!(warm.is_optimal());
+        // The interior-point method pushes the warm point back into the
+        // interior, so warm starting helps only mildly (this is the paper's
+        // observation about Ipopt in Section IV-C).
+        assert!(warm.iterations <= cold.iterations + 2);
+    }
+
+    #[test]
+    fn iteration_log_is_populated() {
+        let report = IpmSolver::default().solve(&EqualityQp);
+        assert!(!report.log.is_empty());
+        assert_eq!(report.log[0].iter, 0);
+        assert!(report.factorizations >= report.iterations);
+    }
+
+    #[test]
+    fn unconstrained_problem_is_a_newton_solve() {
+        /// `min (x-3)² + (y+1)²` with no constraints or bounds.
+        struct Unconstrained;
+        impl Nlp for Unconstrained {
+            fn num_vars(&self) -> usize {
+                2
+            }
+            fn num_eq(&self) -> usize {
+                0
+            }
+            fn num_ineq(&self) -> usize {
+                0
+            }
+            fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+                (vec![f64::NEG_INFINITY; 2], vec![f64::INFINITY; 2])
+            }
+            fn initial_point(&self) -> Vec<f64> {
+                vec![0.0, 0.0]
+            }
+            fn objective(&self, x: &[f64]) -> f64 {
+                (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2)
+            }
+            fn objective_grad(&self, x: &[f64], g: &mut [f64]) {
+                g[0] = 2.0 * (x[0] - 3.0);
+                g[1] = 2.0 * (x[1] + 1.0);
+            }
+            fn eq_constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+            fn ineq_constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+            fn eq_jacobian(&self, _x: &[f64]) -> Coo {
+                Coo::new(0, 2)
+            }
+            fn ineq_jacobian(&self, _x: &[f64]) -> Coo {
+                Coo::new(0, 2)
+            }
+            fn lagrangian_hessian(&self, _x: &[f64], s: f64, _le: &[f64], _li: &[f64]) -> Coo {
+                let mut h = Coo::new(2, 2);
+                h.push(0, 0, 2.0 * s);
+                h.push(1, 1, 2.0 * s);
+                h
+            }
+        }
+        let report = IpmSolver::default().solve(&Unconstrained);
+        assert!(report.is_optimal());
+        assert!((report.x[0] - 3.0).abs() < 1e-6);
+        assert!((report.x[1] + 1.0).abs() < 1e-6);
+        assert!(report.iterations <= 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end interior-point solves of the embedded ACOPF cases.
+//!
+//! These tests establish the baseline solver used throughout the experiment
+//! harness: the solutions must be feasible (power balance, bounds, line
+//! limits) and economically sensible.
+
+use gridsim_acopf::violations::SolutionQuality;
+use gridsim_grid::cases;
+use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver};
+
+fn solve_case(case: gridsim_grid::Case) -> (gridsim_grid::Network, gridsim_ipm::SolveReport) {
+    let net = case.compile().unwrap();
+    let report = {
+        let nlp = AcopfNlp::new(&net);
+        IpmSolver::new(IpmOptions {
+            tol: 1e-6,
+            max_iter: 300,
+            ..Default::default()
+        })
+        .solve(&nlp)
+    };
+    (net, report)
+}
+
+#[test]
+fn two_bus_acopf_is_feasible_and_covers_load_plus_losses() {
+    let (net, report) = solve_case(cases::two_bus());
+    assert!(report.is_optimal(), "status {:?}", report.status);
+    let nlp = AcopfNlp::new(&net);
+    let sol = nlp.to_solution(&report.x);
+    let quality = SolutionQuality::evaluate(&net, &sol);
+    assert!(
+        quality.max_violation() < 1e-5,
+        "violation {}",
+        quality.max_violation()
+    );
+    // Generation covers the 0.8 p.u. load plus (small, positive) losses.
+    assert!(sol.pg[0] > 0.8);
+    assert!(sol.pg[0] < 0.85);
+    // Voltages stay inside their limits.
+    for b in 0..net.nbus {
+        assert!(sol.vm[b] >= net.vmin[b] - 1e-8);
+        assert!(sol.vm[b] <= net.vmax[b] + 1e-8);
+    }
+}
+
+#[test]
+fn case9_acopf_reaches_a_feasible_economic_dispatch() {
+    let (net, report) = solve_case(cases::case9());
+    assert!(report.is_optimal(), "status {:?}", report.status);
+    let nlp = AcopfNlp::new(&net);
+    let sol = nlp.to_solution(&report.x);
+    let quality = SolutionQuality::evaluate(&net, &sol);
+    assert!(
+        quality.max_violation() < 1e-5,
+        "violation {}",
+        quality.max_violation()
+    );
+    // Total generation covers the 3.15 p.u. load plus losses.
+    let total_pg: f64 = sol.pg.iter().sum();
+    assert!(total_pg > 3.15 && total_pg < 3.4, "total pg {total_pg}");
+    // The WSCC 9-bus economic dispatch is in the low-5000s $/hr range; a
+    // crude proportional dispatch costs noticeably more.
+    assert!(
+        report.objective > 4500.0 && report.objective < 6000.0,
+        "objective {}",
+        report.objective
+    );
+    // The reported objective equals the solution's objective.
+    assert!((report.objective - sol.objective(&net)).abs() < 1e-6);
+}
+
+#[test]
+fn case14_acopf_is_feasible() {
+    let (net, report) = solve_case(cases::case14());
+    assert!(report.is_optimal(), "status {:?}", report.status);
+    let nlp = AcopfNlp::new(&net);
+    let sol = nlp.to_solution(&report.x);
+    let quality = SolutionQuality::evaluate(&net, &sol);
+    assert!(
+        quality.max_violation() < 1e-5,
+        "violation {}",
+        quality.max_violation()
+    );
+    let total_pg: f64 = sol.pg.iter().sum();
+    let total_load: f64 = net.total_pd();
+    assert!(total_pg >= total_load, "generation must cover load");
+    assert!(total_pg < total_load * 1.1, "losses should be modest");
+}
+
+#[test]
+fn case9_warm_start_converges_quickly_after_small_load_change() {
+    let base = cases::case9();
+    let (net, cold_report) = solve_case(base.clone());
+    assert!(cold_report.is_optimal());
+
+    // Re-solve a 2 % higher load from the previous solution.
+    let bumped = base.scale_load(1.02);
+    let net2 = bumped.compile().unwrap();
+    let nlp2 = AcopfNlp::new(&net2);
+    let warm = IpmSolver::new(IpmOptions {
+        tol: 1e-6,
+        initial_point: Some(cold_report.x.clone()),
+        ..Default::default()
+    })
+    .solve(&nlp2);
+    assert!(warm.is_optimal());
+    let sol = nlp2.to_solution(&warm.x);
+    let quality = SolutionQuality::evaluate(&net2, &sol);
+    assert!(quality.max_violation() < 1e-5);
+    // The warm solve should not be dramatically slower than the cold solve
+    // (the paper observes Ipopt gains little from warm starts, so we only
+    // require it does not blow up).
+    assert!(warm.iterations <= cold_report.iterations * 2 + 10);
+    drop(net);
+}
+
+#[test]
+fn tighter_line_limits_increase_cost() {
+    // Artificially tighten every line rating of case9; the optimal cost
+    // cannot decrease when the feasible set shrinks.
+    let base = cases::case9();
+    let (_, base_report) = solve_case(base.clone());
+    assert!(base_report.is_optimal());
+
+    let mut tight = base;
+    for b in &mut tight.branches {
+        b.rate_a *= 0.6;
+    }
+    let (_, tight_report) = solve_case(tight);
+    assert!(tight_report.is_optimal(), "status {:?}", tight_report.status);
+    assert!(
+        tight_report.objective >= base_report.objective - 1e-3,
+        "tightened problem must not be cheaper: {} vs {}",
+        tight_report.objective,
+        base_report.objective
+    );
+}

@@ -1,0 +1,332 @@
+//! Compressed sparse column matrices.
+
+/// A compressed-sparse-column matrix. Row indices within a column are sorted
+/// and unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Column pointers, length `ncols + 1`.
+    pub colptr: Vec<usize>,
+    /// Row indices, length `nnz`.
+    pub rowind: Vec<usize>,
+    /// Values, length `nnz`.
+    pub values: Vec<f64>,
+}
+
+impl Csc {
+    /// An empty (all-zero) matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Csc {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowind: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Csc {
+            nrows: n,
+            ncols: n,
+            colptr: (0..=n).collect(),
+            rowind: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Build from triplets, summing duplicates and sorting rows per column.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        // Count entries per column.
+        let mut count = vec![0usize; ncols + 1];
+        for &c in cols {
+            assert!(c < ncols, "column index {c} out of bounds {ncols}");
+            count[c + 1] += 1;
+        }
+        for j in 0..ncols {
+            count[j + 1] += count[j];
+        }
+        let colptr_raw = count.clone();
+        let mut rowind = vec![0usize; rows.len()];
+        let mut values = vec![0.0; rows.len()];
+        let mut next = colptr_raw.clone();
+        for k in 0..rows.len() {
+            assert!(rows[k] < nrows, "row index {} out of bounds {nrows}", rows[k]);
+            let c = cols[k];
+            let slot = next[c];
+            rowind[slot] = rows[k];
+            values[slot] = vals[k];
+            next[c] += 1;
+        }
+        // Sort each column by row and sum duplicates in place.
+        let mut out_colptr = vec![0usize; ncols + 1];
+        let mut out_rowind = Vec::with_capacity(rows.len());
+        let mut out_values = Vec::with_capacity(rows.len());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for j in 0..ncols {
+            scratch.clear();
+            for k in colptr_raw[j]..colptr_raw[j + 1] {
+                scratch.push((rowind[k], values[k]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut k = i + 1;
+                while k < scratch.len() && scratch[k].0 == r {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                out_rowind.push(r);
+                out_values.push(v);
+                i = k;
+            }
+            out_colptr[j + 1] = out_rowind.len();
+        }
+        Csc {
+            nrows,
+            ncols,
+            colptr: out_colptr,
+            rowind: out_rowind,
+            values: out_values,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Get an entry (O(log nnz_col) binary search). Zero when not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let lo = self.colptr[col];
+        let hi = self.colptr[col + 1];
+        match self.rowind[lo..hi].binary_search(&row) {
+            Ok(p) => self.values[lo + p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                y[self.rowind[p]] += self.values[p] * xj;
+            }
+        }
+        y
+    }
+
+    /// `y = A^T x`.
+    pub fn mul_transpose_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows);
+        let mut y = vec![0.0; self.ncols];
+        for j in 0..self.ncols {
+            let mut acc = 0.0;
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                acc += self.values[p] * x[self.rowind[p]];
+            }
+            y[j] = acc;
+        }
+        y
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Csc {
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                rows.push(j);
+                cols.push(self.rowind[p]);
+                vals.push(self.values[p]);
+            }
+        }
+        Csc::from_triplets(self.ncols, self.nrows, &rows, &cols, &vals)
+    }
+
+    /// Extract the upper-triangular part (including the diagonal) of a square
+    /// matrix — the storage format expected by the LDLᵀ factorization.
+    pub fn upper_triangle(&self) -> Csc {
+        assert_eq!(self.nrows, self.ncols, "upper_triangle requires square");
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                if self.rowind[p] <= j {
+                    rows.push(self.rowind[p]);
+                    cols.push(j);
+                    vals.push(self.values[p]);
+                }
+            }
+        }
+        Csc::from_triplets(self.nrows, self.ncols, &rows, &cols, &vals)
+    }
+
+    /// Symmetric permutation `B = P A P^T` of a square matrix, where
+    /// `perm[k]` gives the original index placed at position `k`.
+    /// Only defined for square matrices.
+    pub fn symmetric_permute(&self, perm: &[usize]) -> Csc {
+        assert_eq!(self.nrows, self.ncols);
+        assert_eq!(perm.len(), self.ncols);
+        let mut inv = vec![0usize; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                rows.push(inv[self.rowind[p]]);
+                cols.push(inv[j]);
+                vals.push(self.values[p]);
+            }
+        }
+        Csc::from_triplets(self.nrows, self.ncols, &rows, &cols, &vals)
+    }
+
+    /// Convert to a dense row-major matrix (testing helper; avoid on large
+    /// systems).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                d[self.rowind[p]][j] = self.values[p];
+            }
+        }
+        d
+    }
+
+    /// Infinity norm of `A x - b` (testing / residual helper).
+    pub fn residual_inf_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        self.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Csc {
+        // [ 4 1 0 ]
+        // [ 1 3 2 ]
+        // [ 0 2 5 ]
+        Csc::from_triplets(
+            3,
+            3,
+            &[0, 1, 0, 1, 2, 1, 2],
+            &[0, 0, 1, 1, 1, 2, 2],
+            &[4.0, 1.0, 1.0, 3.0, 2.0, 2.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn triplet_construction_sorted_and_summed() {
+        let a = example();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(2, 1), 2.0);
+        assert_eq!(a.get(2, 0), 0.0);
+        // rows sorted within each column
+        for j in 0..a.ncols {
+            for p in a.colptr[j]..a.colptr[j + 1].saturating_sub(1) {
+                assert!(a.rowind[p] < a.rowind[p + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let x = vec![1.0, -2.0, 0.5];
+        let y = a.mul_vec(&x);
+        let d = a.to_dense();
+        for i in 0..3 {
+            let expect: f64 = (0..3).map(|j| d[i][j] * x[j]).sum();
+            assert!((y[i] - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_identical() {
+        let a = example();
+        let at = a.transpose();
+        assert_eq!(a.to_dense(), at.to_dense());
+    }
+
+    #[test]
+    fn transpose_matvec_consistent() {
+        let a = Csc::from_triplets(2, 3, &[0, 1, 1], &[0, 1, 2], &[2.0, 3.0, -1.0]);
+        let x = vec![1.0, 2.0];
+        let y1 = a.mul_transpose_vec(&x);
+        let y2 = a.transpose().mul_vec(&x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn upper_triangle_drops_strict_lower() {
+        let a = example();
+        let u = a.upper_triangle();
+        assert_eq!(u.get(1, 0), 0.0);
+        assert_eq!(u.get(0, 1), 1.0);
+        assert_eq!(u.get(2, 2), 5.0);
+        assert_eq!(u.nnz(), 5);
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_values() {
+        let a = example();
+        let perm = vec![2, 0, 1];
+        let b = a.symmetric_permute(&perm);
+        // b[i][j] == a[perm[i]][perm[j]]
+        let da = a.to_dense();
+        let db = b.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((db[i][j] - da[perm[i]][perm[j]]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i = Csc::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = Csc::zeros(3, 2);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.mul_vec(&[1.0, 1.0]), vec![0.0; 3]);
+    }
+}

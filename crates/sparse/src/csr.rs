@@ -1,0 +1,141 @@
+//! Compressed sparse row matrices.
+//!
+//! The interior-point baseline works column-wise ([`crate::csc::Csc`]), but a
+//! row-major view is convenient for constraint-wise iteration (one row per
+//! power-balance or line-limit constraint) and for transpose-free
+//! matrix-vector products in iterative refinement.
+
+use crate::csc::Csc;
+
+/// A compressed-sparse-row matrix. Column indices within a row are sorted and
+/// unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row pointers, length `nrows + 1`.
+    pub rowptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    pub colind: Vec<usize>,
+    /// Values, length `nnz`.
+    pub values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from triplets (duplicates summed).
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) -> Csr {
+        // Reuse the CSC construction on the transpose, then reinterpret.
+        let csc_of_transpose = Csc::from_triplets(ncols, nrows, cols, rows, vals);
+        Csr {
+            nrows,
+            ncols,
+            rowptr: csc_of_transpose.colptr,
+            colind: csc_of_transpose.rowind,
+            values: csc_of_transpose.values,
+        }
+    }
+
+    /// Convert a CSC matrix to CSR.
+    pub fn from_csc(a: &Csc) -> Csr {
+        let mut rows = Vec::with_capacity(a.nnz());
+        let mut cols = Vec::with_capacity(a.nnz());
+        let mut vals = Vec::with_capacity(a.nnz());
+        for j in 0..a.ncols {
+            for p in a.colptr[j]..a.colptr[j + 1] {
+                rows.push(a.rowind[p]);
+                cols.push(j);
+                vals.push(a.values[p]);
+            }
+        }
+        Csr::from_triplets(a.nrows, a.ncols, &rows, &cols, &vals)
+    }
+
+    /// Convert to CSC.
+    pub fn to_csc(&self) -> Csc {
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            for p in self.rowptr[i]..self.rowptr[i + 1] {
+                rows.push(i);
+                cols.push(self.colind[p]);
+                vals.push(self.values[p]);
+            }
+        }
+        Csc::from_triplets(self.nrows, self.ncols, &rows, &cols, &vals)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over the `(column, value)` pairs of one row.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (self.rowptr[i]..self.rowptr[i + 1]).map(move |p| (self.colind[p], self.values[p]))
+    }
+
+    /// `y = A x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        (0..self.nrows)
+            .map(|i| self.row(i).map(|(j, v)| v * x[j]).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_csc() -> Csc {
+        Csc::from_triplets(
+            3,
+            4,
+            &[0, 0, 1, 2, 2],
+            &[0, 2, 1, 0, 3],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn csc_csr_roundtrip() {
+        let a = example_csc();
+        let csr = Csr::from_csc(&a);
+        assert_eq!(csr.nnz(), a.nnz());
+        let back = csr.to_csc();
+        assert_eq!(back.to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn matvec_agrees_with_csc() {
+        let a = example_csc();
+        let csr = Csr::from_csc(&a);
+        let x = vec![1.0, -1.0, 0.5, 2.0];
+        assert_eq!(csr.mul_vec(&x), a.mul_vec(&x));
+    }
+
+    #[test]
+    fn row_iteration_is_sorted() {
+        let csr = Csr::from_triplets(2, 5, &[0, 0, 0, 1], &[4, 1, 2, 0], &[1.0, 2.0, 3.0, 4.0]);
+        let row0: Vec<usize> = csr.row(0).map(|(j, _)| j).collect();
+        assert_eq!(row0, vec![1, 2, 4]);
+        let row1: Vec<usize> = csr.row(1).map(|(j, _)| j).collect();
+        assert_eq!(row1, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_triplets_summed() {
+        let csr = Csr::from_triplets(1, 2, &[0, 0], &[1, 1], &[2.0, 3.0]);
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.mul_vec(&[0.0, 1.0]), vec![5.0]);
+    }
+}

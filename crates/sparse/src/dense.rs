@@ -1,0 +1,219 @@
+//! Small dense linear-algebra kernels.
+//!
+//! These cover the tiny systems that appear inside the component subproblems:
+//! the 2×2 Schur complements of the bus updates and the ≤ 8×8 dense Hessians
+//! of the branch subproblems. They are deliberately allocation-free where
+//! possible so they can run inside a simulated GPU thread block.
+
+/// Solve a 2x2 linear system `A x = b`. Returns `None` when `A` is singular.
+#[inline]
+pub fn solve2(a: [[f64; 2]; 2], b: [f64; 2]) -> Option<[f64; 2]> {
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+    if det.abs() < 1e-300 {
+        return None;
+    }
+    Some([
+        (b[0] * a[1][1] - b[1] * a[0][1]) / det,
+        (a[0][0] * b[1] - a[1][0] * b[0]) / det,
+    ])
+}
+
+/// Dense symmetric matrix stored as a full row-major `n x n` array, sized at
+/// runtime but intended for very small `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallMatrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major entries.
+    pub data: Vec<f64>,
+}
+
+impl SmallMatrix {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        SmallMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix-vector product `y = A x`.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for j in 0..self.n {
+                acc += self.data[i * self.n + j] * x[j];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Cholesky factorization in place (lower triangle). Returns `false` when
+    /// the matrix is not positive definite.
+    pub fn cholesky_in_place(&mut self) -> bool {
+        let n = self.n;
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                d -= self[(j, k)] * self[(j, k)];
+            }
+            if d <= 0.0 {
+                return false;
+            }
+            let d = d.sqrt();
+            self[(j, j)] = d;
+            for i in j + 1..n {
+                let mut v = self[(i, j)];
+                for k in 0..j {
+                    v -= self[(i, k)] * self[(j, k)];
+                }
+                self[(i, j)] = v / d;
+            }
+        }
+        true
+    }
+
+    /// Solve `L L^T x = b` given a Cholesky factor stored in the lower
+    /// triangle (as produced by [`Self::cholesky_in_place`]).
+    pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut x = b.to_vec();
+        // Forward solve L y = b.
+        for i in 0..n {
+            let mut v = x[i];
+            for k in 0..i {
+                v -= self[(i, k)] * x[k];
+            }
+            x[i] = v / self[(i, i)];
+        }
+        // Back solve L^T x = y.
+        for i in (0..n).rev() {
+            let mut v = x[i];
+            for k in i + 1..n {
+                v -= self[(k, i)] * x[k];
+            }
+            x[i] = v / self[(i, i)];
+        }
+        x
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SmallMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SmallMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve2_exact() {
+        let a = [[2.0, 1.0], [1.0, 3.0]];
+        let b = [5.0, 10.0];
+        let x = solve2(a, b).unwrap();
+        assert!((a[0][0] * x[0] + a[0][1] * x[1] - b[0]).abs() < 1e-12);
+        assert!((a[1][0] * x[0] + a[1][1] * x[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve2_singular_returns_none() {
+        assert!(solve2([[1.0, 2.0], [2.0, 4.0]], [1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn cholesky_solve_spd() {
+        let mut m = SmallMatrix::zeros(3);
+        let a = [[4.0, 1.0, 0.0], [1.0, 3.0, 2.0], [0.0, 2.0, 5.0]];
+        for i in 0..3 {
+            for j in 0..3 {
+                m[(i, j)] = a[i][j];
+            }
+        }
+        let orig = m.clone();
+        assert!(m.cholesky_in_place());
+        let b = vec![1.0, 2.0, 3.0];
+        let x = m.cholesky_solve(&b);
+        let mut r = vec![0.0; 3];
+        orig.mul_vec(&x, &mut r);
+        for i in 0..3 {
+            assert!((r[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut m = SmallMatrix::identity(2);
+        m[(1, 1)] = -1.0;
+        assert!(!m.cholesky_in_place());
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let a = vec![3.0, -4.0];
+        assert!((norm2(&a) - 5.0).abs() < 1e-12);
+        assert!((norm_inf(&a) - 4.0).abs() < 1e-12);
+        assert!((dot(&a, &a) - 25.0).abs() < 1e-12);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, vec![7.0, -7.0]);
+    }
+
+    #[test]
+    fn identity_mul_is_noop() {
+        let m = SmallMatrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 4];
+        m.mul_vec(&x, &mut y);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,142 @@
+//! Symbolic analysis for sparse LDLᵀ: elimination tree and column counts.
+//!
+//! Follows the classic up-looking analysis (Davis, *Direct Methods for Sparse
+//! Linear Systems*): the matrix is accessed by its upper-triangular part in
+//! CSC layout; the elimination tree parent pointers and per-column nonzero
+//! counts of `L` are computed in one pass.
+
+use crate::csc::Csc;
+
+/// Result of the symbolic analysis of a symmetric matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbolic {
+    /// Elimination-tree parent of each column (`usize::MAX` for roots).
+    pub parent: Vec<usize>,
+    /// Number of strictly-below-diagonal nonzeros in each column of `L`.
+    pub lnz: Vec<usize>,
+    /// Column pointers of `L` (exclusive prefix sum of `lnz`).
+    pub lcolptr: Vec<usize>,
+}
+
+impl Symbolic {
+    /// Analyze the upper-triangular pattern of `a` (entries with row > col are
+    /// ignored so a full symmetric matrix may also be passed).
+    pub fn analyze(a: &Csc) -> Symbolic {
+        assert_eq!(a.nrows, a.ncols, "symbolic analysis requires square input");
+        let n = a.ncols;
+        let none = usize::MAX;
+        let mut parent = vec![none; n];
+        let mut flag = vec![none; n];
+        let mut lnz = vec![0usize; n];
+        for j in 0..n {
+            flag[j] = j;
+            for p in a.colptr[j]..a.colptr[j + 1] {
+                let mut i = a.rowind[p];
+                if i >= j {
+                    continue;
+                }
+                // Walk from i up the elimination tree until reaching a node
+                // already flagged for column j.
+                while flag[i] != j {
+                    if parent[i] == none {
+                        parent[i] = j;
+                    }
+                    lnz[i] += 1;
+                    flag[i] = j;
+                    i = parent[i];
+                }
+            }
+        }
+        let mut lcolptr = vec![0usize; n + 1];
+        for j in 0..n {
+            lcolptr[j + 1] = lcolptr[j] + lnz[j];
+        }
+        Symbolic {
+            parent,
+            lnz,
+            lcolptr,
+        }
+    }
+
+    /// Total number of strictly-lower-triangular nonzeros of `L`.
+    pub fn total_lnz(&self) -> usize {
+        *self.lcolptr.last().unwrap_or(&0)
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    /// Tridiagonal SPD matrix.
+    fn tridiag(n: usize) -> Csc {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn tridiagonal_has_chain_etree_and_no_fill() {
+        let a = tridiag(6);
+        let s = Symbolic::analyze(&a.upper_triangle());
+        // Parent of column j is j+1, roots at the end.
+        for j in 0..5 {
+            assert_eq!(s.parent[j], j + 1);
+        }
+        assert_eq!(s.parent[5], usize::MAX);
+        // Exactly one below-diagonal nonzero per column except the last.
+        assert_eq!(s.lnz, vec![1, 1, 1, 1, 1, 0]);
+        assert_eq!(s.total_lnz(), 5);
+    }
+
+    #[test]
+    fn arrow_matrix_fill_pattern() {
+        // Arrow pointing down-right: dense last row/column; no fill when the
+        // dense row is ordered last.
+        let n = 5;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 10.0);
+            if i + 1 < n {
+                coo.push(i, n - 1, 1.0);
+                coo.push(n - 1, i, 1.0);
+            }
+        }
+        let s = Symbolic::analyze(&coo.to_csc().upper_triangle());
+        assert_eq!(s.total_lnz(), n - 1);
+        for j in 0..n - 1 {
+            assert_eq!(s.parent[j], n - 1);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_has_empty_tree() {
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0);
+        }
+        let s = Symbolic::analyze(&coo.to_csc());
+        assert!(s.parent.iter().all(|&p| p == usize::MAX));
+        assert_eq!(s.total_lnz(), 0);
+    }
+
+    #[test]
+    fn full_matrix_input_equivalent_to_upper() {
+        let a = tridiag(8);
+        let s_full = Symbolic::analyze(&a);
+        let s_upper = Symbolic::analyze(&a.upper_triangle());
+        assert_eq!(s_full, s_upper);
+    }
+}

@@ -1,0 +1,399 @@
+//! The TRON trust-region Newton driver for bound-constrained problems.
+//!
+//! One iteration follows Lin & Moré (1999):
+//!
+//! 1. evaluate the gradient and Hessian, check the projected-gradient
+//!    optimality measure;
+//! 2. compute the Cauchy point along the projected-gradient path;
+//! 3. refine within the subspace of free variables using Steihaug–Toint
+//!    conjugate gradients (with negative-curvature handling), projecting the
+//!    trial point back onto the bounds;
+//! 4. accept or reject the step based on the ratio of actual to predicted
+//!    reduction, and update the trust-region radius.
+
+use crate::cauchy::{cauchy_point, model_value};
+use crate::cg::steihaug_cg;
+use crate::problem::BoundProblem;
+use gridsim_sparse::dense::SmallMatrix;
+
+/// Options for the TRON solver.
+#[derive(Debug, Clone)]
+pub struct TronOptions {
+    /// Maximum number of outer (trust-region) iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the projected gradient infinity norm.
+    pub gtol: f64,
+    /// Initial trust-region radius (`None` uses the initial gradient norm).
+    pub initial_delta: Option<f64>,
+    /// Maximum number of CG iterations per subspace solve.
+    pub max_cg_iter: usize,
+    /// Step acceptance threshold on the reduction ratio.
+    pub eta: f64,
+}
+
+impl Default for TronOptions {
+    fn default() -> Self {
+        TronOptions {
+            max_iter: 200,
+            gtol: 1e-8,
+            initial_delta: None,
+            max_cg_iter: 50,
+            eta: 1e-4,
+        }
+    }
+}
+
+/// Termination status of a TRON solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TronStatus {
+    /// Projected gradient norm below tolerance.
+    Converged,
+    /// Iteration limit reached.
+    MaxIter,
+    /// Trust region collapsed (no further progress possible).
+    SmallStep,
+}
+
+/// Result of a TRON solve.
+#[derive(Debug, Clone)]
+pub struct TronResult {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at the final iterate.
+    pub objective: f64,
+    /// Final projected-gradient infinity norm.
+    pub pg_norm: f64,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Termination status.
+    pub status: TronStatus,
+}
+
+/// The TRON solver. Holds reusable workspace so repeated solves (tens of
+/// thousands per ADMM iteration) do not allocate.
+#[derive(Debug, Clone)]
+pub struct TronSolver {
+    opts: TronOptions,
+}
+
+impl Default for TronSolver {
+    fn default() -> Self {
+        TronSolver::new(TronOptions::default())
+    }
+}
+
+impl TronSolver {
+    /// Create a solver with the given options.
+    pub fn new(opts: TronOptions) -> Self {
+        TronSolver { opts }
+    }
+
+    /// Solver options.
+    pub fn options(&self) -> &TronOptions {
+        &self.opts
+    }
+
+    /// Minimize `problem` starting from `x0` (projected onto the bounds).
+    pub fn solve<P: BoundProblem>(&self, problem: &P, x0: &[f64]) -> TronResult {
+        let n = problem.dim();
+        assert_eq!(x0.len(), n);
+        let mut x = x0.to_vec();
+        problem.project(&mut x);
+
+        let mut g = vec![0.0; n];
+        let mut h = SmallMatrix::zeros(n);
+        let mut scratch = vec![0.0; n];
+        let mut f = problem.objective(&x);
+        problem.gradient(&x, &mut g);
+        problem.hessian(&x, &mut h);
+
+        let gnorm0 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut delta = self.opts.initial_delta.unwrap_or_else(|| gnorm0.max(1.0));
+        let mut pg_norm = problem.projected_gradient_norm(&x, &g);
+
+        for iter in 0..self.opts.max_iter {
+            if pg_norm <= self.opts.gtol {
+                return TronResult {
+                    x,
+                    objective: f,
+                    pg_norm,
+                    iterations: iter,
+                    status: TronStatus::Converged,
+                };
+            }
+            if delta < 1e-14 {
+                return TronResult {
+                    x,
+                    objective: f,
+                    pg_norm,
+                    iterations: iter,
+                    status: TronStatus::SmallStep,
+                };
+            }
+
+            // --- Cauchy point ---
+            let cp = cauchy_point(problem, &x, &g, &h, delta);
+            let mut step = cp.step.clone();
+
+            // --- subspace refinement over free variables at x + step ---
+            // model gradient at the Cauchy point: g + H s
+            h.mul_vec(&step, &mut scratch);
+            let mut rhs = vec![0.0; n];
+            let mut free = vec![false; n];
+            for i in 0..n {
+                let xi = x[i] + step[i];
+                free[i] = xi > problem.lower(i) + 1e-12 && xi < problem.upper(i) - 1e-12;
+                rhs[i] = -(g[i] + scratch[i]);
+            }
+            let remaining =
+                (delta * delta - step.iter().map(|s| s * s).sum::<f64>()).max(0.0).sqrt();
+            if remaining > 1e-14 && free.iter().any(|&fr| fr) {
+                let cg = steihaug_cg(&h, &rhs, &free, remaining, 1e-8, self.opts.max_cg_iter);
+                // Projected line search on the refinement direction: scale the
+                // CG step back until x + step stays feasible and the model
+                // does not increase relative to the Cauchy point.
+                let mut alpha = 1.0f64;
+                let base_model = cp.model_value;
+                for _ in 0..20 {
+                    let mut trial = step.clone();
+                    for i in 0..n {
+                        trial[i] += alpha * cg.step[i];
+                    }
+                    // Project the trial step onto the box.
+                    for i in 0..n {
+                        let xi = (x[i] + trial[i]).clamp(problem.lower(i), problem.upper(i));
+                        trial[i] = xi - x[i];
+                    }
+                    let q = model_value(&g, &h, &trial, &mut scratch);
+                    if q <= base_model + 1e-16 {
+                        step = trial;
+                        break;
+                    }
+                    alpha *= 0.5;
+                }
+            }
+
+            // --- acceptance test ---
+            let pred = -model_value(&g, &h, &step, &mut scratch);
+            let mut x_trial = x.clone();
+            for i in 0..n {
+                x_trial[i] += step[i];
+            }
+            problem.project(&mut x_trial);
+            let f_trial = problem.objective(&x_trial);
+            let ared = f - f_trial;
+            let step_norm = step.iter().map(|s| s * s).sum::<f64>().sqrt();
+            let rho = if pred > 0.0 { ared / pred } else { ared.signum() };
+
+            if rho > self.opts.eta && ared > -1e-12 {
+                x = x_trial;
+                f = f_trial;
+                problem.gradient(&x, &mut g);
+                problem.hessian(&x, &mut h);
+                pg_norm = problem.projected_gradient_norm(&x, &g);
+            }
+
+            // Trust-region radius update.
+            if rho < 0.25 {
+                delta = 0.25 * step_norm.max(delta * 0.25);
+            } else if rho > 0.75 && step_norm > 0.9 * delta {
+                delta = (2.0 * delta).min(1e6);
+            }
+        }
+
+        TronResult {
+            x,
+            objective: f,
+            pg_norm,
+            iterations: self.opts.max_iter,
+            status: if pg_norm <= self.opts.gtol {
+                TronStatus::Converged
+            } else {
+                TronStatus::MaxIter
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::QuadraticBox;
+    use gridsim_sparse::dense::SmallMatrix;
+
+    fn solve_quadratic(qp: &QuadraticBox, x0: &[f64]) -> TronResult {
+        TronSolver::new(TronOptions {
+            gtol: 1e-10,
+            ..Default::default()
+        })
+        .solve(qp, x0)
+    }
+
+    #[test]
+    fn unconstrained_quadratic_reaches_exact_minimum() {
+        let qp = QuadraticBox::diagonal(
+            &[2.0, 4.0, 8.0],
+            &[2.0, -4.0, 8.0],
+            &[-100.0; 3],
+            &[100.0; 3],
+        );
+        let res = solve_quadratic(&qp, &[0.0; 3]);
+        assert_eq!(res.status, TronStatus::Converged);
+        let expect = qp.diagonal_solution();
+        for (a, b) in res.x.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bound_constrained_quadratic_hits_active_set() {
+        // Minimizer of 0.5*2x^2 - 10x is x = 5, clipped to 1.
+        let qp = QuadraticBox::diagonal(&[2.0, 2.0], &[10.0, -10.0], &[-1.0; 2], &[1.0; 2]);
+        let res = solve_quadratic(&qp, &[0.0, 0.0]);
+        assert_eq!(res.status, TronStatus::Converged);
+        assert!((res.x[0] - 1.0).abs() < 1e-8);
+        assert!((res.x[1] + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn coupled_quadratic_matches_cholesky_solution() {
+        // Non-diagonal SPD Q; interior solution, compare with direct solve.
+        let mut q = SmallMatrix::zeros(3);
+        let data = [[5.0, 1.0, 0.5], [1.0, 4.0, 1.0], [0.5, 1.0, 3.0]];
+        for i in 0..3 {
+            for j in 0..3 {
+                q[(i, j)] = data[i][j];
+            }
+        }
+        let c = vec![1.0, 2.0, 3.0];
+        let qp = QuadraticBox {
+            q: q.clone(),
+            c: c.clone(),
+            l: vec![-10.0; 3],
+            u: vec![10.0; 3],
+        };
+        let res = solve_quadratic(&qp, &[0.0; 3]);
+        let mut chol = q.clone();
+        assert!(chol.cholesky_in_place());
+        let exact = chol.cholesky_solve(&c);
+        for (a, b) in res.x.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// 2D Rosenbrock restricted to a box, a standard nonconvex test problem.
+    struct RosenbrockBox;
+
+    impl BoundProblem for RosenbrockBox {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn lower(&self, _i: usize) -> f64 {
+            -2.0
+        }
+        fn upper(&self, _i: usize) -> f64 {
+            2.0
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -2.0 * (1.0 - a) - 400.0 * a * (b - a * a);
+            g[1] = 200.0 * (b - a * a);
+        }
+        fn hessian(&self, x: &[f64], h: &mut SmallMatrix) {
+            let (a, b) = (x[0], x[1]);
+            h[(0, 0)] = 2.0 - 400.0 * (b - a * a) + 800.0 * a * a;
+            h[(0, 1)] = -400.0 * a;
+            h[(1, 0)] = -400.0 * a;
+            h[(1, 1)] = 200.0;
+        }
+    }
+
+    #[test]
+    fn rosenbrock_converges_to_global_minimum() {
+        let solver = TronSolver::new(TronOptions {
+            max_iter: 500,
+            gtol: 1e-8,
+            ..Default::default()
+        });
+        let res = solver.solve(&RosenbrockBox, &[-1.2, 1.0]);
+        assert_eq!(res.status, TronStatus::Converged);
+        assert!((res.x[0] - 1.0).abs() < 1e-5, "x0 = {}", res.x[0]);
+        assert!((res.x[1] - 1.0).abs() < 1e-5, "x1 = {}", res.x[1]);
+        assert!(res.objective < 1e-10);
+    }
+
+    #[test]
+    fn rosenbrock_with_binding_bound() {
+        /// Rosenbrock but the box excludes the global minimum (upper bound
+        /// 0.5 on both variables), so the solution sits on the boundary.
+        struct Tight;
+        impl BoundProblem for Tight {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn lower(&self, _i: usize) -> f64 {
+                -2.0
+            }
+            fn upper(&self, _i: usize) -> f64 {
+                0.5
+            }
+            fn objective(&self, x: &[f64]) -> f64 {
+                RosenbrockBox.objective(x)
+            }
+            fn gradient(&self, x: &[f64], g: &mut [f64]) {
+                RosenbrockBox.gradient(x, g)
+            }
+            fn hessian(&self, x: &[f64], h: &mut SmallMatrix) {
+                RosenbrockBox.hessian(x, h)
+            }
+        }
+        let solver = TronSolver::new(TronOptions {
+            max_iter: 500,
+            gtol: 1e-8,
+            ..Default::default()
+        });
+        let res = solver.solve(&Tight, &[0.0, 0.0]);
+        // First-order optimality for the bound-constrained problem.
+        assert!(res.pg_norm < 1e-6, "pg_norm {}", res.pg_norm);
+        assert!(res.x.iter().all(|&v| v <= 0.5 + 1e-12));
+        // The known constrained optimum has x0 = 0.5 active.
+        assert!((res.x[0] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn starting_point_outside_bounds_is_projected() {
+        let qp = QuadraticBox::diagonal(&[1.0], &[0.0], &[-1.0], &[1.0]);
+        let res = solve_quadratic(&qp, &[25.0]);
+        assert!(res.x[0].abs() < 1e-8);
+        assert_eq!(res.status, TronStatus::Converged);
+    }
+
+    #[test]
+    fn already_optimal_point_terminates_immediately() {
+        let qp = QuadraticBox::diagonal(&[2.0], &[2.0], &[-5.0], &[5.0]);
+        let res = solve_quadratic(&qp, &[1.0]);
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.status, TronStatus::Converged);
+    }
+
+    #[test]
+    fn indefinite_problem_still_satisfies_first_order_conditions() {
+        // Saddle-shaped quadratic restricted to a box: minimum is at a corner.
+        let mut qp = QuadraticBox::diagonal(&[1.0, 1.0], &[0.0, 0.0], &[-1.0; 2], &[1.0; 2]);
+        qp.q[(1, 1)] = -2.0;
+        let solver = TronSolver::new(TronOptions {
+            max_iter: 200,
+            gtol: 1e-8,
+            ..Default::default()
+        });
+        let res = solver.solve(&qp, &[0.3, 0.1]);
+        assert!(res.pg_norm < 1e-6, "pg_norm {}", res.pg_norm);
+        // The x[1] variable must be at a bound (negative curvature pushes it
+        // outward).
+        assert!((res.x[1].abs() - 1.0).abs() < 1e-6);
+    }
+}

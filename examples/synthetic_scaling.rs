@@ -1,0 +1,39 @@
+//! Scaling example: generate pegase/ACTIVSg-like synthetic grids of growing
+//! size (the structure of the paper's Table I cases) and watch how the ADMM
+//! solver's iteration count and wall-clock time scale with the number of
+//! components, while the per-subproblem size stays constant.
+//!
+//! ```text
+//! cargo run --release --example synthetic_scaling
+//! ```
+
+use gridsim_admm::{AdmmParams, AdmmSolver};
+use gridsim_grid::TableICase;
+
+fn main() {
+    // Proportionally scaled stand-ins for the first Table I case, growing
+    // from 100 to 800 buses.
+    let sizes = [100usize, 200, 400, 800];
+    println!("  buses  branches  generators  constraints  iterations   time(ms)  ||c||_inf");
+    for &nbus in &sizes {
+        let case = TableICase::Pegase1354.scaled(nbus);
+        let net = case.compile().expect("synthetic case compiles");
+        let solver = AdmmSolver::new(AdmmParams::default());
+        let result = solver.solve(&net);
+        println!(
+            "{:>7}  {:>8}  {:>10}  {:>11}  {:>10}  {:>9.1}  {:>9.2e}",
+            net.nbus,
+            net.nbranch,
+            net.ngen,
+            2 * net.ngen + 8 * net.nbranch,
+            result.inner_iterations,
+            result.solve_time.as_secs_f64() * 1e3,
+            result.quality.max_violation()
+        );
+    }
+    println!(
+        "\nEach branch subproblem stays a 6-variable TRON solve regardless of grid size;\n\
+         only the number of simulated thread blocks grows — the scalability argument of\n\
+         Section III-A of the paper."
+    );
+}

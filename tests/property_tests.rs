@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) on the core invariants of the substrates:
+//! flow-derivative correctness for arbitrary branch parameters, sparse LDLᵀ
+//! solve accuracy on random quasi-definite systems, TRON optimality on random
+//! box QPs, MATPOWER round-trips of random synthetic cases, and load-profile
+//! invariants.
+
+use gridadmm::prelude::*;
+use gridsim_acopf::flows::{BranchFlow, FlowKind};
+use gridsim_grid::branch::Branch;
+use gridsim_grid::matpower;
+use gridsim_grid::synthetic::SyntheticSpec;
+use gridsim_sparse::{Coo, LdlFactor, LdlOptions};
+use gridsim_tron::{BoundProblem, QuadraticBox, TronOptions, TronSolver};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch-flow gradients match finite differences for any realistic
+    /// branch impedance, tap setting, and operating point.
+    #[test]
+    fn flow_gradients_match_finite_differences(
+        r in 0.0f64..0.1,
+        x in 0.01f64..0.4,
+        b in 0.0f64..0.2,
+        tap in 0.9f64..1.1,
+        shift in -15.0f64..15.0,
+        vi in 0.9f64..1.1,
+        vj in 0.9f64..1.1,
+        ti in -0.4f64..0.4,
+        tj in -0.4f64..0.4,
+    ) {
+        let mut branch = Branch::line(1, 2, r, x, b, 100.0);
+        branch.tap = tap;
+        branch.shift = shift;
+        let y = branch.admittance();
+        let h = 1e-6;
+        for kind in FlowKind::all() {
+            let f = BranchFlow::from_admittance(&y, kind);
+            let g = f.gradient(vi, vj, ti, tj);
+            let fd_vi = (f.value(vi + h, vj, ti, tj) - f.value(vi - h, vj, ti, tj)) / (2.0 * h);
+            let fd_ti = (f.value(vi, vj, ti + h, tj) - f.value(vi, vj, ti - h, tj)) / (2.0 * h);
+            prop_assert!((g.dvi - fd_vi).abs() < 1e-4 * (1.0 + fd_vi.abs()));
+            prop_assert!((g.dti - fd_ti).abs() < 1e-4 * (1.0 + fd_ti.abs()));
+        }
+    }
+
+    /// Power is conserved on any branch: losses `p_ij + p_ji` are nonnegative
+    /// whenever the series resistance is nonnegative.
+    #[test]
+    fn branch_losses_are_nonnegative(
+        r in 0.0f64..0.1,
+        x in 0.01f64..0.4,
+        vi in 0.9f64..1.1,
+        vj in 0.9f64..1.1,
+        dt in -0.5f64..0.5,
+    ) {
+        let y = Branch::line(1, 2, r, x, 0.0, 0.0).admittance();
+        let flows = gridsim_acopf::flows::branch_flows(&y, vi, vj, dt, 0.0);
+        prop_assert!(flows[0] + flows[2] >= -1e-10, "losses {}", flows[0] + flows[2]);
+    }
+
+    /// The sparse LDLᵀ factorization solves random diagonally-dominant
+    /// symmetric systems to high accuracy, with or without RCM ordering.
+    #[test]
+    fn ldl_solves_random_spd_systems(seed in 0u64..500) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 30;
+        let mut coo = Coo::new(n, n);
+        let mut diag = vec![1.0; n];
+        for i in 0..n {
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n);
+                if j == i { continue; }
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                coo.push(i, j, v);
+                coo.push(j, i, v);
+                diag[i] += v.abs() + 0.05;
+                diag[j] += v.abs() + 0.05;
+            }
+        }
+        for i in 0..n {
+            coo.push(i, i, diag[i]);
+        }
+        let a = coo.to_csc();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + seed as usize) % 13) as f64 - 6.0).collect();
+        let f = LdlFactor::factorize_rcm(&a, &LdlOptions::default()).unwrap();
+        let x = f.solve(&b);
+        prop_assert!(a.residual_inf_norm(&x, &b) < 1e-8);
+        prop_assert_eq!(f.inertia(), (n, 0, 0));
+    }
+
+    /// TRON finds the exact clamped solution of any separable box QP.
+    #[test]
+    fn tron_solves_random_diagonal_box_qps(
+        q in prop::collection::vec(0.5f64..10.0, 4),
+        c in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let qp = QuadraticBox::diagonal(&q, &c, &[-1.0; 4], &[1.0; 4]);
+        let solver = TronSolver::new(TronOptions { gtol: 1e-10, ..Default::default() });
+        let res = solver.solve(&qp, &[0.0; 4]);
+        let expect = qp.diagonal_solution();
+        for (a, b) in res.x.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+        // First-order optimality holds.
+        let mut g = vec![0.0; 4];
+        qp.gradient(&res.x, &mut g);
+        prop_assert!(qp.projected_gradient_norm(&res.x, &g) < 1e-6);
+    }
+
+    /// Synthetic cases of any admissible size compile into connected
+    /// networks and survive a MATPOWER write/parse round-trip.
+    #[test]
+    fn synthetic_cases_roundtrip_through_matpower(
+        nbus in 10usize..60,
+        extra_branches in 0usize..30,
+        ngen in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let spec = SyntheticSpec {
+            name: "prop".into(),
+            nbus,
+            ngen: ngen.min(nbus),
+            nbranch: nbus - 1 + extra_branches,
+            seed,
+            ..Default::default()
+        };
+        let case = spec.generate();
+        let net = case.compile();
+        prop_assert!(net.is_ok(), "synthetic case must compile: {:?}", net.err());
+        let net = net.unwrap();
+
+        let text = matpower::write_case(&case);
+        let parsed = matpower::parse_case(&text, "prop").unwrap();
+        let net2 = parsed.compile().unwrap();
+        prop_assert_eq!(net.nbus, net2.nbus);
+        prop_assert_eq!(net.nbranch, net2.nbranch);
+        prop_assert_eq!(net.ngen, net2.ngen);
+        prop_assert!((net.total_pd() - net2.total_pd()).abs() < 1e-9);
+    }
+
+    /// Load-profile windows always renormalize to 1.0 at the first period and
+    /// reproduce the requested maximum drift.
+    #[test]
+    fn load_profile_window_invariants(
+        seed in 0u64..200,
+        periods in 5usize..60,
+        drift in 0.01f64..0.10,
+    ) {
+        let w = LoadProfile::paper_window(seed, periods, drift);
+        prop_assert_eq!(w.len(), periods);
+        prop_assert!((w.multipliers[0] - 1.0).abs() < 1e-12);
+        prop_assert!((w.max_drift() - drift).abs() < 1e-6);
+        prop_assert!(w.multipliers.iter().all(|m| *m > 0.5 && *m < 1.5));
+    }
+
+    /// Generator cost evaluation in the compiled network equals the raw
+    /// MATPOWER polynomial for arbitrary dispatch.
+    #[test]
+    fn per_unit_cost_conversion_is_exact(
+        c2 in 0.0f64..0.2,
+        c1 in 0.0f64..50.0,
+        c0 in 0.0f64..500.0,
+        pg_mw in 0.0f64..300.0,
+    ) {
+        let mut case = gridsim_grid::cases::two_bus();
+        case.generators[0].cost = gridsim_grid::GenCost { c2, c1, c0 };
+        case.generators[0].pmax = 400.0;
+        let net = case.compile().unwrap();
+        let pg_pu = pg_mw / net.base_mva;
+        let direct = c2 * pg_mw * pg_mw + c1 * pg_mw + c0;
+        let via_net = net.generation_cost(&[pg_pu]);
+        prop_assert!((direct - via_net).abs() < 1e-6 * (1.0 + direct));
+    }
+}
+
+#[test]
+fn admm_deterministic_across_runs() {
+    // Not a proptest (one expensive solve), but a determinism invariant: two
+    // identical runs produce bit-identical dispatch.
+    let net = gridsim_grid::cases::case9().compile().unwrap();
+    let a = AdmmSolver::new(AdmmParams::default()).solve(&net);
+    let b = AdmmSolver::new(AdmmParams::default()).solve(&net);
+    assert_eq!(a.inner_iterations, b.inner_iterations);
+    assert_eq!(a.solution.pg, b.solution.pg);
+    assert_eq!(a.solution.vm, b.solution.vm);
+}
