@@ -135,9 +135,7 @@ impl BranchFlow {
     pub fn value(&self, vi: f64, vj: f64, ti: f64, tj: f64) -> f64 {
         let theta = ti - tj;
         let (s, c) = theta.sin_cos();
-        self.alpha_from * vi * vi
-            + self.alpha_to * vj * vj
-            + vi * vj * (self.a * c + self.b * s)
+        self.alpha_from * vi * vi + self.alpha_to * vj * vj + vi * vj * (self.a * c + self.b * s)
     }
 
     /// Gradient with respect to `(v_i, v_j, θ_i, θ_j)`.
@@ -214,14 +212,10 @@ mod tests {
             let f = BranchFlow::from_admittance(&y, kind);
             for &(vi, vj, ti, tj) in &sample_points() {
                 let g = f.gradient(vi, vj, ti, tj);
-                let fd_vi =
-                    (f.value(vi + h, vj, ti, tj) - f.value(vi - h, vj, ti, tj)) / (2.0 * h);
-                let fd_vj =
-                    (f.value(vi, vj + h, ti, tj) - f.value(vi, vj - h, ti, tj)) / (2.0 * h);
-                let fd_ti =
-                    (f.value(vi, vj, ti + h, tj) - f.value(vi, vj, ti - h, tj)) / (2.0 * h);
-                let fd_tj =
-                    (f.value(vi, vj, ti, tj + h) - f.value(vi, vj, ti, tj - h)) / (2.0 * h);
+                let fd_vi = (f.value(vi + h, vj, ti, tj) - f.value(vi - h, vj, ti, tj)) / (2.0 * h);
+                let fd_vj = (f.value(vi, vj + h, ti, tj) - f.value(vi, vj - h, ti, tj)) / (2.0 * h);
+                let fd_ti = (f.value(vi, vj, ti + h, tj) - f.value(vi, vj, ti - h, tj)) / (2.0 * h);
+                let fd_tj = (f.value(vi, vj, ti, tj + h) - f.value(vi, vj, ti, tj - h)) / (2.0 * h);
                 assert!((g.dvi - fd_vi).abs() < 1e-6, "{kind:?} dvi");
                 assert!((g.dvj - fd_vj).abs() < 1e-6, "{kind:?} dvj");
                 assert!((g.dti - fd_ti).abs() < 1e-6, "{kind:?} dti");
@@ -271,9 +265,9 @@ mod tests {
         for kind in FlowKind::all() {
             let f = BranchFlow::from_admittance(&y, kind);
             let h = f.hessian(1.03, 0.98, 0.2, -0.1).to_dense();
-            for r in 0..4 {
-                for c in 0..4 {
-                    assert_eq!(h[r][c], h[c][r]);
+            for (r, row) in h.iter().enumerate() {
+                for (c, v) in row.iter().enumerate() {
+                    assert_eq!(*v, h[c][r]);
                 }
             }
         }

@@ -151,9 +151,9 @@ mod tests {
         let net = cases::case9().compile().unwrap();
         let s = OpfSolution::flat(&net);
         let (dp, _dq) = s.power_mismatch(&net);
-        for b in 0..net.nbus {
+        for (dpb, pdb) in dp.iter().zip(&net.pd) {
             assert!(
-                (dp[b] + net.pd[b]).abs() < 1e-9,
+                (dpb + pdb).abs() < 1e-9,
                 "real mismatch at flat point is just -pd"
             );
         }

@@ -38,10 +38,10 @@ pub fn ramp_limited_bounds(
     assert_eq!(previous_pg.len(), net.ngen);
     let mut lo = Vec::with_capacity(net.ngen);
     let mut hi = Vec::with_capacity(net.ngen);
-    for g in 0..net.ngen {
+    for (g, &pg) in previous_pg.iter().enumerate() {
         let ramp = ramp_fraction * net.pmax[g];
-        lo.push((previous_pg[g] - ramp).max(net.pmin[g]));
-        hi.push((previous_pg[g] + ramp).min(net.pmax[g]));
+        lo.push((pg - ramp).max(net.pmin[g]));
+        hi.push((pg + ramp).min(net.pmax[g]));
     }
     (lo, hi)
 }
@@ -109,8 +109,8 @@ mod tests {
         // Previous dispatch at pmax: the upper ramp bound must not exceed it.
         let prev: Vec<f64> = net.pmax.clone();
         let (_, hi) = ramp_limited_bounds(&net, &prev, 0.02);
-        for g in 0..net.ngen {
-            assert!(hi[g] <= net.pmax[g] + 1e-12);
+        for (hig, pmaxg) in hi.iter().zip(&net.pmax) {
+            assert!(hig <= &(pmaxg + 1e-12));
         }
     }
 

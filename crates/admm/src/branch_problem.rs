@@ -15,8 +15,8 @@
 //! Slack bounds are `s ∈ [−(margin·rate)², 0]`, so that `p² + q² ≤ (margin·
 //! rate)²` at a feasible point.
 
-use gridsim_grid::branch::BranchAdmittance;
 use gridsim_acopf::flows::BranchFlow;
+use gridsim_grid::branch::BranchAdmittance;
 use gridsim_sparse::dense::SmallMatrix;
 use gridsim_tron::BoundProblem;
 
@@ -144,8 +144,8 @@ impl BoundProblem for BranchProblem {
         let (vi, vj, ti, tj) = (x[0], x[1], x[2], x[3]);
         let flows = self.flow_values(x);
         let mut obj = 0.0;
-        for k in 0..4 {
-            obj += self.flow_terms[k].value(flows[k]);
+        for (term, &flow) in self.flow_terms.iter().zip(&flows) {
+            obj += term.value(flow);
         }
         obj += self.volt_terms[0].value(vi * vi);
         obj += self.volt_terms[1].value(ti);
@@ -153,8 +153,8 @@ impl BoundProblem for BranchProblem {
         obj += self.volt_terms[3].value(tj);
         if self.has_limit() {
             let res = self.slack_residuals(x);
-            for side in 0..2 {
-                obj += self.alm_lambda[side] * res[side] + 0.5 * self.alm_rho * res[side] * res[side];
+            for (&lambda, &r) in self.alm_lambda.iter().zip(&res) {
+                obj += lambda * r + 0.5 * self.alm_rho * r * r;
             }
         }
         obj

@@ -178,10 +178,30 @@ impl Layout {
             let slot_qt = slot_pt + 1;
             next_copy[t] += 2;
             let entries = [
-                (ConstraintKind::FlowPij, f, BusSlot::Copy(slot_pf), params.rho_pq),
-                (ConstraintKind::FlowQij, f, BusSlot::Copy(slot_qf), params.rho_pq),
-                (ConstraintKind::FlowPji, t, BusSlot::Copy(slot_pt), params.rho_pq),
-                (ConstraintKind::FlowQji, t, BusSlot::Copy(slot_qt), params.rho_pq),
+                (
+                    ConstraintKind::FlowPij,
+                    f,
+                    BusSlot::Copy(slot_pf),
+                    params.rho_pq,
+                ),
+                (
+                    ConstraintKind::FlowQij,
+                    f,
+                    BusSlot::Copy(slot_qf),
+                    params.rho_pq,
+                ),
+                (
+                    ConstraintKind::FlowPji,
+                    t,
+                    BusSlot::Copy(slot_pt),
+                    params.rho_pq,
+                ),
+                (
+                    ConstraintKind::FlowQji,
+                    t,
+                    BusSlot::Copy(slot_qt),
+                    params.rho_pq,
+                ),
                 (ConstraintKind::Wi, f, BusSlot::W, params.rho_va),
                 (ConstraintKind::ThetaI, f, BusSlot::Theta, params.rho_va),
                 (ConstraintKind::Wj, t, BusSlot::W, params.rho_va),
@@ -236,10 +256,7 @@ mod tests {
     #[test]
     fn constraint_count_matches_formula() {
         let (net, layout) = layout9();
-        assert_eq!(
-            layout.num_constraints(),
-            2 * net.ngen + 8 * net.nbranch
-        );
+        assert_eq!(layout.num_constraints(), 2 * net.ngen + 8 * net.nbranch);
         assert_eq!(layout.constraints.len(), layout.num_constraints());
     }
 
@@ -261,9 +278,8 @@ mod tests {
         let (net, layout) = layout9();
         let l = 3;
         let base = layout.branch_base(l);
-        let kinds: Vec<ConstraintKind> = (0..8)
-            .map(|k| layout.constraints[base + k].kind)
-            .collect();
+        let kinds: Vec<ConstraintKind> =
+            (0..8).map(|k| layout.constraints[base + k].kind).collect();
         assert_eq!(
             kinds,
             vec![

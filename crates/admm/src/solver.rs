@@ -320,9 +320,7 @@ impl AdmmSolver {
                 self.bus_update(&mut st, &data, &layout);
                 self.scatter_v(&mut st, &layout);
                 // z and multiplier updates (lines 5-6).
-                st.z_prev
-                    .as_mut_slice()
-                    .copy_from_slice(st.z.as_slice());
+                st.z_prev.as_mut_slice().copy_from_slice(st.z.as_slice());
                 self.z_update(&mut st, beta);
                 self.y_update(&mut st);
                 // Residuals.
@@ -545,8 +543,7 @@ impl AdmmSolver {
         self.device
             .launch_blocks("branch_tron", &mut st.branches, move |l, state| {
                 let d = &branches_data[l];
-                let mut problem =
-                    BranchProblem::new(&d.y, d.vmin_i, d.vmax_i, d.vmin_j, d.vmax_j);
+                let mut problem = BranchProblem::new(&d.y, d.vmin_i, d.vmax_i, d.vmin_j, d.vmax_j);
                 problem.limit_sq = d.limit_sq;
                 let term = |k: usize| ConsensusTerm {
                     target: v[k] - z[k],
@@ -602,27 +599,28 @@ impl AdmmSolver {
         let ngen = data.gens.len();
         let gens = st.gens.as_slice();
         let branches = st.branches.as_slice();
-        self.device.launch_map("u_scatter", &mut st.u, move |k, uk| {
-            *uk = if k < 2 * ngen {
-                let g = &gens[k / 2];
-                if k % 2 == 0 {
-                    g.pg
+        self.device
+            .launch_map("u_scatter", &mut st.u, move |k, uk| {
+                *uk = if k < 2 * ngen {
+                    let g = &gens[k / 2];
+                    if k % 2 == 0 {
+                        g.pg
+                    } else {
+                        g.qg
+                    }
                 } else {
-                    g.qg
-                }
-            } else {
-                let l = (k - 2 * ngen) / 8;
-                let offset = (k - 2 * ngen) % 8;
-                let b = &branches[l];
-                match offset {
-                    0..=3 => b.flows[offset],
-                    4 => b.x[0] * b.x[0],
-                    5 => b.x[2],
-                    6 => b.x[1] * b.x[1],
-                    _ => b.x[3],
-                }
-            };
-        });
+                    let l = (k - 2 * ngen) / 8;
+                    let offset = (k - 2 * ngen) % 8;
+                    let b = &branches[l];
+                    match offset {
+                        0..=3 => b.flows[offset],
+                        4 => b.x[0] * b.x[0],
+                        5 => b.x[2],
+                        6 => b.x[1] * b.x[1],
+                        _ => b.x[3],
+                    }
+                };
+            });
     }
 
     fn bus_update(&self, st: &mut DeviceState, data: &ProblemData, layout: &Layout) {
@@ -708,15 +706,16 @@ impl AdmmSolver {
     fn scatter_v(&self, st: &mut DeviceState, layout: &Layout) {
         let constraints = &layout.constraints;
         let buses = st.buses.as_slice();
-        self.device.launch_map("v_scatter", &mut st.v, move |k, vk| {
-            let info = &constraints[k];
-            let bus = &buses[info.bus];
-            *vk = match info.slot {
-                BusSlot::Copy(s) => bus.copies[s],
-                BusSlot::W => bus.w,
-                BusSlot::Theta => bus.theta,
-            };
-        });
+        self.device
+            .launch_map("v_scatter", &mut st.v, move |k, vk| {
+                let info = &constraints[k];
+                let bus = &buses[info.bus];
+                *vk = match info.slot {
+                    BusSlot::Copy(s) => bus.copies[s],
+                    BusSlot::W => bus.w,
+                    BusSlot::Theta => bus.theta,
+                };
+            });
     }
 
     fn z_update(&self, st: &mut DeviceState, beta: f64) {
@@ -826,9 +825,11 @@ mod tests {
     #[test]
     fn parallel_and_sequential_devices_agree() {
         let net = cases::two_bus().compile().unwrap();
-        let mut params = AdmmParams::default();
-        params.max_outer = 3;
-        params.max_inner = 50;
+        let params = AdmmParams {
+            max_outer: 3,
+            max_inner: 50,
+            ..AdmmParams::default()
+        };
         let par = AdmmSolver::with_device(params.clone(), Device::parallel()).solve(&net);
         let seq = AdmmSolver::with_device(params, Device::sequential()).solve(&net);
         assert_eq!(par.inner_iterations, seq.inner_iterations);
@@ -843,9 +844,11 @@ mod tests {
     #[test]
     fn no_transfers_during_iterations() {
         let net = cases::two_bus().compile().unwrap();
-        let mut params = AdmmParams::default();
-        params.max_outer = 2;
-        params.max_inner = 20;
+        let params = AdmmParams {
+            max_outer: 2,
+            max_inner: 20,
+            ..AdmmParams::default()
+        };
         let solver = AdmmSolver::new(params);
         let before = solver.device.stats().snapshot();
         let _ = solver.solve(&net);

@@ -50,8 +50,14 @@ fn penalty_scaling_changes_convergence_but_not_the_answer() {
         "different penalties should change the iteration count"
     );
     // Both remain reasonable solutions close to the baseline optimum.
-    assert!(relative_gap(small.objective, f_star) < 0.05, "small-penalty gap");
-    assert!(relative_gap(large.objective, f_star) < 0.05, "large-penalty gap");
+    assert!(
+        relative_gap(small.objective, f_star) < 0.05,
+        "small-penalty gap"
+    );
+    assert!(
+        relative_gap(large.objective, f_star) < 0.05,
+        "large-penalty gap"
+    );
     assert!(small.quality.max_violation() < 5e-2);
     assert!(large.quality.max_violation() < 5e-2);
 }

@@ -108,13 +108,20 @@ impl Device {
         F: Fn(usize, &T) -> f64 + Sync,
     {
         let start = Instant::now();
+        // The parallel arm evaluates the per-element scores in parallel but
+        // combines them in index order: reduction order must not depend on
+        // thread scheduling, or Parallel and Sequential runs of the same
+        // solve diverge bitwise (max is scheduling-sensitive through NaN and
+        // signed-zero handling; sum through non-associativity).
         let result = match self.config.backend {
             Backend::Parallel => buf
                 .as_slice()
                 .par_iter()
                 .enumerate()
                 .map(|(i, x)| f(i, x))
-                .reduce(|| f64::NEG_INFINITY, f64::max),
+                .collect::<Vec<f64>>()
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max),
             Backend::Sequential => buf
                 .as_slice()
                 .iter()
@@ -138,14 +145,23 @@ impl Device {
         F: Fn(usize, &T) -> f64 + Sync,
     {
         let start = Instant::now();
+        // Same determinism contract as `reduce_max`: parallel evaluation,
+        // index-ordered summation.
         let result = match self.config.backend {
             Backend::Parallel => buf
                 .as_slice()
                 .par_iter()
                 .enumerate()
                 .map(|(i, x)| f(i, x))
+                .collect::<Vec<f64>>()
+                .iter()
                 .sum(),
-            Backend::Sequential => buf.as_slice().iter().enumerate().map(|(i, x)| f(i, x)).sum(),
+            Backend::Sequential => buf
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .sum(),
         };
         self.stats
             .record_launch(name, buf.len() as u64, start.elapsed());
@@ -204,7 +220,7 @@ mod tests {
         dev.launch_zip("swap_add", &mut a, &mut b, |_, x, y| {
             let t = *x;
             *x = *y;
-            *y = t + *y;
+            *y += t;
         });
         assert!(a.as_slice().iter().all(|&x| x == 2.0));
         assert!(b.as_slice().iter().all(|&y| y == 3.0));
@@ -232,6 +248,29 @@ mod tests {
             assert_eq!(max, expect_max);
             assert!((sum - expect_sum).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn parallel_reductions_are_bitwise_deterministic() {
+        // Large enough that the parallel backend genuinely fans out across
+        // threads; the reductions must still agree with the sequential
+        // backend bit-for-bit, and with themselves across repeated runs.
+        let host: Vec<f64> = (0..50_000)
+            .map(|i| (i as f64 * 0.37).sin() * 1e-3)
+            .collect();
+        let par = Device::parallel();
+        let seq = Device::sequential();
+        let buf_par = DeviceBuffer::from_host(Arc::clone(par.stats()), &host);
+        let buf_seq = DeviceBuffer::from_host(Arc::clone(seq.stats()), &host);
+        let score = |_: usize, x: &f64| x * 1.000_001 + 0.5;
+        let sum_par = par.reduce_sum("sum", &buf_par, score);
+        let sum_seq = seq.reduce_sum("sum", &buf_seq, score);
+        assert_eq!(sum_par.to_bits(), sum_seq.to_bits());
+        let sum_par_again = par.reduce_sum("sum", &buf_par, score);
+        assert_eq!(sum_par.to_bits(), sum_par_again.to_bits());
+        let max_par = par.reduce_max("max", &buf_par, |_, x| x.abs());
+        let max_seq = seq.reduce_max("max", &buf_seq, |_, x| x.abs());
+        assert_eq!(max_par.to_bits(), max_seq.to_bits());
     }
 
     #[test]

@@ -45,14 +45,16 @@ pub struct StatsSnapshot {
 impl DeviceStats {
     /// Record a host-to-device transfer of `bytes`.
     pub fn record_h2d(&self, bytes: usize) {
-        self.host_to_device_transfers.fetch_add(1, Ordering::Relaxed);
+        self.host_to_device_transfers
+            .fetch_add(1, Ordering::Relaxed);
         self.host_to_device_bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record a device-to-host transfer of `bytes`.
     pub fn record_d2h(&self, bytes: usize) {
-        self.device_to_host_transfers.fetch_add(1, Ordering::Relaxed);
+        self.device_to_host_transfers
+            .fetch_add(1, Ordering::Relaxed);
         self.device_to_host_bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }

@@ -22,16 +22,20 @@ fn bench_coldstart(c: &mut Criterion) {
             let solver = AdmmSolver::new(bc.params.clone());
             b.iter(|| std::hint::black_box(solver.solve(net)));
         });
-        group.bench_with_input(BenchmarkId::new("ipm_baseline", &bc.name), &net, |b, net| {
-            b.iter(|| {
-                let nlp = AcopfNlp::new(net);
-                let solver = IpmSolver::new(IpmOptions {
-                    tol: 1e-6,
-                    ..Default::default()
+        group.bench_with_input(
+            BenchmarkId::new("ipm_baseline", &bc.name),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let nlp = AcopfNlp::new(net);
+                    let solver = IpmSolver::new(IpmOptions {
+                        tol: 1e-6,
+                        ..Default::default()
+                    });
+                    std::hint::black_box(solver.solve(&nlp))
                 });
-                std::hint::black_box(solver.solve(&nlp))
-            });
-        });
+            },
+        );
     }
     group.finish();
 }

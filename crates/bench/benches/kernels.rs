@@ -15,10 +15,12 @@ use gridsim_grid::cases;
 fn bench_device_backends(c: &mut Criterion) {
     let case = cases::case30_like();
     let net = case.compile().expect("case compiles");
-    let mut params = AdmmParams::default();
     // Bound the work per benchmark iteration.
-    params.max_outer = 2;
-    params.max_inner = 50;
+    let params = AdmmParams {
+        max_outer: 2,
+        max_inner: 50,
+        ..AdmmParams::default()
+    };
 
     let mut group = c.benchmark_group("admm_device_backend");
     group.sample_size(10);

@@ -14,7 +14,10 @@ use gridsim_bench::{BenchCase, Scale, TextTable};
 fn main() {
     let scale = Scale::from_args();
     // The second Table I case (2869pegase stand-in) is the sweep target.
-    let bc = BenchCase::all(scale).into_iter().nth(1).expect("case exists");
+    let bc = BenchCase::all(scale)
+        .into_iter()
+        .nth(1)
+        .expect("case exists");
     println!(
         "Penalty sweep on {} ({} buses)",
         bc.name,

@@ -27,7 +27,9 @@ fn main() {
     };
 
     if embedded {
-        println!("TABLE II: PERFORMANCE OF SOLVING ACOPF FROM COLD-START (embedded reference cases)");
+        println!(
+            "TABLE II: PERFORMANCE OF SOLVING ACOPF FROM COLD-START (embedded reference cases)"
+        );
     } else {
         println!("TABLE II: PERFORMANCE OF SOLVING ACOPF FROM COLD-START (scale: {scale:?})");
     }

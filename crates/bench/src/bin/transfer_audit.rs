@@ -48,7 +48,7 @@ fn main() {
         println!("per-kernel breakdown for {}:", bc.name);
         let mut kernel_table = TextTable::new(vec!["Kernel", "Launches", "Blocks", "Time (ms)"]);
         let mut kernels: Vec<_> = delta.kernels.iter().collect();
-        kernels.sort_by(|a, b| b.1.elapsed.cmp(&a.1.elapsed));
+        kernels.sort_by_key(|k| std::cmp::Reverse(k.1.elapsed));
         for (name, stats) in kernels {
             kernel_table.add_row(vec![
                 name.clone(),

@@ -39,12 +39,13 @@ fn main() {
     let periods: usize = arg_value("--periods")
         .and_then(|v| v.parse().ok())
         .unwrap_or(30);
-    let case_limit: usize = arg_value("--cases")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(match scale {
-            Scale::Small => 2,
-            _ => 6,
-        });
+    let case_limit: usize =
+        arg_value("--cases")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(match scale {
+                Scale::Small => 2,
+                _ => 6,
+            });
     // 30 one-minute periods with up to 5 % load drift, as in Section IV-C.
     let profile = LoadProfile::paper_window(0, periods, 0.05);
     println!(

@@ -176,20 +176,25 @@ mod tests {
             multipliers: vec![1.0, 1.005, 1.01],
             period_minutes: 1.0,
         };
-        let rows = run_tracking_comparison(
-            &cases::case9(),
-            &profile,
-            &AdmmParams::default(),
-            0.02,
-        );
+        let rows = run_tracking_comparison(&cases::case9(), &profile, &AdmmParams::default(), 0.02);
         assert_eq!(rows.len(), 3);
         // Warm-started periods are faster than the cold start for ADMM.
         assert!(rows[1].admm_time_s <= rows[0].admm_time_s);
         assert!(rows[2].admm_time_s <= rows[0].admm_time_s);
         // Quality holds over the horizon.
         for r in &rows {
-            assert!(r.admm_violation < 1e-2, "period {} violation {}", r.period, r.admm_violation);
-            assert!(r.relative_gap < 0.02, "period {} gap {}", r.period, r.relative_gap);
+            assert!(
+                r.admm_violation < 1e-2,
+                "period {} violation {}",
+                r.period,
+                r.admm_violation
+            );
+            assert!(
+                r.relative_gap < 0.02,
+                "period {} gap {}",
+                r.period,
+                r.relative_gap
+            );
         }
         // Cumulative times are nondecreasing.
         assert!(rows[2].admm_cumulative_s >= rows[1].admm_cumulative_s);

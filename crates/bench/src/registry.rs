@@ -105,9 +105,11 @@ impl BenchCase {
             .into_iter()
             .map(|nbus| {
                 let tc = TableICase::Pegase1354;
-                let mut params = AdmmParams::default();
-                params.max_outer = 3;
-                params.max_inner = 200;
+                let params = AdmmParams {
+                    max_outer: 3,
+                    max_inner: 200,
+                    ..AdmmParams::default()
+                };
                 BenchCase {
                     name: format!("{}_scaled{}", tc.name(), nbus),
                     case: tc.scaled(nbus),

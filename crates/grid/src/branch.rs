@@ -85,7 +85,12 @@ impl Branch {
     /// Series admittance `y = 1 / (r + jx)` returned as `(g, b)`.
     pub fn series_admittance(&self) -> (f64, f64) {
         let d = self.r * self.r + self.x * self.x;
-        assert!(d > 0.0, "branch {}-{} has zero impedance", self.from, self.to);
+        assert!(
+            d > 0.0,
+            "branch {}-{} has zero impedance",
+            self.from,
+            self.to
+        );
         (self.r / d, -self.x / d)
     }
 

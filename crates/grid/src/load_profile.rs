@@ -187,7 +187,11 @@ mod tests {
     fn paper_window_has_requested_drift() {
         let w = LoadProfile::paper_window(0, 30, 0.05);
         assert_eq!(w.len(), 30);
-        assert!((w.max_drift() - 0.05).abs() < 1e-9, "drift {}", w.max_drift());
+        assert!(
+            (w.max_drift() - 0.05).abs() < 1e-9,
+            "drift {}",
+            w.max_drift()
+        );
         // Per-minute steps stay small, consistent with interpolation of an
         // hourly signal.
         assert!(w.max_step() < 0.01, "step {}", w.max_step());

@@ -218,7 +218,9 @@ fn parse_gencost(row: &[f64]) -> Result<GenCost, GridError> {
             // Piecewise linear: (p_1, c_1, ..., p_n, c_n). Least-squares fit
             // of a quadratic through the breakpoints.
             if coeffs.len() < 2 * n || n < 2 {
-                return Err(GridError::Invalid("piecewise cost needs >= 2 points".into()));
+                return Err(GridError::Invalid(
+                    "piecewise cost needs >= 2 points".into(),
+                ));
             }
             let pts: Vec<(f64, f64)> = (0..n).map(|k| (coeffs[2 * k], coeffs[2 * k + 1])).collect();
             Ok(fit_quadratic(&pts))
@@ -294,13 +296,10 @@ fn parse_scalar(text: &str, field: &str) -> Result<Option<f64>, GridError> {
         if let Some(pos) = line.find(&needle) {
             if let Some(eq) = line[pos..].find('=') {
                 let rhs = line[pos + eq + 1..].trim().trim_end_matches(';').trim();
-                return rhs
-                    .parse::<f64>()
-                    .map(Some)
-                    .map_err(|_| GridError::Parse {
-                        line: ln + 1,
-                        message: format!("cannot parse scalar '{rhs}'"),
-                    });
+                return rhs.parse::<f64>().map(Some).map_err(|_| GridError::Parse {
+                    line: ln + 1,
+                    message: format!("cannot parse scalar '{rhs}'"),
+                });
             }
         }
     }
@@ -333,7 +332,9 @@ fn parse_matrix(text: &str, field: &str) -> Result<Option<Vec<Vec<f64>>>, GridEr
         }
     }
     if in_matrix {
-        Err(GridError::Invalid(format!("unterminated matrix mpc.{field}")))
+        Err(GridError::Invalid(format!(
+            "unterminated matrix mpc.{field}"
+        )))
     } else {
         Ok(None)
     }

@@ -249,7 +249,9 @@ impl Network {
         let mut angmin = Vec::new();
         let mut angmax = Vec::new();
         for br in case.branches.iter().filter(|b| b.status) {
-            let fi = *bus_index.get(&br.from).ok_or(GridError::UnknownBus(br.from))?;
+            let fi = *bus_index
+                .get(&br.from)
+                .ok_or(GridError::UnknownBus(br.from))?;
             let ti = *bus_index.get(&br.to).ok_or(GridError::UnknownBus(br.to))?;
             if fi == ti {
                 return Err(GridError::Invalid(format!(
@@ -459,9 +461,8 @@ mod tests {
         let net = cases::case9().compile().unwrap();
         let pg = vec![0.9, 1.3, 0.8];
         let mut expected = 0.0;
-        for g in 0..3 {
-            expected +=
-                net.cost_c2[g] * pg[g] * pg[g] + net.cost_c1[g] * pg[g] + net.cost_c0[g];
+        for (g, &p) in pg.iter().enumerate() {
+            expected += net.cost_c2[g] * p * p + net.cost_c1[g] * p + net.cost_c0[g];
         }
         assert!((net.generation_cost(&pg) - expected).abs() < 1e-9);
     }
@@ -487,7 +488,7 @@ mod tests {
     fn out_of_service_components_dropped() {
         let mut case = cases::case9();
         case.branches[1].status = false; // branch 4-5
-        // Removing branch 4-5 keeps the ring connected.
+                                         // Removing branch 4-5 keeps the ring connected.
         let net = case.compile().unwrap();
         assert_eq!(net.nbranch, 8);
     }

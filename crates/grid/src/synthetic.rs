@@ -175,7 +175,10 @@ impl SyntheticSpec {
             self.nbranch >= self.nbus - 1,
             "need at least nbus-1 branches for connectivity"
         );
-        assert!(self.ngen <= self.nbus, "at most one generator bus per bus is placed first");
+        assert!(
+            self.ngen <= self.nbus,
+            "at most one generator bus per bus is placed first"
+        );
         let mut rng = SmallRng::seed_from_u64(self.seed);
 
         // --- loads ---
@@ -228,9 +231,7 @@ impl SyntheticSpec {
             gen_buses.push(((base + jitter) % self.nbus) + 1);
         }
         let target_capacity = total_load * self.reserve_margin;
-        let mut raw_caps: Vec<f64> = (0..self.ngen)
-            .map(|_| rng.gen_range(0.3..1.7))
-            .collect();
+        let mut raw_caps: Vec<f64> = (0..self.ngen).map(|_| rng.gen_range(0.3..1.7)).collect();
         let raw_sum: f64 = raw_caps.iter().sum();
         for c in &mut raw_caps {
             *c *= target_capacity / raw_sum;
@@ -325,13 +326,7 @@ impl SyntheticSpec {
         }
     }
 
-    fn random_branch(
-        &self,
-        rng: &mut SmallRng,
-        from: usize,
-        to: usize,
-        total_load: f64,
-    ) -> Branch {
+    fn random_branch(&self, rng: &mut SmallRng, from: usize, to: usize, total_load: f64) -> Branch {
         let x = rng.gen_range(0.01..0.25);
         let r = x * rng.gen_range(0.08..0.35);
         let b = rng.gen_range(0.0..0.06);

@@ -95,7 +95,12 @@ impl<'a> AcopfNlp<'a> {
     fn branch_var_indices(&self, l: usize) -> [usize; 4] {
         let f = self.net.br_from[l];
         let t = self.net.br_to[l];
-        [self.vm_idx(f), self.vm_idx(t), self.va_idx(f), self.va_idx(t)]
+        [
+            self.vm_idx(f),
+            self.vm_idx(t),
+            self.va_idx(f),
+            self.va_idx(t),
+        ]
     }
 
     #[inline]
@@ -158,8 +163,8 @@ impl Nlp for AcopfNlp<'_> {
         let mut hi = Vec::with_capacity(self.num_vars());
         // Angles: formulation (1h).
         let two_pi = 2.0 * std::f64::consts::PI;
-        lo.extend(std::iter::repeat(-two_pi).take(n.nbus));
-        hi.extend(std::iter::repeat(two_pi).take(n.nbus));
+        lo.extend(std::iter::repeat_n(-two_pi, n.nbus));
+        hi.extend(std::iter::repeat_n(two_pi, n.nbus));
         // Magnitudes.
         lo.extend_from_slice(&n.vmin);
         hi.extend_from_slice(&n.vmax);
@@ -176,10 +181,7 @@ impl Nlp for AcopfNlp<'_> {
     }
 
     fn initial_point(&self) -> Vec<f64> {
-        let start = self
-            .start
-            .clone()
-            .unwrap_or_else(|| cold_start(self.net));
+        let start = self.start.clone().unwrap_or_else(|| cold_start(self.net));
         self.from_solution(&start)
     }
 
@@ -251,7 +253,11 @@ impl Nlp for AcopfNlp<'_> {
 
     fn eq_jacobian(&self, x: &[f64]) -> Coo {
         let n = self.net;
-        let mut jac = Coo::with_capacity(self.num_eq(), self.num_vars(), 16 * n.nbranch + 4 * n.ngen + 2 * n.nbus + 1);
+        let mut jac = Coo::with_capacity(
+            self.num_eq(),
+            self.num_vars(),
+            16 * n.nbranch + 4 * n.ngen + 2 * n.nbus + 1,
+        );
         // Shunt terms.
         for b in 0..n.nbus {
             let vm = x[self.vm_idx(b)];
@@ -563,7 +569,9 @@ mod tests {
         let nv = nlp.num_vars();
         // Arbitrary but fixed multipliers.
         let lam_eq: Vec<f64> = (0..nlp.num_eq()).map(|i| 0.3 + 0.05 * (i as f64)).collect();
-        let lam_ineq: Vec<f64> = (0..nlp.num_ineq()).map(|i| 0.1 + 0.02 * (i as f64)).collect();
+        let lam_ineq: Vec<f64> = (0..nlp.num_ineq())
+            .map(|i| 0.1 + 0.02 * (i as f64))
+            .collect();
         let obj_factor = 0.7;
         let hess = nlp
             .lagrangian_hessian(&x, obj_factor, &lam_eq, &lam_ineq)

@@ -50,7 +50,7 @@ impl KktDims {
     /// regularization.
     pub fn expected_signs(&self) -> Vec<i8> {
         let mut signs = vec![1i8; self.nv()];
-        signs.extend(std::iter::repeat(-1i8).take(self.mc()));
+        signs.extend(std::iter::repeat_n(-1i8, self.mc()));
         signs
     }
 }
@@ -91,8 +91,8 @@ pub fn assemble_kkt(
         kkt.push(hess.rows[k], hess.cols[k], hess.vals[k]);
     }
     // Barrier diagonal and primal regularization.
-    for i in 0..nv {
-        kkt.push(i, i, sigma[i] + delta_w);
+    for (i, si) in sigma.iter().enumerate().take(nv) {
+        kkt.push(i, i, si + delta_w);
     }
     // Equality Jacobian block.
     for k in 0..jac_eq.nnz() {
@@ -161,9 +161,9 @@ mod tests {
         assert_eq!(kkt.nrows, 5);
         let dense = kkt.to_dense();
         // Symmetry.
-        for i in 0..5 {
-            for j in 0..5 {
-                assert!((dense[i][j] - dense[j][i]).abs() < 1e-15);
+        for (i, row) in dense.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - dense[j][i]).abs() < 1e-15);
             }
         }
         // Hessian + sigma + delta_w on the (0,0) entry.
@@ -198,15 +198,7 @@ mod tests {
             j.push(0, 1, 2.0);
             j
         };
-        let kkt = assemble_kkt(
-            &d,
-            &hess,
-            &[0.0, 0.0],
-            &jac_eq,
-            &Coo::new(0, 2),
-            0.0,
-            1e-8,
-        );
+        let kkt = assemble_kkt(&d, &hess, &[0.0, 0.0], &jac_eq, &Coo::new(0, 2), 0.0, 1e-8);
         assert_eq!(kkt.nrows, 3);
         let dense = kkt.to_dense();
         assert!((dense[2][1] - 2.0).abs() < 1e-15);

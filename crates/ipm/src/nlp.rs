@@ -111,13 +111,7 @@ pub(crate) mod test_problems {
         fn ineq_jacobian(&self, _x: &[f64]) -> Coo {
             Coo::new(0, 2)
         }
-        fn lagrangian_hessian(
-            &self,
-            _x: &[f64],
-            obj_factor: f64,
-            _le: &[f64],
-            _li: &[f64],
-        ) -> Coo {
+        fn lagrangian_hessian(&self, _x: &[f64], obj_factor: f64, _le: &[f64], _li: &[f64]) -> Coo {
             let mut h = Coo::new(2, 2);
             h.push(0, 0, 2.0 * obj_factor);
             h.push(1, 1, 2.0 * obj_factor);
@@ -165,8 +159,8 @@ pub(crate) mod test_problems {
         }
         fn eq_jacobian(&self, x: &[f64]) -> Coo {
             let mut j = Coo::new(1, 4);
-            for i in 0..4 {
-                j.push(0, i, 2.0 * x[i]);
+            for (i, &xi) in x.iter().enumerate() {
+                j.push(0, i, 2.0 * xi);
             }
             j
         }
@@ -178,13 +172,7 @@ pub(crate) mod test_problems {
             j.push(0, 3, -x[0] * x[1] * x[2]);
             j
         }
-        fn lagrangian_hessian(
-            &self,
-            x: &[f64],
-            s: f64,
-            le: &[f64],
-            li: &[f64],
-        ) -> Coo {
+        fn lagrangian_hessian(&self, x: &[f64], s: f64, le: &[f64], li: &[f64]) -> Coo {
             let mut h = Coo::new(4, 4);
             let le0 = le[0];
             let li0 = li[0];

@@ -91,8 +91,8 @@ impl IpmSolver {
         let (lx, ux) = nlp.bounds();
         let mut lower = lx.clone();
         let mut upper = ux.clone();
-        lower.extend(std::iter::repeat(0.0).take(m_ineq));
-        upper.extend(std::iter::repeat(f64::INFINITY).take(m_ineq));
+        lower.extend(std::iter::repeat_n(0.0, m_ineq));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, m_ineq));
 
         // --- initial point ---
         let x_start = opts
@@ -266,7 +266,6 @@ impl IpmSolver {
                     expected_signs: dims.expected_signs(),
                     pivot_tol: 1e-13,
                     pivot_reg: 1e-9,
-                    ..Default::default()
                 };
                 factorizations += 1;
                 let factor = LdlFactor::factorize_with(

@@ -128,7 +128,11 @@ fn tighter_line_limits_increase_cost() {
         b.rate_a *= 0.6;
     }
     let (_, tight_report) = solve_case(tight);
-    assert!(tight_report.is_optimal(), "status {:?}", tight_report.status);
+    assert!(
+        tight_report.is_optimal(),
+        "status {:?}",
+        tight_report.status
+    );
     assert!(
         tight_report.objective >= base_report.objective - 1e-3,
         "tightened problem must not be cheaper: {} vs {}",

@@ -63,7 +63,11 @@ impl Csc {
         let mut values = vec![0.0; rows.len()];
         let mut next = colptr_raw.clone();
         for k in 0..rows.len() {
-            assert!(rows[k] < nrows, "row index {} out of bounds {nrows}", rows[k]);
+            assert!(
+                rows[k] < nrows,
+                "row index {} out of bounds {nrows}",
+                rows[k]
+            );
             let c = cols[k];
             let slot = next[c];
             rowind[slot] = rows[k];
@@ -124,8 +128,7 @@ impl Csc {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         let mut y = vec![0.0; self.nrows];
-        for j in 0..self.ncols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }
@@ -140,12 +143,12 @@ impl Csc {
     pub fn mul_transpose_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.nrows);
         let mut y = vec![0.0; self.ncols];
-        for j in 0..self.ncols {
+        for (j, yj) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for p in self.colptr[j]..self.colptr[j + 1] {
                 acc += self.values[p] * x[self.rowind[p]];
             }
-            y[j] = acc;
+            *yj = acc;
         }
         y
     }
@@ -211,8 +214,8 @@ impl Csc {
     /// systems).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; self.ncols]; self.nrows];
-        for j in 0..self.ncols {
-            for p in self.colptr[j]..self.colptr[j + 1] {
+        for (j, col) in self.colptr.windows(2).enumerate() {
+            for p in col[0]..col[1] {
                 d[self.rowind[p]][j] = self.values[p];
             }
         }

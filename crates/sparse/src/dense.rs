@@ -50,12 +50,9 @@ impl SmallMatrix {
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.n);
         debug_assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
-            let mut acc = 0.0;
-            for j in 0..self.n {
-                acc += self.data[i * self.n + j] * x[j];
-            }
-            y[i] = acc;
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
     }
 

@@ -94,7 +94,11 @@ impl LdlFactor {
         let signs: Vec<i8> = if opts.expected_signs.is_empty() {
             Vec::new()
         } else {
-            ordering.perm.iter().map(|&old| opts.expected_signs[old]).collect()
+            ordering
+                .perm
+                .iter()
+                .map(|&old| opts.expected_signs[old])
+                .collect()
         };
 
         let sym = Symbolic::analyze(&permuted);
@@ -212,8 +216,8 @@ impl LdlFactor {
             }
         }
         // Diagonal solve D z = y.
-        for j in 0..self.n {
-            x[j] /= self.d[j];
+        for (xj, dj) in x.iter_mut().zip(&self.d) {
+            *xj /= dj;
         }
         // Backward solve L^T x = z.
         for j in (0..self.n).rev() {
@@ -404,8 +408,8 @@ mod tests {
                 diag[j] += v.abs() + 0.1;
             }
         }
-        for i in 0..n {
-            coo.push(i, i, diag[i]);
+        for (i, &d) in diag.iter().enumerate() {
+            coo.push(i, i, d);
         }
         let a = coo.to_csc();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();

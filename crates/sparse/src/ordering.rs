@@ -74,11 +74,8 @@ impl Ordering {
             queue.push_back(start);
             while let Some(v) = queue.pop_front() {
                 order.push(v);
-                let mut neighbors: Vec<usize> = adj[v]
-                    .iter()
-                    .copied()
-                    .filter(|&u| !visited[u])
-                    .collect();
+                let mut neighbors: Vec<usize> =
+                    adj[v].iter().copied().filter(|&u| !visited[u]).collect();
                 neighbors.sort_unstable_by_key(|&u| degree[u]);
                 for u in neighbors {
                     visited[u] = true;
@@ -166,7 +163,7 @@ mod tests {
     fn rcm_is_a_permutation() {
         let a = scrambled_path(50);
         let o = Ordering::rcm(&a);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for &p in &o.perm {
             assert!(!seen[p]);
             seen[p] = true;

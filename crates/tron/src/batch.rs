@@ -162,10 +162,8 @@ mod tests {
     fn parallel_and_sequential_devices_agree() {
         let solver = TronSolver::default();
         let (problems, starts) = make_batch(64);
-        let (xs_par, _) =
-            solve_batch_from_host(&Device::parallel(), &solver, &problems, &starts);
-        let (xs_seq, _) =
-            solve_batch_from_host(&Device::sequential(), &solver, &problems, &starts);
+        let (xs_par, _) = solve_batch_from_host(&Device::parallel(), &solver, &problems, &starts);
+        let (xs_seq, _) = solve_batch_from_host(&Device::sequential(), &solver, &problems, &starts);
         assert_eq!(xs_par, xs_seq);
     }
 

@@ -97,19 +97,18 @@ mod tests {
 
     #[test]
     fn cauchy_step_decreases_model_for_convex_quadratic() {
-        let qp = QuadraticBox::diagonal(
-            &[1.0, 2.0, 4.0],
-            &[1.0, 1.0, 1.0],
-            &[-5.0; 3],
-            &[5.0; 3],
-        );
+        let qp = QuadraticBox::diagonal(&[1.0, 2.0, 4.0], &[1.0, 1.0, 1.0], &[-5.0; 3], &[5.0; 3]);
         let x = vec![2.0, 2.0, 2.0];
         let mut g = vec![0.0; 3];
         qp.gradient(&x, &mut g);
         let mut h = SmallMatrix::zeros(3);
         qp.hessian(&x, &mut h);
         let cp = cauchy_point(&qp, &x, &g, &h, 1.0);
-        assert!(cp.model_value < 0.0, "model must decrease: {}", cp.model_value);
+        assert!(
+            cp.model_value < 0.0,
+            "model must decrease: {}",
+            cp.model_value
+        );
         // Step within trust region.
         let norm: f64 = cp.step.iter().map(|s| s * s).sum::<f64>().sqrt();
         assert!(norm <= 1.0 + 1e-12);

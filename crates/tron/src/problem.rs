@@ -30,8 +30,8 @@ pub trait BoundProblem {
 
     /// Project a point onto the bound box in place.
     fn project(&self, x: &mut [f64]) {
-        for i in 0..self.dim() {
-            x[i] = x[i].clamp(self.lower(i), self.upper(i));
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = xi.clamp(self.lower(i), self.upper(i));
         }
     }
 
@@ -110,8 +110,8 @@ impl BoundProblem for QuadraticBox {
 
     fn gradient(&self, x: &[f64], g: &mut [f64]) {
         self.q.mul_vec(x, g);
-        for i in 0..self.dim() {
-            g[i] -= self.c[i];
+        for (gi, ci) in g.iter_mut().zip(&self.c) {
+            *gi -= ci;
         }
     }
 
@@ -126,12 +126,8 @@ mod tests {
 
     #[test]
     fn quadratic_gradient_matches_finite_difference() {
-        let qp = QuadraticBox::diagonal(
-            &[2.0, 4.0, 1.0],
-            &[1.0, -2.0, 0.5],
-            &[-10.0; 3],
-            &[10.0; 3],
-        );
+        let qp =
+            QuadraticBox::diagonal(&[2.0, 4.0, 1.0], &[1.0, -2.0, 0.5], &[-10.0; 3], &[10.0; 3]);
         let x = vec![0.3, -0.7, 1.2];
         let mut g = vec![0.0; 3];
         qp.gradient(&x, &mut g);

@@ -145,8 +145,9 @@ impl TronSolver {
                 free[i] = xi > problem.lower(i) + 1e-12 && xi < problem.upper(i) - 1e-12;
                 rhs[i] = -(g[i] + scratch[i]);
             }
-            let remaining =
-                (delta * delta - step.iter().map(|s| s * s).sum::<f64>()).max(0.0).sqrt();
+            let remaining = (delta * delta - step.iter().map(|s| s * s).sum::<f64>())
+                .max(0.0)
+                .sqrt();
             if remaining > 1e-14 && free.iter().any(|&fr| fr) {
                 let cg = steihaug_cg(&h, &rhs, &free, remaining, 1e-8, self.opts.max_cg_iter);
                 // Projected line search on the refinement direction: scale the
@@ -156,13 +157,13 @@ impl TronSolver {
                 let base_model = cp.model_value;
                 for _ in 0..20 {
                     let mut trial = step.clone();
-                    for i in 0..n {
-                        trial[i] += alpha * cg.step[i];
+                    for (ti, si) in trial.iter_mut().zip(&cg.step) {
+                        *ti += alpha * si;
                     }
                     // Project the trial step onto the box.
-                    for i in 0..n {
-                        let xi = (x[i] + trial[i]).clamp(problem.lower(i), problem.upper(i));
-                        trial[i] = xi - x[i];
+                    for (i, ti) in trial.iter_mut().enumerate() {
+                        let xi = (x[i] + *ti).clamp(problem.lower(i), problem.upper(i));
+                        *ti = xi - x[i];
                     }
                     let q = model_value(&g, &h, &trial, &mut scratch);
                     if q <= base_model + 1e-16 {
@@ -183,7 +184,11 @@ impl TronSolver {
             let f_trial = problem.objective(&x_trial);
             let ared = f - f_trial;
             let step_norm = step.iter().map(|s| s * s).sum::<f64>().sqrt();
-            let rho = if pred > 0.0 { ared / pred } else { ared.signum() };
+            let rho = if pred > 0.0 {
+                ared / pred
+            } else {
+                ared.signum()
+            };
 
             if rho > self.opts.eta && ared > -1e-12 {
                 x = x_trial;

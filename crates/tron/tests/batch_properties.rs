@@ -10,11 +10,7 @@ use gridsim_tron::{
 use proptest::prelude::*;
 
 /// A randomly generated (possibly indefinite) quadratic with box constraints.
-fn random_quadratic(
-    diag: Vec<f64>,
-    off: Vec<f64>,
-    c: Vec<f64>,
-) -> QuadraticBox {
+fn random_quadratic(diag: Vec<f64>, off: Vec<f64>, c: Vec<f64>) -> QuadraticBox {
     let n = diag.len();
     let mut q = SmallMatrix::zeros(n);
     for i in 0..n {

@@ -25,7 +25,10 @@ fn main() {
             let text = matpower::write_case(&original);
             let tmp = std::env::temp_dir().join("gridadmm_case14.m");
             std::fs::write(&tmp, &text).expect("write temp case");
-            println!("no case file given; wrote embedded case14 to {}", tmp.display());
+            println!(
+                "no case file given; wrote embedded case14 to {}",
+                tmp.display()
+            );
             matpower::read_case(&tmp).expect("round-trip parse")
         }
     };

@@ -1,0 +1,345 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the data-parallel iterator subset used by the workspace
+//! (`par_iter`, `par_iter_mut`, `enumerate`, `zip`, `map`, `for_each`,
+//! `reduce`, `sum`) on top of `std::thread::scope`.
+//!
+//! Two guarantees that real rayon does **not** make:
+//!
+//! 1. **Deterministic reductions.** `map(..).sum()` and `map(..).reduce(..)`
+//!    materialize mapped values in index order (the map runs in parallel)
+//!    and combine them sequentially, so parallel results are bit-identical
+//!    to sequential ones regardless of thread count or scheduling.
+//! 2. **Stable chunking.** Work is split into contiguous chunks of a size
+//!    that depends only on the input length and thread count.
+//!
+//! The ADMM solver's Parallel-vs-Sequential agreement tests rely on (1).
+
+use std::num::NonZeroUsize;
+
+/// Inputs below this length run sequentially: thread spawn overhead
+/// dominates for tiny kernels, and results are identical either way.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn chunk_size(len: usize) -> usize {
+    len.div_ceil(worker_count()).max(1)
+}
+
+/// `rayon::prelude` equivalent: brings the `par_iter*` extension trait and
+/// adapter types into scope.
+pub mod prelude {
+    pub use crate::{
+        EnumeratedParIter, EnumeratedParIterMut, EnumeratedParZipMut, MappedParIter, ParIter,
+        ParIterMut, ParZipMut, ParallelSlice,
+    };
+}
+
+/// Extension trait adding `par_iter` / `par_iter_mut` to slices.
+pub trait ParallelSlice<T> {
+    /// Shared parallel iterator over the elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+    /// Exclusive parallel iterator over the elements.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { data: self }
+    }
+}
+
+/// Shared parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T> ParIter<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumeratedParIter<'a, T> {
+        EnumeratedParIter { data: self.data }
+    }
+}
+
+/// Index-annotated shared parallel iterator.
+pub struct EnumeratedParIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> EnumeratedParIter<'a, T> {
+    /// Map each `(index, &element)` pair through `f`.
+    pub fn map<R, F>(self, f: F) -> MappedParIter<'a, T, F, R>
+    where
+        F: Fn((usize, &T)) -> R + Sync,
+        R: Send,
+    {
+        MappedParIter {
+            data: self.data,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Apply `f` to every `(index, &element)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &T)) + Sync,
+    {
+        if self.data.len() < PARALLEL_THRESHOLD {
+            for pair in self.data.iter().enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let size = chunk_size(self.data.len());
+        std::thread::scope(|scope| {
+            for (ci, chunk) in self.data.chunks(size).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, x) in chunk.iter().enumerate() {
+                        f((ci * size + j, x));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Result of mapping an enumerated shared iterator.
+pub struct MappedParIter<'a, T, F, R> {
+    data: &'a [T],
+    f: F,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<'a, T: Sync, F, R> MappedParIter<'a, T, F, R>
+where
+    F: Fn((usize, &T)) -> R + Sync,
+    R: Send,
+{
+    /// Evaluate the map in parallel, preserving index order.
+    fn materialize(self) -> Vec<R> {
+        if self.data.len() < PARALLEL_THRESHOLD {
+            return self.data.iter().enumerate().map(self.f).collect();
+        }
+        let size = chunk_size(self.data.len());
+        let mut out = Vec::with_capacity(self.data.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .data
+                .chunks(size)
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let f = &self.f;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(j, x)| f((ci * size + j, x)))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Collect the mapped values in index order (like real rayon's
+    /// `collect` on an indexed parallel iterator).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        self.materialize().into_iter().collect()
+    }
+
+    /// Sum the mapped values. The sum itself is sequential and in index
+    /// order, so the result is deterministic and backend-independent.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.materialize().into_iter().sum()
+    }
+
+    /// Fold the mapped values with `op`, starting from `identity()`. The
+    /// fold is sequential and in index order (deterministic), unlike real
+    /// rayon's tree reduction.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.materialize().into_iter().fold(identity(), op)
+    }
+}
+
+/// Exclusive parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T> ParIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumeratedParIterMut<'a, T> {
+        EnumeratedParIterMut { data: self.data }
+    }
+
+    /// Walk two equal-length slices in lockstep.
+    pub fn zip<'b, B>(self, other: ParIterMut<'b, B>) -> ParZipMut<'a, 'b, T, B> {
+        assert_eq!(
+            self.data.len(),
+            other.data.len(),
+            "zip requires equal lengths"
+        );
+        ParZipMut {
+            a: self.data,
+            b: other.data,
+        }
+    }
+}
+
+/// Index-annotated exclusive parallel iterator.
+pub struct EnumeratedParIterMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumeratedParIterMut<'a, T> {
+    /// Apply `f` to every `(index, &mut element)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        if self.data.len() < PARALLEL_THRESHOLD {
+            for pair in self.data.iter_mut().enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let size = chunk_size(self.data.len());
+        std::thread::scope(|scope| {
+            for (ci, chunk) in self.data.chunks_mut(size).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        f((ci * size + j, x));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Lockstep exclusive parallel iterator over two slices.
+pub struct ParZipMut<'a, 'b, A, B> {
+    a: &'a mut [A],
+    b: &'b mut [B],
+}
+
+impl<'a, 'b, A, B> ParZipMut<'a, 'b, A, B> {
+    /// Pair each element pair with its index.
+    pub fn enumerate(self) -> EnumeratedParZipMut<'a, 'b, A, B> {
+        EnumeratedParZipMut {
+            a: self.a,
+            b: self.b,
+        }
+    }
+}
+
+/// Index-annotated lockstep exclusive parallel iterator.
+pub struct EnumeratedParZipMut<'a, 'b, A, B> {
+    a: &'a mut [A],
+    b: &'b mut [B],
+}
+
+impl<'a, 'b, A: Send, B: Send> EnumeratedParZipMut<'a, 'b, A, B> {
+    /// Apply `f` to every `(index, (&mut a, &mut b))` triple.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, (&mut A, &mut B))) + Sync,
+    {
+        if self.a.len() < PARALLEL_THRESHOLD {
+            for (i, pair) in self.a.iter_mut().zip(self.b.iter_mut()).enumerate() {
+                f((i, pair));
+            }
+            return;
+        }
+        let size = chunk_size(self.a.len());
+        std::thread::scope(|scope| {
+            for (ci, (ca, cb)) in self
+                .a
+                .chunks_mut(size)
+                .zip(self.b.chunks_mut(size))
+                .enumerate()
+            {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, pair) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                        f((ci * size + j, pair));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_for_each_mut_covers_all_indices() {
+        for n in [0usize, 1, 7, 5000] {
+            let mut v = vec![0usize; n];
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+        }
+    }
+
+    #[test]
+    fn par_zip_covers_all_indices() {
+        let n = 4096;
+        let mut a = vec![0usize; n];
+        let mut b = vec![0usize; n];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = i;
+                *y = 2 * i;
+            });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i));
+        assert!(b.iter().enumerate().all(|(i, &y)| y == 2 * i));
+    }
+
+    #[test]
+    fn parallel_sum_is_bit_identical_to_sequential() {
+        let v: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let seq: f64 = v.iter().sum();
+        let par: f64 = v.par_iter().enumerate().map(|(_, x)| *x).sum();
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn parallel_reduce_matches_fold() {
+        let v: Vec<f64> = (0..5000).map(|i| ((i * 31) % 97) as f64 - 48.0).collect();
+        let par = v
+            .par_iter()
+            .enumerate()
+            .map(|(_, x)| x.abs())
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        let seq = v.iter().map(|x| x.abs()).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,94 @@
+//! Smoke tests exercising the core path of each file in `examples/`, so the
+//! examples cannot silently rot: if an API they use changes shape or a case
+//! they load stops compiling, these fail at `cargo test` time rather than
+//! only at `cargo build --examples` (structure) or never (behavior).
+//!
+//! Each test mirrors one example, scaled down so the whole file runs in
+//! seconds under the debug profile.
+
+use gridadmm::prelude::*;
+use gridsim_acopf::violations::relative_gap;
+use gridsim_admm::{track_horizon, TrackingConfig};
+use gridsim_grid::{cases, matpower};
+
+/// `examples/quickstart.rs`: ADMM solve vs IPM baseline on the 9-bus case.
+#[test]
+fn quickstart_core_path() {
+    let net = cases::case9().compile().expect("case9 compiles");
+    let admm = AdmmSolver::new(AdmmParams::default());
+    let result = admm.solve(&net);
+    assert!(
+        result.quality.max_violation() < 1e-2,
+        "ADMM solution grossly infeasible: {}",
+        result.quality.max_violation()
+    );
+
+    let nlp = AcopfNlp::new(&net);
+    let ipm = IpmSolver::new(IpmOptions::default()).solve(&nlp);
+    assert!(ipm.objective.is_finite());
+    let gap = relative_gap(result.objective, ipm.objective);
+    assert!(gap < 0.05, "ADMM vs IPM objective gap too large: {gap}");
+
+    // The quickstart also inspects device statistics; they must be live.
+    assert!(admm.device.stats().snapshot().total_launches() > 0);
+}
+
+/// `examples/matpower_io.rs`: write an embedded case to disk as MATPOWER
+/// text, read it back, compile, and solve.
+#[test]
+fn matpower_io_core_path() {
+    let original = cases::case14();
+    let text = matpower::write_case(&original);
+    let path = std::env::temp_dir().join("gridadmm_smoke_case14.m");
+    std::fs::write(&path, &text).expect("write temp case");
+    let reread = matpower::read_case(&path).expect("round-trip parse");
+    std::fs::remove_file(&path).ok();
+
+    let net = original.compile().unwrap();
+    let net2 = reread.compile().unwrap();
+    assert_eq!(net.nbus, net2.nbus);
+    assert_eq!(net.nbranch, net2.nbranch);
+    assert_eq!(net.ngen, net2.ngen);
+    assert!((net.total_pd() - net2.total_pd()).abs() < 1e-9);
+}
+
+/// `examples/warm_start_tracking.rs`: short tracking horizon with warm
+/// starts and ramp limits.
+#[test]
+fn warm_start_tracking_core_path() {
+    let case = cases::case9();
+    let profile = LoadProfile::paper_window(7, 3, 0.03);
+    let config = TrackingConfig::default();
+    let (periods, last) = track_horizon(&case, &profile, &config);
+    assert_eq!(periods.len(), profile.len());
+    // Cumulative time is monotone and period metadata is coherent.
+    for (t, p) in periods.iter().enumerate() {
+        assert_eq!(p.period, t);
+        assert!(p.max_violation < 1e-2, "period {t}: {}", p.max_violation);
+        if t > 0 {
+            assert!(p.cumulative_time >= periods[t - 1].cumulative_time);
+        }
+    }
+    assert_eq!(last.solution.pg.len(), case.compile().unwrap().ngen);
+}
+
+/// `examples/synthetic_scaling.rs`: a scaled Table-I-style synthetic case
+/// compiles and the solver runs on it. Iterations are capped: the example
+/// demonstrates scaling structure, and full convergence at example sizes is
+/// too slow for the debug-profile test suite (the tracking and agreement
+/// suites cover convergence on the embedded cases).
+#[test]
+fn synthetic_scaling_core_path() {
+    let case = TableICase::Pegase1354.scaled(30);
+    let net = case.compile().expect("synthetic case compiles");
+    assert_eq!(net.nbus, 30);
+    assert!(net.nbranch >= net.nbus, "Table-I cases are meshed");
+    let params = AdmmParams {
+        max_outer: 3,
+        max_inner: 150,
+        ..AdmmParams::default()
+    };
+    let result = AdmmSolver::new(params).solve(&net);
+    assert!(result.objective.is_finite());
+    assert!(result.inner_iterations > 0);
+}

@@ -81,8 +81,8 @@ proptest! {
                 diag[j] += v.abs() + 0.05;
             }
         }
-        for i in 0..n {
-            coo.push(i, i, diag[i]);
+        for (i, &d) in diag.iter().enumerate() {
+            coo.push(i, i, d);
         }
         let a = coo.to_csc();
         let b: Vec<f64> = (0..n).map(|i| ((i * 7 + seed as usize) % 13) as f64 - 6.0).collect();

@@ -100,9 +100,11 @@ fn scaled_pegase_standin_runs_both_solvers() {
     // near-feasible point.
     let case = TableICase::Pegase1354.scaled(100);
     let net = case.compile().expect("case compiles");
-    let mut params = AdmmParams::default();
-    params.max_outer = 3;
-    params.max_inner = 300;
+    let params = AdmmParams {
+        max_outer: 3,
+        max_inner: 300,
+        ..AdmmParams::default()
+    };
     let admm = AdmmSolver::new(params).solve(&net);
     assert!(admm.objective.is_finite());
     for g in 0..net.ngen {
@@ -133,9 +135,11 @@ fn admm_scales_to_a_larger_synthetic_case_than_the_test_baseline() {
     // iteration budget is exhausted without numerical failure.
     let case = TableICase::Pegase2869.scaled(200);
     let net = case.compile().expect("case compiles");
-    let mut params = AdmmParams::default();
-    params.max_outer = 2;
-    params.max_inner = 250;
+    let params = AdmmParams {
+        max_outer: 2,
+        max_inner: 250,
+        ..AdmmParams::default()
+    };
     let solver = AdmmSolver::new(params);
     let result = solver.solve(&net);
     assert!(result.objective.is_finite());

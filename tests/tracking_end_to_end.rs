@@ -72,8 +72,8 @@ fn ramp_limits_hold_between_consecutive_periods() {
             }
         };
         if let Some(pg0) = &prev_pg {
-            for g in 0..net.ngen {
-                let delta = (result.solution.pg[g] - pg0[g]).abs();
+            for (g, &pg_prev) in pg0.iter().enumerate() {
+                let delta = (result.solution.pg[g] - pg_prev).abs();
                 assert!(
                     delta <= ramp_fraction * net.pmax[g] + 1e-6,
                     "generator {g} ramped {delta:.4} > {:.4}",
