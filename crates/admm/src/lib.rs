@@ -22,15 +22,24 @@
 //!
 //! No host–device transfers occur during the solve; the transfer counters of
 //! [`gridsim_batch`] verify this.
+//!
+//! Beyond the paper's per-case solver, [`scenario::ScenarioBatch`] widens
+//! every kernel launch to span *K* load/contingency scenarios of one network
+//! at once (scenario-major buffers, per-scenario convergence masks,
+//! warm-start chaining) — the fleet-solver mode used by the
+//! `scenario_throughput` experiment.
 
 pub mod branch_problem;
+pub(crate) mod kernels;
 pub mod layout;
 pub mod params;
+pub mod scenario;
 pub mod solver;
 pub mod tracking;
 
 pub use branch_problem::BranchProblem;
 pub use layout::{ConstraintKind, Layout};
 pub use params::AdmmParams;
+pub use scenario::{ScenarioBatch, ScenarioBatchResult, ScenarioResult};
 pub use solver::{AdmmResult, AdmmSolver, AdmmStatus};
 pub use tracking::{track_horizon, PeriodResult, TrackingConfig};

@@ -5,17 +5,18 @@
 //! element; branch subproblems map one thread block per branch and are solved
 //! by the batch TRON solver. Residual norms are device-side reductions, so no
 //! host–device transfer happens inside the solve.
+//!
+//! The per-element arithmetic lives in [`crate::kernels`] and is shared with
+//! the batched multi-scenario driver ([`crate::scenario::ScenarioBatch`]),
+//! which runs the same updates over scenario-major buffers.
 
-use crate::branch_problem::{BranchProblem, ConsensusTerm};
-use crate::layout::{BusSlot, ConstraintKind, Layout};
+use crate::kernels::{self, AlmSettings, BranchState, BusState, GenState, ProblemData};
+use crate::layout::{BusSlot, Layout};
 use crate::params::AdmmParams;
-use gridsim_acopf::flows::branch_flows;
 use gridsim_acopf::solution::OpfSolution;
 use gridsim_acopf::violations::SolutionQuality;
 use gridsim_batch::{Device, DeviceBuffer};
-use gridsim_grid::branch::BranchAdmittance;
 use gridsim_grid::network::Network;
-use gridsim_sparse::dense::solve2;
 use gridsim_tron::TronSolver;
 use std::time::{Duration, Instant};
 
@@ -32,17 +33,17 @@ pub enum AdmmStatus {
 /// period of the tracking experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WarmState {
-    gen_pg: Vec<f64>,
-    gen_qg: Vec<f64>,
-    branch_x: Vec<[f64; 6]>,
-    branch_alm_lambda: Vec<[f64; 2]>,
-    branch_alm_rho: Vec<f64>,
-    bus_w: Vec<f64>,
-    bus_theta: Vec<f64>,
-    bus_copies: Vec<Vec<f64>>,
-    y: Vec<f64>,
-    lam: Vec<f64>,
-    z: Vec<f64>,
+    pub(crate) gen_pg: Vec<f64>,
+    pub(crate) gen_qg: Vec<f64>,
+    pub(crate) branch_x: Vec<[f64; 6]>,
+    pub(crate) branch_alm_lambda: Vec<[f64; 2]>,
+    pub(crate) branch_alm_rho: Vec<f64>,
+    pub(crate) bus_w: Vec<f64>,
+    pub(crate) bus_theta: Vec<f64>,
+    pub(crate) bus_copies: Vec<Vec<f64>>,
+    pub(crate) y: Vec<f64>,
+    pub(crate) lam: Vec<f64>,
+    pub(crate) z: Vec<f64>,
 }
 
 /// Result of an ADMM solve.
@@ -70,168 +71,6 @@ pub struct AdmmResult {
     pub solve_time: Duration,
     /// State snapshot for warm-starting the next solve.
     pub warm_state: WarmState,
-}
-
-// ---------------------------------------------------------------------------
-// read-only per-component data
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-struct GenData {
-    pmin: f64,
-    pmax: f64,
-    qmin: f64,
-    qmax: f64,
-    c2: f64,
-    c1: f64,
-    k_p: usize,
-    k_q: usize,
-}
-
-#[derive(Debug, Clone)]
-struct BranchData {
-    y: BranchAdmittance,
-    limit_sq: f64,
-    k_base: usize,
-    vmin_i: f64,
-    vmax_i: f64,
-    vmin_j: f64,
-    vmax_j: f64,
-}
-
-#[derive(Debug, Clone)]
-struct BusData {
-    pd: f64,
-    qd: f64,
-    gs: f64,
-    bs: f64,
-    /// Constraint indices of real-power copies with their balance
-    /// coefficient (+1 for generator copies, −1 for flow copies).
-    p_terms: Vec<(usize, f64)>,
-    /// Same for reactive-power copies.
-    q_terms: Vec<(usize, f64)>,
-    w_constraints: Vec<usize>,
-    theta_constraints: Vec<usize>,
-}
-
-struct ProblemData {
-    gens: Vec<GenData>,
-    branches: Vec<BranchData>,
-    buses: Vec<BusData>,
-}
-
-impl ProblemData {
-    fn build(
-        net: &Network,
-        layout: &Layout,
-        params: &AdmmParams,
-        pg_bounds: Option<&(Vec<f64>, Vec<f64>)>,
-    ) -> ProblemData {
-        // Internal objective scaling (see `AdmmParams::obj_scale`): keep the
-        // largest marginal cost comparable to rho_pq so the generator
-        // consensus converges at the same rate as the rest of the algorithm.
-        let obj_scale = params.obj_scale.unwrap_or_else(|| {
-            let grad_max = (0..net.ngen)
-                .map(|g| 2.0 * net.cost_c2[g] * net.pmax[g] + net.cost_c1[g].abs())
-                .fold(1.0f64, f64::max);
-            (10.0 * params.rho_pq / grad_max).min(1.0)
-        });
-        let gens = (0..net.ngen)
-            .map(|g| {
-                let (pmin, pmax) = match pg_bounds {
-                    Some((lo, hi)) => (lo[g], hi[g]),
-                    None => (net.pmin[g], net.pmax[g]),
-                };
-                GenData {
-                    pmin,
-                    pmax,
-                    qmin: net.qmin[g],
-                    qmax: net.qmax[g],
-                    c2: obj_scale * net.cost_c2[g],
-                    c1: obj_scale * net.cost_c1[g],
-                    k_p: layout.gen_p(g),
-                    k_q: layout.gen_q(g),
-                }
-            })
-            .collect();
-        let branches = (0..net.nbranch)
-            .map(|l| {
-                let f = net.br_from[l];
-                let t = net.br_to[l];
-                BranchData {
-                    y: net.br_y[l],
-                    limit_sq: net.rate_limit_sq(l, params.line_limit_margin),
-                    k_base: layout.branch_base(l),
-                    vmin_i: net.vmin[f],
-                    vmax_i: net.vmax[f],
-                    vmin_j: net.vmin[t],
-                    vmax_j: net.vmax[t],
-                }
-            })
-            .collect();
-        let buses = (0..net.nbus)
-            .map(|b| {
-                let plan = &layout.bus_plans[b];
-                let sign = |k: usize| -> f64 {
-                    match layout.constraints[k].kind {
-                        ConstraintKind::GenP | ConstraintKind::GenQ => 1.0,
-                        _ => -1.0,
-                    }
-                };
-                BusData {
-                    pd: net.pd[b],
-                    qd: net.qd[b],
-                    gs: net.gs[b],
-                    bs: net.bs[b],
-                    p_terms: plan.p_copies.iter().map(|&k| (k, sign(k))).collect(),
-                    q_terms: plan.q_copies.iter().map(|&k| (k, sign(k))).collect(),
-                    w_constraints: plan.w_constraints.clone(),
-                    theta_constraints: plan.theta_constraints.clone(),
-                }
-            })
-            .collect();
-        ProblemData {
-            gens,
-            branches,
-            buses,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// mutable per-component device state
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, Default)]
-struct GenState {
-    pg: f64,
-    qg: f64,
-}
-
-#[derive(Debug, Clone)]
-struct BranchState {
-    x: [f64; 6],
-    flows: [f64; 4],
-    alm_lambda: [f64; 2],
-    alm_rho: f64,
-}
-
-impl Default for BranchState {
-    fn default() -> Self {
-        BranchState {
-            x: [1.0, 1.0, 0.0, 0.0, 0.0, 0.0],
-            flows: [0.0; 4],
-            alm_lambda: [0.0; 2],
-            alm_rho: 0.0,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Default)]
-struct BusState {
-    w: f64,
-    theta: f64,
-    copies: Vec<f64>,
 }
 
 struct DeviceState {
@@ -296,8 +135,9 @@ impl AdmmSolver {
         let start_time = Instant::now();
         let params = &self.params;
         let layout = Layout::build(net, params);
-        let data = ProblemData::build(net, &layout, params, pg_bounds.as_ref());
-        let mut st = self.init_state(net, &layout, &data, warm);
+        let data = ProblemData::build(net, &layout, params, pg_bounds.as_ref(), 0);
+        let vplan = kernels::v_plan(&layout, 0);
+        let mut st = self.init_state(net, &layout, &data, &vplan, warm);
         let tron = TronSolver::new(params.tron.clone());
 
         let mut beta = params.beta_init;
@@ -317,8 +157,8 @@ impl AdmmSolver {
                 self.branch_update(&mut st, &data, &tron, params);
                 self.scatter_u(&mut st, &data);
                 // x̄ block: buses (line 4).
-                self.bus_update(&mut st, &data, &layout);
-                self.scatter_v(&mut st, &layout);
+                self.bus_update(&mut st, &data);
+                self.scatter_v(&mut st, &vplan);
                 // z and multiplier updates (lines 5-6).
                 st.z_prev.as_mut_slice().copy_from_slice(st.z.as_slice());
                 self.z_update(&mut st, beta);
@@ -374,6 +214,7 @@ impl AdmmSolver {
         net: &Network,
         layout: &Layout,
         data: &ProblemData,
+        vplan: &[(usize, BusSlot)],
         warm: Option<&WarmState>,
     ) -> DeviceState {
         let stats = self.device.stats().clone();
@@ -381,30 +222,7 @@ impl AdmmSolver {
 
         let (gen_host, branch_host, bus_host, y_host, lam_host, z_host) = match warm {
             Some(w) => {
-                let gens: Vec<GenState> = w
-                    .gen_pg
-                    .iter()
-                    .zip(&w.gen_qg)
-                    .map(|(&pg, &qg)| GenState { pg, qg })
-                    .collect();
-                let branches: Vec<BranchState> = (0..net.nbranch)
-                    .map(|l| BranchState {
-                        x: w.branch_x[l],
-                        flows: {
-                            let x = w.branch_x[l];
-                            branch_flows(&net.br_y[l], x[0], x[1], x[2], x[3])
-                        },
-                        alm_lambda: w.branch_alm_lambda[l],
-                        alm_rho: w.branch_alm_rho[l],
-                    })
-                    .collect();
-                let buses: Vec<BusState> = (0..net.nbus)
-                    .map(|b| BusState {
-                        w: w.bus_w[b],
-                        theta: w.bus_theta[b],
-                        copies: w.bus_copies[b].clone(),
-                    })
-                    .collect();
+                let (gens, branches, buses) = kernels::warm_states(net, w);
                 (
                     gens,
                     branches,
@@ -417,44 +235,19 @@ impl AdmmSolver {
             None => {
                 // Cold start: midpoints of bounds, zero angles, flows from
                 // the initial voltages (Section IV-B).
-                let gens: Vec<GenState> = data
-                    .gens
-                    .iter()
-                    .map(|g| GenState {
-                        pg: 0.5 * (g.pmin + g.pmax),
-                        qg: 0.5 * (g.qmin + g.qmax),
-                    })
-                    .collect();
+                let gens: Vec<GenState> = data.gens.iter().map(kernels::cold_gen_state).collect();
                 let branches: Vec<BranchState> = data
                     .branches
                     .iter()
-                    .map(|bd| {
-                        let vi = 0.5 * (bd.vmin_i + bd.vmax_i);
-                        let vj = 0.5 * (bd.vmin_j + bd.vmax_j);
-                        let flows = branch_flows(&bd.y, vi, vj, 0.0, 0.0);
-                        let mut x = [vi, vj, 0.0, 0.0, 0.0, 0.0];
-                        if bd.limit_sq.is_finite() {
-                            x[4] = (-(flows[0] * flows[0] + flows[1] * flows[1]))
-                                .clamp(-bd.limit_sq, 0.0);
-                            x[5] = (-(flows[2] * flows[2] + flows[3] * flows[3]))
-                                .clamp(-bd.limit_sq, 0.0);
-                        }
-                        BranchState {
-                            x,
-                            flows,
-                            alm_lambda: [0.0; 2],
-                            alm_rho: 0.0,
-                        }
-                    })
+                    .map(kernels::cold_branch_state)
                     .collect();
                 let buses: Vec<BusState> = (0..net.nbus)
                     .map(|b| {
-                        let vm = 0.5 * (net.vmin[b] + net.vmax[b]);
-                        BusState {
-                            w: vm * vm,
-                            theta: 0.0,
-                            copies: vec![0.0; layout.bus_plans[b].num_copies],
-                        }
+                        kernels::cold_bus_state(
+                            net.vmin[b],
+                            net.vmax[b],
+                            layout.bus_plans[b].num_copies,
+                        )
                     })
                     .collect();
                 (
@@ -485,20 +278,14 @@ impl AdmmSolver {
         // iteration starts from agreement.
         self.scatter_u(&mut st, data);
         if warm.is_none() {
-            let u = st.u.as_slice().to_vec();
-            let constraints = &layout.constraints;
+            let buses_data = &data.buses;
+            let u = st.u.as_slice();
             self.device
-                .launch_map("bus_copy_seed", &mut st.buses, |b, bus| {
-                    for (k, info) in constraints.iter().enumerate() {
-                        if info.bus == b {
-                            if let BusSlot::Copy(s) = info.slot {
-                                bus.copies[s] = u[k];
-                            }
-                        }
-                    }
+                .launch_map("bus_copy_seed", &mut st.buses, move |b, bus| {
+                    kernels::seed_bus_copies(&buses_data[b], u, bus);
                 });
         }
-        self.scatter_v(&mut st, layout);
+        self.scatter_v(&mut st, vplan);
         st
     }
 
@@ -512,15 +299,7 @@ impl AdmmSolver {
         let rho = st.rho.as_slice();
         self.device
             .launch_map("generator_update", &mut st.gens, move |g, state| {
-                let d = &gens_data[g];
-                // Closed form (6) for the box-constrained quadratic.
-                let (kp, kq) = (d.k_p, d.k_q);
-                let tp = v[kp] - z[kp];
-                let pg = (rho[kp] * tp - y[kp] - d.c1) / (2.0 * d.c2 + rho[kp]);
-                state.pg = pg.clamp(d.pmin, d.pmax);
-                let tq = v[kq] - z[kq];
-                let qg = tq - y[kq] / rho[kq];
-                state.qg = qg.clamp(d.qmin, d.qmax);
+                kernels::generator_element(&gens_data[g], v, z, y, rho, state);
             });
     }
 
@@ -536,62 +315,10 @@ impl AdmmSolver {
         let z = st.z.as_slice();
         let y = st.y.as_slice();
         let rho = st.rho.as_slice();
-        let max_alm = params.max_alm_iter;
-        let alm_tol = params.alm_tol;
-        let alm_rho_init = params.alm_rho_init;
-        let alm_rho_max = params.alm_rho_max;
+        let alm = AlmSettings::from_params(params);
         self.device
             .launch_blocks("branch_tron", &mut st.branches, move |l, state| {
-                let d = &branches_data[l];
-                let mut problem = BranchProblem::new(&d.y, d.vmin_i, d.vmax_i, d.vmin_j, d.vmax_j);
-                problem.limit_sq = d.limit_sq;
-                let term = |k: usize| ConsensusTerm {
-                    target: v[k] - z[k],
-                    y: y[k],
-                    rho: rho[k],
-                };
-                for j in 0..4 {
-                    problem.flow_terms[j] = term(d.k_base + j);
-                    problem.volt_terms[j] = term(d.k_base + 4 + j);
-                }
-                problem.alm_lambda = state.alm_lambda;
-                problem.alm_rho = if state.alm_rho > 0.0 {
-                    state.alm_rho
-                } else {
-                    alm_rho_init
-                };
-                // Inner augmented-Lagrangian loop on the line-limit slack
-                // equalities; a single TRON solve when there is no limit.
-                let mut prev_viol = f64::INFINITY;
-                let rounds = if problem.has_limit() { max_alm } else { 1 };
-                for _ in 0..rounds {
-                    let result = tron.solve(&problem, &state.x);
-                    state.x = [
-                        result.x[0],
-                        result.x[1],
-                        result.x[2],
-                        result.x[3],
-                        result.x[4],
-                        result.x[5],
-                    ];
-                    if !problem.has_limit() {
-                        break;
-                    }
-                    let res = problem.slack_residuals(&state.x);
-                    let viol = res[0].abs().max(res[1].abs());
-                    if viol < alm_tol {
-                        break;
-                    }
-                    problem.alm_lambda[0] += problem.alm_rho * res[0];
-                    problem.alm_lambda[1] += problem.alm_rho * res[1];
-                    if viol > 0.25 * prev_viol {
-                        problem.alm_rho = (problem.alm_rho * 10.0).min(alm_rho_max);
-                    }
-                    prev_viol = viol;
-                }
-                state.alm_lambda = problem.alm_lambda;
-                state.alm_rho = problem.alm_rho;
-                state.flows = problem.flow_values(&state.x);
+                kernels::branch_element(&branches_data[l], v, z, y, rho, tron, &alm, state);
             });
     }
 
@@ -601,120 +328,28 @@ impl AdmmSolver {
         let branches = st.branches.as_slice();
         self.device
             .launch_map("u_scatter", &mut st.u, move |k, uk| {
-                *uk = if k < 2 * ngen {
-                    let g = &gens[k / 2];
-                    if k % 2 == 0 {
-                        g.pg
-                    } else {
-                        g.qg
-                    }
-                } else {
-                    let l = (k - 2 * ngen) / 8;
-                    let offset = (k - 2 * ngen) % 8;
-                    let b = &branches[l];
-                    match offset {
-                        0..=3 => b.flows[offset],
-                        4 => b.x[0] * b.x[0],
-                        5 => b.x[2],
-                        6 => b.x[1] * b.x[1],
-                        _ => b.x[3],
-                    }
-                };
+                *uk = kernels::u_element(k, ngen, gens, branches);
             });
     }
 
-    fn bus_update(&self, st: &mut DeviceState, data: &ProblemData, layout: &Layout) {
+    fn bus_update(&self, st: &mut DeviceState, data: &ProblemData) {
         let buses_data = &data.buses;
-        let constraints = &layout.constraints;
         let u = st.u.as_slice();
         let z = st.z.as_slice();
         let y = st.y.as_slice();
         let rho = st.rho.as_slice();
         self.device
             .launch_map("bus_update", &mut st.buses, move |b, state| {
-                let d = &buses_data[b];
-                // Linear/quadratic coefficients of each variable in the
-                // separable objective:  0.5 * q * x² − c * x.
-                let coef = |k: usize| -> (f64, f64) { (rho[k], rho[k] * (u[k] + z[k]) + y[k]) };
-
-                // θ update: unconstrained, separable.
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for &k in &d.theta_constraints {
-                    let (q, c) = coef(k);
-                    num += c;
-                    den += q;
-                }
-                if den > 0.0 {
-                    state.theta = num / den;
-                }
-
-                // Equality-constrained diagonal QP (7) over w and the copies.
-                let mut qw = 0.0;
-                let mut cw = 0.0;
-                for &k in &d.w_constraints {
-                    let (q, c) = coef(k);
-                    qw += q;
-                    cw += c;
-                }
-                // A has two rows (P and Q balance). Coefficients on w:
-                let aw = [-d.gs, d.bs];
-                // Accumulate A Q^{-1} A^T and A Q^{-1} c.
-                let mut aqat = [[0.0f64; 2]; 2];
-                let mut aqc = [0.0f64; 2];
-                if qw > 0.0 {
-                    aqat[0][0] += aw[0] * aw[0] / qw;
-                    aqat[0][1] += aw[0] * aw[1] / qw;
-                    aqat[1][0] += aw[1] * aw[0] / qw;
-                    aqat[1][1] += aw[1] * aw[1] / qw;
-                    aqc[0] += aw[0] * cw / qw;
-                    aqc[1] += aw[1] * cw / qw;
-                }
-                for &(k, sign) in &d.p_terms {
-                    let (q, c) = coef(k);
-                    aqat[0][0] += sign * sign / q;
-                    aqc[0] += sign * c / q;
-                }
-                for &(k, sign) in &d.q_terms {
-                    let (q, c) = coef(k);
-                    aqat[1][1] += sign * sign / q;
-                    aqc[1] += sign * c / q;
-                }
-                let rhs = [aqc[0] - d.pd, aqc[1] - d.qd];
-                let mu = solve2(aqat, rhs).unwrap_or([0.0, 0.0]);
-                // Recover the primal variables: x = Q^{-1}(c − A^T μ).
-                if qw > 0.0 {
-                    state.w = (cw - aw[0] * mu[0] - aw[1] * mu[1]) / qw;
-                }
-                for &(k, sign) in &d.p_terms {
-                    let (q, c) = coef(k);
-                    let value = (c - sign * mu[0]) / q;
-                    if let BusSlot::Copy(s) = constraints[k].slot {
-                        state.copies[s] = value;
-                    }
-                }
-                for &(k, sign) in &d.q_terms {
-                    let (q, c) = coef(k);
-                    let value = (c - sign * mu[1]) / q;
-                    if let BusSlot::Copy(s) = constraints[k].slot {
-                        state.copies[s] = value;
-                    }
-                }
+                kernels::bus_element(&buses_data[b], u, z, y, rho, state);
             });
     }
 
-    fn scatter_v(&self, st: &mut DeviceState, layout: &Layout) {
-        let constraints = &layout.constraints;
+    fn scatter_v(&self, st: &mut DeviceState, plan: &[(usize, BusSlot)]) {
         let buses = st.buses.as_slice();
         self.device
             .launch_map("v_scatter", &mut st.v, move |k, vk| {
-                let info = &constraints[k];
-                let bus = &buses[info.bus];
-                *vk = match info.slot {
-                    BusSlot::Copy(s) => bus.copies[s],
-                    BusSlot::W => bus.w,
-                    BusSlot::Theta => bus.theta,
-                };
+                let (bus, slot) = plan[k];
+                *vk = kernels::v_element(&buses[bus], slot);
             });
     }
 
@@ -725,7 +360,7 @@ impl AdmmSolver {
         let lam = st.lam.as_slice();
         let rho = st.rho.as_slice();
         self.device.launch_map("z_update", &mut st.z, move |k, zk| {
-            *zk = -(lam[k] + y[k] + rho[k] * (u[k] - v[k])) / (beta + rho[k]);
+            *zk = kernels::z_element(k, u, v, y, lam, rho, beta);
         });
     }
 
@@ -735,7 +370,7 @@ impl AdmmSolver {
         let z = st.z.as_slice();
         let rho = st.rho.as_slice();
         self.device.launch_map("y_update", &mut st.y, move |k, yk| {
-            *yk += rho[k] * (u[k] - v[k] + z[k]);
+            kernels::y_element(k, u, v, z, rho, yk);
         });
     }
 
@@ -743,7 +378,7 @@ impl AdmmSolver {
         let z = st.z.as_slice();
         self.device
             .launch_map("lambda_update", &mut st.lam, move |k, lk| {
-                *lk = (*lk + beta * z[k]).clamp(-bound, bound);
+                kernels::lambda_element(z[k], beta, bound, lk);
             });
     }
 
@@ -753,25 +388,14 @@ impl AdmmSolver {
         let gens = st.gens.to_host();
         let branches = st.branches.to_host();
         let buses = st.buses.to_host();
-        let solution = OpfSolution {
-            vm: buses.iter().map(|b| b.w.max(0.0).sqrt()).collect(),
-            va: buses.iter().map(|b| b.theta).collect(),
-            pg: gens.iter().map(|g| g.pg).collect(),
-            qg: gens.iter().map(|g| g.qg).collect(),
-        };
-        let warm = WarmState {
-            gen_pg: gens.iter().map(|g| g.pg).collect(),
-            gen_qg: gens.iter().map(|g| g.qg).collect(),
-            branch_x: branches.iter().map(|b| b.x).collect(),
-            branch_alm_lambda: branches.iter().map(|b| b.alm_lambda).collect(),
-            branch_alm_rho: branches.iter().map(|b| b.alm_rho).collect(),
-            bus_w: buses.iter().map(|b| b.w).collect(),
-            bus_theta: buses.iter().map(|b| b.theta).collect(),
-            bus_copies: buses.iter().map(|b| b.copies.clone()).collect(),
-            y: st.y.to_host(),
-            lam: st.lam.to_host(),
-            z: st.z.to_host(),
-        };
+        let (solution, warm) = kernels::extract_segment(
+            &gens,
+            &branches,
+            &buses,
+            &st.y.to_host(),
+            &st.lam.to_host(),
+            &st.z.to_host(),
+        );
         let _ = net;
         (solution, warm)
     }

@@ -99,6 +99,142 @@ impl Device {
         self.stats.record_launch(name, n, start.elapsed());
     }
 
+    /// Launch a kernel over a scenario-major buffer holding `active.len()`
+    /// equally-sized segments of `seg_len` elements each, skipping the
+    /// segments whose mask entry is `false`. This is the batched-driver
+    /// analogue of [`Self::launch_map`]: one launch spans `K × n` elements,
+    /// and converged scenarios stop consuming kernel work (the recorded block
+    /// count only counts elements of active segments). The closure receives
+    /// the *global* element index.
+    pub fn launch_map_segments<T, F>(
+        &self,
+        name: &str,
+        buf: &mut DeviceBuffer<T>,
+        seg_len: usize,
+        active: &[bool],
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        assert!(seg_len > 0, "segments must be non-empty");
+        assert_eq!(
+            buf.len(),
+            seg_len * active.len(),
+            "buffer length must equal seg_len * segments"
+        );
+        let start = Instant::now();
+        let live_segments = active.iter().filter(|&&a| a).count();
+        let live = live_segments as u64 * seg_len as u64;
+        match self.config.backend {
+            Backend::Parallel => {
+                if live_segments == active.len() {
+                    // Fast path for the common all-active case: no per-element
+                    // mask check. (Skipping whole inactive chunks in parallel
+                    // would need chunked parallel iteration the rayon shim
+                    // does not provide; the masked path below pays one cheap
+                    // check per element instead.)
+                    buf.as_mut_slice()
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(i, x)| f(i, x));
+                } else {
+                    buf.as_mut_slice()
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(i, x)| {
+                            if active[i / seg_len] {
+                                f(i, x)
+                            }
+                        });
+                }
+            }
+            Backend::Sequential => {
+                for (s, chunk) in buf.as_mut_slice().chunks_mut(seg_len).enumerate() {
+                    if !active[s] {
+                        continue;
+                    }
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        f(s * seg_len + j, x);
+                    }
+                }
+            }
+        }
+        self.stats.record_launch(name, live, start.elapsed());
+    }
+
+    /// One thread *block* per element of the active segments; the segmented
+    /// analogue of [`Self::launch_blocks`], used for the batched TRON branch
+    /// solves spanning all scenarios in one launch.
+    pub fn launch_blocks_segments<T, F>(
+        &self,
+        name: &str,
+        states: &mut DeviceBuffer<T>,
+        seg_len: usize,
+        active: &[bool],
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        self.launch_map_segments(name, states, seg_len, active, f);
+    }
+
+    /// Per-segment max-reduction over a scenario-major buffer: returns one
+    /// value per segment, `f64::NAN` for segments whose mask entry is
+    /// `false` (their elements are not even visited). Each segment is folded
+    /// in index order, so the result is bitwise identical between the
+    /// parallel and sequential backends and equal to [`Self::reduce_max`]
+    /// run on the segment alone.
+    pub fn reduce_max_segments<T, F>(
+        &self,
+        name: &str,
+        buf: &DeviceBuffer<T>,
+        seg_len: usize,
+        active: &[bool],
+        f: F,
+    ) -> Vec<f64>
+    where
+        T: Sync,
+        F: Fn(usize, &T) -> f64 + Sync,
+    {
+        assert!(seg_len > 0, "segments must be non-empty");
+        assert_eq!(
+            buf.len(),
+            seg_len * active.len(),
+            "buffer length must equal seg_len * segments"
+        );
+        let start = Instant::now();
+        let data = buf.as_slice();
+        let fold_segment = |s: usize| -> f64 {
+            if !active[s] {
+                return f64::NAN;
+            }
+            let base = s * seg_len;
+            let m = data[base..base + seg_len]
+                .iter()
+                .enumerate()
+                .map(|(j, x)| f(base + j, x))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if m == f64::NEG_INFINITY {
+                0.0
+            } else {
+                m
+            }
+        };
+        let result = match self.config.backend {
+            Backend::Parallel => active
+                .par_iter()
+                .enumerate()
+                .map(|(s, _)| fold_segment(s))
+                .collect::<Vec<f64>>(),
+            Backend::Sequential => (0..active.len()).map(fold_segment).collect(),
+        };
+        let live = active.iter().filter(|&&a| a).count() as u64 * seg_len as u64;
+        self.stats.record_launch(name, live, start.elapsed());
+        result
+    }
+
     /// Device-side max-reduction of a per-element score. No host transfer is
     /// recorded: the reduction result is a scalar produced on the device,
     /// mirroring a `cub::DeviceReduce` call.
@@ -271,6 +407,77 @@ mod tests {
         let max_par = par.reduce_max("max", &buf_par, |_, x| x.abs());
         let max_seq = seq.reduce_max("max", &buf_seq, |_, x| x.abs());
         assert_eq!(max_par.to_bits(), max_seq.to_bits());
+    }
+
+    #[test]
+    fn segmented_launch_skips_inactive_segments() {
+        for dev in devices() {
+            let mut buf = DeviceBuffer::from_host(Arc::clone(dev.stats()), &vec![0.0f64; 4 * 2000]);
+            let active = [true, false, true, false];
+            dev.launch_map_segments("seg_inc", &mut buf, 2000, &active, |i, x| {
+                *x = i as f64 + 1.0;
+            });
+            for (i, &x) in buf.as_slice().iter().enumerate() {
+                if active[i / 2000] {
+                    assert_eq!(x, i as f64 + 1.0);
+                } else {
+                    assert_eq!(x, 0.0, "inactive element {i} was touched");
+                }
+            }
+            // Only active elements count as launched blocks.
+            let snap = dev.stats().snapshot();
+            assert_eq!(snap.kernels["seg_inc"].blocks, 2 * 2000);
+        }
+    }
+
+    #[test]
+    fn segmented_reduce_matches_whole_segment_reduce() {
+        let host: Vec<f64> = (0..3 * 1500)
+            .map(|i| ((i * 31) % 97) as f64 - 48.0)
+            .collect();
+        for dev in devices() {
+            let buf = DeviceBuffer::from_host(Arc::clone(dev.stats()), &host);
+            let maxes =
+                dev.reduce_max_segments("seg_max", &buf, 1500, &[true, false, true], |_, x| {
+                    x.abs()
+                });
+            assert_eq!(maxes.len(), 3);
+            assert!(maxes[1].is_nan(), "inactive segment must be NaN");
+            for s in [0usize, 2] {
+                let expect = host[s * 1500..(s + 1) * 1500]
+                    .iter()
+                    .map(|x| x.abs())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(maxes[s].to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_ops_agree_across_backends_bitwise() {
+        let host: Vec<f64> = (0..4 * 1024).map(|i| (i as f64 * 0.11).sin()).collect();
+        let active = [true, true, false, true];
+        let par = Device::parallel();
+        let seq = Device::sequential();
+        let mut buf_par = DeviceBuffer::from_host(Arc::clone(par.stats()), &host);
+        let mut buf_seq = DeviceBuffer::from_host(Arc::clone(seq.stats()), &host);
+        let kernel = |_: usize, x: &mut f64| *x = x.cos() * 1.7 - 0.3;
+        par.launch_map_segments("k", &mut buf_par, 1024, &active, kernel);
+        seq.launch_map_segments("k", &mut buf_seq, 1024, &active, kernel);
+        assert_eq!(buf_par.as_slice(), buf_seq.as_slice());
+        let mp = par.reduce_max_segments("m", &buf_par, 1024, &active, |_, x| *x);
+        let ms = seq.reduce_max_segments("m", &buf_seq, 1024, &active, |_, x| *x);
+        for (a, b) in mp.iter().zip(&ms) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seg_len * segments")]
+    fn segmented_launch_length_mismatch_panics() {
+        let dev = Device::sequential();
+        let mut buf = DeviceBuffer::from_host(Arc::clone(dev.stats()), &[1.0f64; 10]);
+        dev.launch_map_segments("bad", &mut buf, 4, &[true, true], |_, _| {});
     }
 
     #[test]

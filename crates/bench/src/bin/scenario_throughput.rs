@@ -1,0 +1,134 @@
+//! Scenario-throughput experiment: solve *K* load/contingency scenarios of
+//! one case through the batched [`gridsim_admm::ScenarioBatch`] driver and
+//! compare against `K` sequential `AdmmSolver::solve` calls — the batching
+//! analogue of the paper's "thousands of subproblems per kernel launch"
+//! throughput argument, in the multi-scenario style of Shin et al.
+//! (arXiv:2307.16830).
+//!
+//! ```text
+//! cargo run -p gridsim-bench --release --bin scenario_throughput \
+//!     [--scale small|medium|paper] [--k K] [--nbus N] [--sigma S] [--seed U]
+//! ```
+//!
+//! By default this runs a mixed scenario set (load ramp + per-bus
+//! perturbations + N−1 outages) of K = 8 scenarios on a 300-bus proportional
+//! stand-in of the 1354pegase case, for K in {1, 2, 4, 8} so the scaling of
+//! the speedup is visible. Both drivers use the parallel backend and the
+//! same parameters; the batched side additionally verifies bitwise
+//! agreement with the sequential solves, so the speedup column is a
+//! like-for-like wall-clock ratio at identical numerics.
+
+use gridsim_admm::AdmmParams;
+use gridsim_bench::experiments::{run_scenario_throughput, to_json, ScenarioThroughputRow};
+use gridsim_bench::{arg_value, Scale, TextTable};
+use gridsim_grid::scenario::ScenarioSet;
+use gridsim_grid::synthetic::TableICase;
+
+/// A mixed K-scenario set: roughly half a load ramp, a quarter per-bus
+/// perturbations, a quarter N−1 outages.
+fn mixed_set(case: &gridsim_grid::Case, k: usize, sigma: f64, seed: u64) -> ScenarioSet {
+    let n_ramp = (k / 2).max(1);
+    let n_perturb = ((k - n_ramp) / 2).min(k - n_ramp);
+    let n_outage = k - n_ramp - n_perturb;
+    let mut set = ScenarioSet::load_ramp(case.clone(), n_ramp, 0.96, 1.04);
+    if n_perturb > 0 {
+        set.extend(ScenarioSet::perturbed_loads(
+            case.clone(),
+            n_perturb,
+            sigma,
+            seed,
+        ));
+    }
+    if n_outage > 0 {
+        set.extend(ScenarioSet::branch_outages(case.clone(), n_outage));
+    }
+    set.scenarios.truncate(k);
+    set
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let k_max: usize = arg_value("--k").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let nbus: usize = arg_value("--nbus")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(match scale {
+            Scale::Small => 300,
+            Scale::Medium => 1354,
+            Scale::Paper => 1354,
+        });
+    let sigma: f64 = arg_value("--sigma")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.03);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let tc = TableICase::Pegase1354;
+    let case = if scale == Scale::Paper {
+        tc.generate()
+    } else {
+        tc.scaled(nbus)
+    };
+    // A bounded iteration budget so the comparison measures time per fixed
+    // work (the right quantity for a throughput experiment) rather than
+    // time-to-convergence of untuned penalties on synthetic cases.
+    let params = AdmmParams {
+        max_outer: 3,
+        max_inner: 200,
+        ..AdmmParams::default()
+    };
+    println!(
+        "Scenario throughput on {} ({} buses), mixed ramp/perturbation/outage set, sigma {sigma}",
+        case.name,
+        case.buses.len()
+    );
+
+    let mut rows: Vec<ScenarioThroughputRow> = Vec::new();
+    let mut k = 1;
+    while k <= k_max {
+        let set = mixed_set(&case, k, sigma, seed);
+        eprintln!("K = {k} ...");
+        rows.push(run_scenario_throughput(&case.name, &set, &params));
+        k *= 2;
+    }
+
+    let mut table = TextTable::new(vec![
+        "K",
+        "Batch t (s)",
+        "Seq t (s)",
+        "Speedup",
+        "Ticks",
+        "Inner iters",
+        "Launches (batch)",
+        "Launches (seq)",
+        "||c||_inf",
+        "Bitwise",
+    ]);
+    for r in &rows {
+        table.add_row(vec![
+            r.scenarios.to_string(),
+            format!("{:.3}", r.batch_time_s),
+            format!("{:.3}", r.sequential_time_s),
+            format!("{:.2}x", r.speedup),
+            r.batch_ticks.to_string(),
+            r.total_inner_iterations.to_string(),
+            r.batch_launches.to_string(),
+            r.sequential_launches.to_string(),
+            format!("{:.2e}", r.worst_violation),
+            r.bitwise_identical.to_string(),
+        ]);
+    }
+    println!("{table}");
+    if let Some(last) = rows.last() {
+        println!(
+            "summary: K={} batch {:.3}s vs sequential {:.3}s ({:.2}x), launch amortization {:.1}x",
+            last.scenarios,
+            last.batch_time_s,
+            last.sequential_time_s,
+            last.speedup,
+            last.sequential_launches as f64 / last.batch_launches.max(1) as f64
+        );
+    }
+    println!("\nJSON results:");
+    println!("{}", to_json(&rows));
+}

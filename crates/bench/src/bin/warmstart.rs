@@ -17,21 +17,8 @@
 //! 30 times per case).
 
 use gridsim_bench::experiments::{run_tracking_comparison, to_json, TrackingRow};
-use gridsim_bench::{BenchCase, Scale, TextTable};
+use gridsim_bench::{arg_value, BenchCase, Scale, TextTable};
 use gridsim_grid::load_profile::LoadProfile;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        if a == name {
-            return args.get(i + 1).cloned();
-        }
-        if let Some(rest) = a.strip_prefix(&format!("{name}=")) {
-            return Some(rest.to_string());
-        }
-    }
-    None
-}
 
 fn main() {
     let scale = Scale::from_args();

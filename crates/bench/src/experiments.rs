@@ -3,9 +3,10 @@
 
 use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::{relative_gap, SolutionQuality};
-use gridsim_admm::{AdmmParams, AdmmSolver};
+use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch};
 use gridsim_grid::load_profile::LoadProfile;
 use gridsim_grid::network::Case;
+use gridsim_grid::scenario::ScenarioSet;
 use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -150,6 +151,93 @@ pub fn run_tracking_comparison(
     rows
 }
 
+/// One row of the scenario-throughput experiment: `K` scenarios of one case
+/// solved as a single batch vs `K` sequential single-case solves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioThroughputRow {
+    /// Case / scenario-set name.
+    pub name: String,
+    /// Number of scenarios `K`.
+    pub scenarios: usize,
+    /// Wall-clock of the batched solve (seconds).
+    pub batch_time_s: f64,
+    /// Wall-clock of `K` sequential `AdmmSolver::solve` calls (seconds).
+    pub sequential_time_s: f64,
+    /// `sequential_time_s / batch_time_s`.
+    pub speedup: f64,
+    /// Batched inner-iteration ticks (= max per-scenario inner iterations).
+    pub batch_ticks: usize,
+    /// Sum of per-scenario inner iterations (the sequential kernel rounds).
+    pub total_inner_iterations: usize,
+    /// Total kernel launches recorded during the batched solve.
+    pub batch_launches: u64,
+    /// Total kernel launches recorded across the sequential solves.
+    pub sequential_launches: u64,
+    /// Worst max-violation across scenarios (batched solve).
+    pub worst_violation: f64,
+    /// Whether every scenario's batched dispatch and voltages are bitwise
+    /// identical to its sequential solve.
+    pub bitwise_identical: bool,
+}
+
+/// Run the scenario-throughput comparison on a scenario set: once through
+/// the batched driver, once as sequential per-scenario solves, with kernel
+/// launch counts from the device statistics. Both sides use the parallel
+/// backend and identical parameters, so the row isolates the effect of
+/// batching alone.
+pub fn run_scenario_throughput(
+    name: &str,
+    set: &ScenarioSet,
+    params: &AdmmParams,
+) -> ScenarioThroughputRow {
+    let nets = set.networks().expect("scenario cases must compile");
+
+    let batcher = ScenarioBatch::new(params.clone());
+    let before = batcher.device.stats().snapshot();
+    let batch = batcher.solve(&nets);
+    let batch_launches = batcher
+        .device
+        .stats()
+        .snapshot()
+        .since(&before)
+        .total_launches();
+
+    let solver = AdmmSolver::new(params.clone());
+    let seq_before = solver.device.stats().snapshot();
+    let mut sequential_time = Duration::ZERO;
+    let mut bitwise = true;
+    for (net, batched) in nets.iter().zip(&batch.results) {
+        let single = solver.solve(net);
+        sequential_time += single.solve_time;
+        bitwise &= single.solution.pg == batched.solution.pg
+            && single.solution.qg == batched.solution.qg
+            && single.solution.vm == batched.solution.vm
+            && single.solution.va == batched.solution.va;
+    }
+    let sequential_launches = solver
+        .device
+        .stats()
+        .snapshot()
+        .since(&seq_before)
+        .total_launches();
+
+    let batch_time_s = batch.solve_time.as_secs_f64();
+    let sequential_time_s = sequential_time.as_secs_f64();
+    ScenarioThroughputRow {
+        name: name.to_string(),
+        scenarios: nets.len(),
+        batch_time_s,
+        sequential_time_s,
+        speedup: sequential_time_s / batch_time_s.max(1e-12),
+        batch_ticks: batch.ticks,
+        total_inner_iterations: batch.total_inner_iterations(),
+        batch_launches,
+        sequential_launches,
+        worst_violation: batch.worst_violation(),
+        bitwise_identical: bitwise,
+    }
+}
+
 /// Serialize experiment results to pretty JSON (written next to the text
 /// tables so plots can be regenerated without re-running the experiment).
 pub fn to_json<T: Serialize>(value: &T) -> String {
@@ -199,6 +287,28 @@ mod tests {
         // Cumulative times are nondecreasing.
         assert!(rows[2].admm_cumulative_s >= rows[1].admm_cumulative_s);
         assert!(rows[2].ipm_cumulative_s >= rows[1].ipm_cumulative_s);
+    }
+
+    #[test]
+    fn scenario_throughput_row_is_consistent_on_case9() {
+        let set = ScenarioSet::load_ramp(cases::case9(), 3, 0.99, 1.01);
+        let row = run_scenario_throughput("case9", &set, &AdmmParams::test_profile());
+        assert_eq!(row.scenarios, 3);
+        assert!(row.bitwise_identical, "batch diverged from single solves");
+        assert!(
+            row.worst_violation < 2e-2,
+            "violation {}",
+            row.worst_violation
+        );
+        // Batching amortizes launches: one batched round serves K scenarios.
+        assert!(
+            row.batch_launches < row.sequential_launches,
+            "batch {} vs sequential {} launches",
+            row.batch_launches,
+            row.sequential_launches
+        );
+        assert!(row.batch_ticks <= row.total_inner_iterations);
+        assert!(row.speedup.is_finite() && row.speedup > 0.0);
     }
 
     #[test]

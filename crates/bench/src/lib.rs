@@ -17,6 +17,7 @@
 //! | Ablation A| `cargo bench --bench kernels` | per-kernel cost split |
 //! | Ablation B| `penalty_sweep` | ρ sensitivity |
 //! | Ablation C| `transfer_audit` | host↔device transfer counts |
+//! | Scale     | `scenario_throughput` | batched K-scenario solve vs K sequential solves |
 //!
 //! The paper's full case sizes (up to 70,000 buses) are expensive for the
 //! *baseline* on a CPU-only substrate, so every binary accepts
@@ -27,6 +28,9 @@ pub mod experiments;
 pub mod registry;
 pub mod table;
 
-pub use experiments::{run_cold_start, run_tracking_comparison, ColdStartRow, TrackingRow};
-pub use registry::{BenchCase, Scale};
+pub use experiments::{
+    run_cold_start, run_scenario_throughput, run_tracking_comparison, ColdStartRow,
+    ScenarioThroughputRow, TrackingRow,
+};
+pub use registry::{arg_value, BenchCase, Scale};
 pub use table::TextTable;

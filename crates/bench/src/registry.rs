@@ -49,6 +49,22 @@ impl Scale {
     }
 }
 
+/// Value of a `--name value` or `--name=value` command-line argument, shared
+/// by the experiment binaries (the `--scale` flag has its own parser in
+/// [`Scale::from_args`]).
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{name}=")) {
+            return Some(rest.to_string());
+        }
+    }
+    None
+}
+
 /// One evaluation case together with the ADMM parameters the paper's Table I
 /// assigns to it.
 #[derive(Debug, Clone)]

@@ -15,6 +15,8 @@
 //!   exact component counts of the paper's Table I ([`synthetic`]),
 //! * time-varying load profiles for the warm-start tracking experiment
 //!   ([`load_profile`]),
+//! * scenario-set generation (load ramps, per-bus perturbations, N−1
+//!   branch outages) for batched multi-scenario solves ([`scenario`]),
 //! * and a compiled, per-unit, internally-indexed [`Network`] with branch
 //!   admittances and adjacency used by both the ADMM solver and the
 //!   interior-point baseline.
@@ -28,6 +30,7 @@ pub mod load_profile;
 pub mod matpower;
 pub mod network;
 pub mod perunit;
+pub mod scenario;
 pub mod synthetic;
 
 pub use branch::Branch;
@@ -37,4 +40,5 @@ pub use error::GridError;
 pub use generator::{GenCost, Generator};
 pub use load_profile::LoadProfile;
 pub use network::{Case, Network};
+pub use scenario::{Scenario, ScenarioSet};
 pub use synthetic::{SyntheticSpec, TableICase};

@@ -1,0 +1,344 @@
+//! Scenario-set generation for batched multi-scenario solves.
+//!
+//! A *scenario* is a perturbation of one base case that leaves the network's
+//! dimensions and topology untouched — the property the batched ADMM driver
+//! needs so that all `K` scenarios share one constraint layout and can run
+//! through scenario-major buffers in single kernel launches. Three scenario
+//! families cover the common studies:
+//!
+//! * **load ramps** — one uniform load multiplier per scenario,
+//! * **per-bus perturbations** — independent random multipliers per bus
+//!   (deterministic in the seed),
+//! * **single-branch outages** — N−1 contingencies. An outage keeps the
+//!   branch record in place (so branch indexing and the consensus layout are
+//!   unchanged) and opens the line electrically: series impedance driven to
+//!   `OUTAGE_REACTANCE`, charging removed, rating lifted, so the branch
+//!   carries ~zero flow and never binds.
+
+use crate::error::GridError;
+use crate::network::{Case, Network};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Series reactance of an opened branch: large enough that the admittance
+/// (≈ 1/x) is numerically negligible against real line admittances (~1–100),
+/// small enough to stay far from f64 overflow in the admittance math.
+pub const OUTAGE_REACTANCE: f64 = 1e7;
+
+/// One scenario: per-bus load multipliers plus an optional branch outage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (used as the derived case's name).
+    pub name: String,
+    /// Per-bus multiplier applied to both `pd` and `qd`; length must equal
+    /// the base case's bus count.
+    pub bus_load_scale: Vec<f64>,
+    /// Index (into the base case's branch list) of a branch taken out of
+    /// service, if any.
+    pub outage: Option<usize>,
+}
+
+impl Scenario {
+    /// A scenario scaling every bus load by the same factor.
+    pub fn uniform(name: impl Into<String>, nbus: usize, factor: f64) -> Scenario {
+        Scenario {
+            name: name.into(),
+            bus_load_scale: vec![factor; nbus],
+            outage: None,
+        }
+    }
+
+    /// A nominal-load scenario with branch `l` out of service.
+    pub fn branch_outage(name: impl Into<String>, nbus: usize, l: usize) -> Scenario {
+        Scenario {
+            name: name.into(),
+            bus_load_scale: vec![1.0; nbus],
+            outage: Some(l),
+        }
+    }
+
+    /// Apply the scenario to a base case, producing a derived case with
+    /// identical dimensions and topology.
+    pub fn apply(&self, base: &Case) -> Case {
+        assert_eq!(
+            self.bus_load_scale.len(),
+            base.buses.len(),
+            "scenario '{}' has {} bus multipliers for a {}-bus case",
+            self.name,
+            self.bus_load_scale.len(),
+            base.buses.len()
+        );
+        let mut case = base.clone();
+        case.name = self.name.clone();
+        for (bus, &f) in case.buses.iter_mut().zip(&self.bus_load_scale) {
+            bus.pd *= f;
+            bus.qd *= f;
+        }
+        if let Some(l) = self.outage {
+            assert!(
+                l < case.branches.len(),
+                "scenario '{}' outages branch {} of {}",
+                self.name,
+                l,
+                case.branches.len()
+            );
+            let br = &mut case.branches[l];
+            br.r = 0.0;
+            br.x = OUTAGE_REACTANCE;
+            br.b = 0.0;
+            br.rate_a = 0.0; // unlimited: the open line must never bind
+            br.tap = 0.0;
+            br.shift = 0.0;
+        }
+        case
+    }
+}
+
+/// A base case plus the scenarios derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSet {
+    /// The base case every scenario perturbs.
+    pub base: Case,
+    /// The scenarios, in solve order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioSet {
+    /// `k` scenarios ramping the uniform load multiplier linearly from `lo`
+    /// to `hi` (inclusive); `k = 1` uses `lo`.
+    pub fn load_ramp(base: Case, k: usize, lo: f64, hi: f64) -> ScenarioSet {
+        assert!(k > 0, "need at least one scenario");
+        let nbus = base.buses.len();
+        let scenarios = (0..k)
+            .map(|i| {
+                let t = if k == 1 {
+                    0.0
+                } else {
+                    i as f64 / (k - 1) as f64
+                };
+                let f = lo + t * (hi - lo);
+                Scenario::uniform(format!("{}_ramp{:.4}", base.name, f), nbus, f)
+            })
+            .collect();
+        ScenarioSet { base, scenarios }
+    }
+
+    /// `k` scenarios with independent per-bus load multipliers drawn
+    /// uniformly from `[1 − sigma, 1 + sigma]`. Deterministic in `seed`.
+    pub fn perturbed_loads(base: Case, k: usize, sigma: f64, seed: u64) -> ScenarioSet {
+        assert!(k > 0, "need at least one scenario");
+        assert!((0.0..1.0).contains(&sigma), "sigma must be in [0, 1)");
+        let nbus = base.buses.len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let scenarios = (0..k)
+            .map(|i| Scenario {
+                name: format!("{}_perturbed{}", base.name, i),
+                bus_load_scale: (0..nbus)
+                    .map(|_| 1.0 + rng.gen_range(-sigma..sigma))
+                    .collect(),
+                outage: None,
+            })
+            .collect();
+        ScenarioSet { base, scenarios }
+    }
+
+    /// Up to `k` single-branch-outage (N−1) scenarios at nominal load,
+    /// spread evenly over the eligible branches. Bridges of the base
+    /// topology are skipped — outaging a bridge islands part of the system
+    /// (typically a generator or load pocket), which is not a meaningful
+    /// N−1 screen — so the set may hold fewer than `k` scenarios (empty if
+    /// the topology is a tree).
+    pub fn branch_outages(base: Case, k: usize) -> ScenarioSet {
+        assert!(k > 0, "need at least one scenario");
+        let nbus = base.buses.len();
+        let bridge = bridges(&base);
+        let eligible: Vec<usize> = (0..base.branches.len()).filter(|&l| !bridge[l]).collect();
+        let k = k.min(eligible.len());
+        let scenarios = (0..k)
+            .map(|i| {
+                let l = eligible[i * eligible.len() / k];
+                Scenario::branch_outage(format!("{}_outage{}", base.name, l), nbus, l)
+            })
+            .collect();
+        ScenarioSet { base, scenarios }
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when the set holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Append another set's scenarios (same base case expected; the bases
+    /// are not checked beyond the bus count asserted at `apply` time).
+    pub fn extend(&mut self, other: ScenarioSet) {
+        self.scenarios.extend(other.scenarios);
+    }
+
+    /// The derived cases, in scenario order.
+    pub fn cases(&self) -> Vec<Case> {
+        self.scenarios.iter().map(|s| s.apply(&self.base)).collect()
+    }
+
+    /// Compile every derived case into a [`Network`].
+    pub fn networks(&self) -> Result<Vec<Network>, GridError> {
+        self.cases().iter().map(|c| c.compile()).collect()
+    }
+}
+
+/// Per-branch bridge flags of a case's topology, via an iterative low-link
+/// DFS over the multigraph. Parallel circuits between the same bus pair are
+/// never bridges (the DFS skips only the exact edge it entered through).
+fn bridges(case: &Case) -> Vec<bool> {
+    let n = case.buses.len();
+    let idx: std::collections::HashMap<usize, usize> = case
+        .buses
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.id, i))
+        .collect();
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (l, br) in case.branches.iter().enumerate() {
+        let a = idx[&br.from];
+        let b = idx[&br.to];
+        adj[a].push((b, l));
+        adj[b].push((a, l));
+    }
+    let mut tin = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut is_bridge = vec![false; case.branches.len()];
+    let mut timer = 0usize;
+    for root in 0..n {
+        if tin[root] != usize::MAX {
+            continue;
+        }
+        tin[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        // Frames of (node, edge entered through, next adjacency index).
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+        while let Some(frame) = stack.last_mut() {
+            let (v, entry_edge) = (frame.0, frame.1);
+            if frame.2 < adj[v].len() {
+                let (to, e) = adj[v][frame.2];
+                frame.2 += 1;
+                if e == entry_edge {
+                    continue;
+                }
+                if tin[to] == usize::MAX {
+                    tin[to] = timer;
+                    low[to] = timer;
+                    timer += 1;
+                    stack.push((to, e, 0));
+                } else {
+                    low[v] = low[v].min(tin[to]);
+                }
+            } else {
+                stack.pop();
+                if let Some(parent) = stack.last() {
+                    let p = parent.0;
+                    low[p] = low[p].min(low[v]);
+                    if low[v] > tin[p] {
+                        is_bridge[entry_edge] = true;
+                    }
+                }
+            }
+        }
+    }
+    is_bridge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+
+    #[test]
+    fn load_ramp_spans_the_requested_range() {
+        let set = ScenarioSet::load_ramp(cases::case9(), 5, 0.9, 1.1);
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.scenarios[0].bus_load_scale[0], 0.9);
+        assert_eq!(set.scenarios[4].bus_load_scale[0], 1.1);
+        assert!((set.scenarios[2].bus_load_scale[0] - 1.0).abs() < 1e-12);
+        // Uniform within a scenario.
+        for s in &set.scenarios {
+            assert!(s.bus_load_scale.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn scenarios_preserve_dimensions_and_topology() {
+        let base = cases::case14();
+        let mut set = ScenarioSet::perturbed_loads(base.clone(), 3, 0.05, 42);
+        set.extend(ScenarioSet::branch_outages(base.clone(), 3));
+        let base_net = base.compile().unwrap();
+        for net in set.networks().unwrap() {
+            assert_eq!(net.nbus, base_net.nbus);
+            assert_eq!(net.ngen, base_net.ngen);
+            assert_eq!(net.nbranch, base_net.nbranch);
+            assert_eq!(net.br_from, base_net.br_from);
+            assert_eq!(net.br_to, base_net.br_to);
+        }
+    }
+
+    #[test]
+    fn perturbed_loads_are_deterministic_in_seed() {
+        let a = ScenarioSet::perturbed_loads(cases::case9(), 4, 0.03, 7);
+        let b = ScenarioSet::perturbed_loads(cases::case9(), 4, 0.03, 7);
+        assert_eq!(a, b);
+        let c = ScenarioSet::perturbed_loads(cases::case9(), 4, 0.03, 8);
+        assert_ne!(a, c);
+        for s in &a.scenarios {
+            for &f in &s.bus_load_scale {
+                assert!((0.97..=1.03).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn outage_opens_the_branch_electrically() {
+        let base = cases::case9();
+        let set = ScenarioSet::branch_outages(base.clone(), 9);
+        // case9 has 9 branches; the three generator leads are bridges and
+        // are skipped, leaving the six ring branches.
+        assert_eq!(set.len(), 6);
+        let case = set.scenarios[0].apply(&base);
+        let l = set.scenarios[0].outage.unwrap();
+        let y = case.branches[l].admittance();
+        assert!(y.gii.abs() < 1e-6 && y.bii.abs() < 1e-6);
+        assert!(y.gij.abs() < 1e-6 && y.bij.abs() < 1e-6);
+        // Loads untouched, other branches untouched.
+        assert_eq!(case.buses[0].pd, base.buses[0].pd);
+        assert_eq!(case.branches[l + 1], base.branches[l + 1]);
+    }
+
+    #[test]
+    fn outages_never_select_bridges() {
+        let base = cases::case9();
+        let bridge = bridges(&base);
+        // Every generator lead (the only branch at its generator bus) is a
+        // bridge; ring branches are not.
+        assert_eq!(bridge.iter().filter(|&&b| b).count(), 3);
+        for s in &ScenarioSet::branch_outages(base, 9).scenarios {
+            assert!(!bridge[s.outage.unwrap()]);
+        }
+    }
+
+    #[test]
+    fn tree_topology_yields_no_outage_scenarios() {
+        // two_bus is a single line (a bridge): no eligible N−1 scenarios.
+        let set = ScenarioSet::branch_outages(cases::two_bus(), 10);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bus multipliers")]
+    fn wrong_multiplier_length_panics() {
+        let s = Scenario::uniform("bad", 3, 1.0);
+        let _ = s.apply(&cases::case9());
+    }
+}

@@ -30,7 +30,12 @@ pub use gridsim_tron as tron;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use gridsim_acopf::{OpfSolution, SolutionQuality};
-    pub use gridsim_admm::{AdmmParams, AdmmResult, AdmmSolver, TrackingConfig};
-    pub use gridsim_grid::{Case, LoadProfile, Network, SyntheticSpec, TableICase};
+    pub use gridsim_admm::{
+        AdmmParams, AdmmResult, AdmmSolver, ScenarioBatch, ScenarioBatchResult, ScenarioResult,
+        TrackingConfig,
+    };
+    pub use gridsim_grid::{
+        Case, LoadProfile, Network, Scenario, ScenarioSet, SyntheticSpec, TableICase,
+    };
     pub use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver};
 }

@@ -15,7 +15,7 @@ use gridsim_grid::{cases, matpower};
 #[test]
 fn quickstart_core_path() {
     let net = cases::case9().compile().expect("case9 compiles");
-    let admm = AdmmSolver::new(AdmmParams::default());
+    let admm = AdmmSolver::new(AdmmParams::test_profile());
     let result = admm.solve(&net);
     assert!(
         result.quality.max_violation() < 1e-2,
@@ -58,7 +58,10 @@ fn matpower_io_core_path() {
 fn warm_start_tracking_core_path() {
     let case = cases::case9();
     let profile = LoadProfile::paper_window(7, 3, 0.03);
-    let config = TrackingConfig::default();
+    let config = TrackingConfig {
+        params: AdmmParams::test_profile(),
+        ..TrackingConfig::default()
+    };
     let (periods, last) = track_horizon(&case, &profile, &config);
     assert_eq!(periods.len(), profile.len());
     // Cumulative time is monotone and period metadata is coherent.
@@ -91,4 +94,26 @@ fn synthetic_scaling_core_path() {
     let result = AdmmSolver::new(params).solve(&net);
     assert!(result.objective.is_finite());
     assert!(result.inner_iterations > 0);
+}
+
+/// `examples/scenario_batch.rs`: a mixed scenario set solved through the
+/// batched driver, bitwise identical to per-scenario solves.
+#[test]
+fn scenario_batch_core_path() {
+    let base = cases::case9();
+    let mut set = ScenarioSet::load_ramp(base.clone(), 2, 0.98, 1.02);
+    set.extend(ScenarioSet::branch_outages(base, 1));
+    let nets = set.networks().expect("scenario cases compile");
+    assert_eq!(nets.len(), 3);
+    let batcher = ScenarioBatch::new(AdmmParams::test_profile());
+    let batch = batcher.solve(&nets);
+    assert!(batch.all_converged(), "worst {}", batch.worst_violation());
+    let single = AdmmSolver::new(AdmmParams::test_profile()).solve(&nets[0]);
+    assert_eq!(batch.results[0].solution.pg, single.solution.pg);
+    // Chaining reuses warm states across the set: same two scenarios, cold
+    // batch vs warm chain.
+    let chained = batcher.solve_chained(&nets[..2], &single.warm_state, 0.05);
+    let cold2 = batcher.solve(&nets[..2]);
+    assert_eq!(chained.results.len(), 2);
+    assert!(chained.total_inner_iterations() < cold2.total_inner_iterations());
 }

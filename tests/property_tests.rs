@@ -177,6 +177,60 @@ proptest! {
     }
 }
 
+proptest! {
+    // Few cases: each one runs full ADMM solves. The iteration caps keep a
+    // case cheap; bitwise identity holds converged or not.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The scenario batcher is bitwise identical between `Backend::Parallel`
+    /// and `Backend::Sequential` for arbitrary perturbed-load scenario sets.
+    #[test]
+    fn scenario_batch_is_bitwise_identical_across_backends(
+        seed in 0u64..1000,
+        k in 1usize..5,
+        sigma in 0.005f64..0.05,
+    ) {
+        use gridsim_batch::Device;
+        let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, sigma, seed);
+        let nets = set.networks().unwrap();
+        let params = AdmmParams { max_outer: 2, max_inner: 25, ..AdmmParams::default() };
+        let par = ScenarioBatch::with_device(params.clone(), Device::parallel()).solve(&nets);
+        let seq = ScenarioBatch::with_device(params, Device::sequential()).solve(&nets);
+        prop_assert_eq!(par.ticks, seq.ticks);
+        for (a, b) in par.results.iter().zip(&seq.results) {
+            prop_assert_eq!(a.inner_iterations, b.inner_iterations);
+            prop_assert_eq!(&a.solution.pg, &b.solution.pg);
+            prop_assert_eq!(&a.solution.qg, &b.solution.qg);
+            prop_assert_eq!(&a.solution.vm, &b.solution.vm);
+            prop_assert_eq!(&a.solution.va, &b.solution.va);
+            prop_assert_eq!(a.z_inf.to_bits(), b.z_inf.to_bits());
+        }
+    }
+
+    /// A K=1 scenario batch reproduces `AdmmSolver::solve` exactly — same
+    /// iteration counts, same status, bit-identical solution.
+    #[test]
+    fn k1_scenario_batch_equals_single_solver(
+        mult in 0.9f64..1.1,
+        max_outer in 1usize..3,
+    ) {
+        let net = gridsim_grid::cases::case9().scale_load(mult).compile().unwrap();
+        let params = AdmmParams { max_outer, max_inner: 40, ..AdmmParams::default() };
+        let single = AdmmSolver::new(params.clone()).solve(&net);
+        let batch = ScenarioBatch::new(params).solve(std::slice::from_ref(&net));
+        prop_assert_eq!(batch.results.len(), 1);
+        let r = &batch.results[0];
+        prop_assert_eq!(r.inner_iterations, single.inner_iterations);
+        prop_assert_eq!(r.outer_iterations, single.outer_iterations);
+        prop_assert_eq!(r.status, single.status);
+        prop_assert_eq!(&r.solution.pg, &single.solution.pg);
+        prop_assert_eq!(&r.solution.qg, &single.solution.qg);
+        prop_assert_eq!(&r.solution.vm, &single.solution.vm);
+        prop_assert_eq!(&r.solution.va, &single.solution.va);
+        prop_assert_eq!(r.z_inf.to_bits(), single.z_inf.to_bits());
+    }
+}
+
 #[test]
 fn admm_deterministic_across_runs() {
     // Not a proptest (one expensive solve), but a determinism invariant: two

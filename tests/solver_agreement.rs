@@ -1,14 +1,25 @@
 //! Workspace integration tests: the decomposed GPU-style ADMM solver and the
 //! centralized interior-point baseline must agree on the embedded and
 //! synthetic cases — the cross-check behind every number in Table II.
+//!
+//! Wall-clock policy (ROADMAP open item): the agreement cases run under
+//! [`AdmmParams::test_profile`] — looser tolerances, tighter iteration caps,
+//! same algorithm — so a debug `cargo test -q` stays fast. The expensive
+//! full-tolerance (default-parameter) sweep runs in release builds always
+//! and in debug builds only when the `GRIDADMM_FULL_TESTS` env var is set.
 
 use gridadmm::prelude::*;
 use gridsim_acopf::violations::relative_gap;
 
-fn compare_on(case: gridsim_grid::Case, gap_tol: f64, viol_tol: f64) {
+/// True when the full-tolerance (default-parameter) cases should run.
+fn run_full_profile() -> bool {
+    !cfg!(debug_assertions) || std::env::var("GRIDADMM_FULL_TESTS").is_ok()
+}
+
+fn compare_on(case: gridsim_grid::Case, params: AdmmParams, gap_tol: f64, viol_tol: f64) {
     let net = case.compile().expect("case compiles");
 
-    let admm = AdmmSolver::new(AdmmParams::default()).solve(&net);
+    let admm = AdmmSolver::new(params).solve(&net);
     assert!(
         admm.quality.max_violation() < viol_tol,
         "{}: ADMM violation {:.3e}",
@@ -42,7 +53,12 @@ fn compare_on(case: gridsim_grid::Case, gap_tol: f64, viol_tol: f64) {
 
 #[test]
 fn agreement_on_two_bus() {
-    compare_on(gridsim_grid::cases::two_bus(), 0.01, 1e-2);
+    compare_on(
+        gridsim_grid::cases::two_bus(),
+        AdmmParams::test_profile(),
+        0.01,
+        1e-2,
+    );
 }
 
 #[test]
@@ -50,18 +66,69 @@ fn agreement_on_case5() {
     // The PJM 5-bus case has purely linear costs and deliberately tight line
     // ratings; with the default (untuned) penalties the ADMM consensus
     // converges slowly, so only ballpark agreement is asserted here. The
-    // penalty_sweep ablation covers the tuning story.
-    compare_on(gridsim_grid::cases::case5(), 0.05, 0.5);
+    // penalty_sweep ablation covers the tuning story. Unlike the other
+    // embedded cases, case5 needs the full inner-loop depth to make outer
+    // progress, so only the tolerances come from the fast profile.
+    let params = AdmmParams {
+        max_inner: 1000,
+        ..AdmmParams::test_profile()
+    };
+    compare_on(gridsim_grid::cases::case5(), params, 0.05, 0.5);
 }
 
 #[test]
 fn agreement_on_case9() {
-    compare_on(gridsim_grid::cases::case9(), 0.005, 1e-2);
+    compare_on(
+        gridsim_grid::cases::case9(),
+        AdmmParams::test_profile(),
+        0.01,
+        1e-2,
+    );
 }
 
 #[test]
 fn agreement_on_case14() {
-    compare_on(gridsim_grid::cases::case14(), 0.01, 1e-2);
+    compare_on(
+        gridsim_grid::cases::case14(),
+        AdmmParams::test_profile(),
+        0.01,
+        1e-2,
+    );
+}
+
+/// The full-tolerance sweep with default (paper-profile) parameters over the
+/// embedded agreement cases — the exact assertions the suite ran per-case
+/// before the fast profile existed.
+#[test]
+fn full_profile_agreement_on_embedded_cases() {
+    if !run_full_profile() {
+        eprintln!("skipping full-tolerance agreement sweep (set GRIDADMM_FULL_TESTS=1)");
+        return;
+    }
+    compare_on(
+        gridsim_grid::cases::two_bus(),
+        AdmmParams::default(),
+        0.01,
+        1e-2,
+    );
+    compare_on(
+        gridsim_grid::cases::case5(),
+        AdmmParams::default(),
+        0.05,
+        0.5,
+    );
+    compare_on(
+        gridsim_grid::cases::case9(),
+        AdmmParams::default(),
+        0.005,
+        1e-2,
+    );
+    compare_on(
+        gridsim_grid::cases::case14(),
+        AdmmParams::default(),
+        0.01,
+        1e-2,
+    );
 }
 
 #[test]
@@ -72,7 +139,7 @@ fn agreement_on_synthetic_case30() {
     // baseline itself only reaches ~1e-2 feasibility here. Assert the ADMM
     // side's quality and that the two objectives land in the same ballpark.
     let net = gridsim_grid::cases::case30_like().compile().unwrap();
-    let admm = AdmmSolver::new(AdmmParams::default()).solve(&net);
+    let admm = AdmmSolver::new(AdmmParams::test_profile()).solve(&net);
     assert!(
         admm.quality.max_violation() < 0.2,
         "ADMM violation {:.3e}",
@@ -97,12 +164,13 @@ fn scaled_pegase_standin_runs_both_solvers() {
     // penalties per case for exactly this reason), so the assertions here are
     // structural: both solvers run to completion, the decomposed solver's
     // dispatch respects the generator boxes, and the baseline reaches a
-    // near-feasible point.
+    // near-feasible point. (The converged-quality pin for this case lives in
+    // tests/scenario_batch.rs::pegase1354_scaled100_violation_does_not_regress.)
     let case = TableICase::Pegase1354.scaled(100);
     let net = case.compile().expect("case compiles");
     let params = AdmmParams {
-        max_outer: 3,
-        max_inner: 300,
+        max_outer: 2,
+        max_inner: 150,
         ..AdmmParams::default()
     };
     let admm = AdmmSolver::new(params).solve(&net);
@@ -112,7 +180,14 @@ fn scaled_pegase_standin_runs_both_solvers() {
         assert!(admm.solution.pg[g] <= net.pmax[g] + 1e-9);
     }
     let nlp = AcopfNlp::new(&net);
-    let ipm = IpmSolver::new(IpmOptions::default()).solve(&nlp);
+    // A bounded iteration budget for the baseline too: the assertion below
+    // is structural (infeasibility reduced from the flat start), and a full
+    // polish to optimality costs debug-suite seconds without adding cover.
+    let ipm = IpmSolver::new(IpmOptions {
+        max_iter: 60,
+        ..IpmOptions::default()
+    })
+    .solve(&nlp);
     assert!(ipm.objective.is_finite());
     // The baseline's convergence on untuned synthetic cases is best-effort;
     // what matters structurally is that it ran and reduced infeasibility
@@ -136,14 +211,14 @@ fn admm_scales_to_a_larger_synthetic_case_than_the_test_baseline() {
     let case = TableICase::Pegase2869.scaled(200);
     let net = case.compile().expect("case compiles");
     let params = AdmmParams {
-        max_outer: 2,
-        max_inner: 250,
+        max_outer: 1,
+        max_inner: 150,
         ..AdmmParams::default()
     };
     let solver = AdmmSolver::new(params);
     let result = solver.solve(&net);
     assert!(result.objective.is_finite());
-    assert!(result.inner_iterations >= 250);
+    assert!(result.inner_iterations >= 150);
     for g in 0..net.ngen {
         assert!(result.solution.pg[g] >= net.pmin[g] - 1e-9);
         assert!(result.solution.pg[g] <= net.pmax[g] + 1e-9);
@@ -159,7 +234,7 @@ fn admm_scales_to_a_larger_synthetic_case_than_the_test_baseline() {
 #[test]
 fn admm_solution_respects_all_bounds() {
     let net = gridsim_grid::cases::case14().compile().unwrap();
-    let result = AdmmSolver::new(AdmmParams::default()).solve(&net);
+    let result = AdmmSolver::new(AdmmParams::test_profile()).solve(&net);
     let sol = &result.solution;
     for b in 0..net.nbus {
         assert!(sol.vm[b] >= net.vmin[b] - 1e-6);
@@ -179,7 +254,7 @@ fn line_limits_respected_within_margin() {
     // extracted flows must respect the true ratings up to the consensus
     // error.
     let net = gridsim_grid::cases::case9().compile().unwrap();
-    let result = AdmmSolver::new(AdmmParams::default()).solve(&net);
+    let result = AdmmSolver::new(AdmmParams::test_profile()).solve(&net);
     let flows = result.solution.branch_flows(&net);
     for l in 0..net.nbranch {
         if !net.rate_a[l].is_finite() {

@@ -8,7 +8,10 @@ use gridsim_admm::track_horizon;
 fn short_horizon_tracking_on_case14() {
     let case = gridsim_grid::cases::case14();
     let profile = LoadProfile::paper_window(0, 5, 0.02);
-    let config = TrackingConfig::default();
+    let config = TrackingConfig {
+        params: AdmmParams::test_profile(),
+        ..TrackingConfig::default()
+    };
     let (periods, last) = track_horizon(&case, &profile, &config);
 
     assert_eq!(periods.len(), 5);
@@ -55,7 +58,7 @@ fn ramp_limits_hold_between_consecutive_periods() {
     };
     let ramp_fraction = 0.02;
 
-    let solver = AdmmSolver::new(AdmmParams::default());
+    let solver = AdmmSolver::new(AdmmParams::test_profile());
     let mut prev: Option<gridsim_admm::AdmmResult> = None;
     let mut prev_pg: Option<Vec<f64>> = None;
     for &mult in &profile.multipliers {
