@@ -1,13 +1,16 @@
 //! Shared per-element kernel bodies and problem data of the ADMM updates.
 //!
 //! Both the single-case driver ([`crate::solver::AdmmSolver`]) and the
-//! batched multi-scenario driver ([`crate::scenario::ScenarioBatch`]) launch
-//! these functions — the single driver over one network's buffers, the
-//! batched driver over scenario-major buffers spanning `K × n` elements
-//! (every constraint index stored in [`ProblemData`] is pre-offset by the
-//! scenario's base, so the same element function serves both layouts).
-//! Keeping the arithmetic in one place is what makes a K=1 batch bitwise
-//! identical to a plain [`crate::solver::AdmmSolver::solve`].
+//! batched multi-scenario engine ([`crate::scenario::ScenarioScheduler`])
+//! launch these functions — the single driver over one network's buffers,
+//! the scheduler over slot-major buffers spanning `L × n` elements. Every
+//! constraint index stored in [`ProblemData`] is *scenario-local*; the
+//! element functions take the owning slot's `base` offset (`0` for a single
+//! solve, `slot · m` inside a batch) at call time. Keeping the data
+//! scenario-local is what lets scenarios that share loads/outages share one
+//! `Arc`'d copy of it regardless of which slot they run in, and keeping the
+//! arithmetic in one place is what makes a K=1 batch bitwise identical to a
+//! plain [`crate::solver::AdmmSolver::solve`].
 
 use crate::branch_problem::{BranchProblem, ConsensusTerm};
 use crate::layout::{BusSlot, ConstraintKind, Layout};
@@ -24,7 +27,7 @@ use gridsim_tron::TronSolver;
 // read-only per-component data
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct GenData {
     pub(crate) pmin: f64,
     pub(crate) pmax: f64,
@@ -36,7 +39,7 @@ pub(crate) struct GenData {
     pub(crate) k_q: usize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct BranchData {
     pub(crate) y: BranchAdmittance,
     pub(crate) limit_sq: f64,
@@ -47,7 +50,7 @@ pub(crate) struct BranchData {
     pub(crate) vmax_j: f64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct BusData {
     pub(crate) pd: f64,
     pub(crate) qd: f64,
@@ -70,14 +73,13 @@ pub(crate) struct ProblemData {
 
 impl ProblemData {
     /// Build the read-only problem data. Every stored constraint index is
-    /// shifted by `offset` — 0 for a single solve, `s · m` for scenario `s`
-    /// of a batch whose per-scenario constraint count is `m`.
+    /// scenario-local; kernel element functions shift by the owning slot's
+    /// base offset at call time.
     pub(crate) fn build(
         net: &Network,
         layout: &Layout,
         params: &AdmmParams,
         pg_bounds: Option<&(Vec<f64>, Vec<f64>)>,
-        offset: usize,
     ) -> ProblemData {
         // Internal objective scaling (see `AdmmParams::obj_scale`): keep the
         // largest marginal cost comparable to rho_pq so the generator
@@ -101,8 +103,8 @@ impl ProblemData {
                     qmax: net.qmax[g],
                     c2: obj_scale * net.cost_c2[g],
                     c1: obj_scale * net.cost_c1[g],
-                    k_p: offset + layout.gen_p(g),
-                    k_q: offset + layout.gen_q(g),
+                    k_p: layout.gen_p(g),
+                    k_q: layout.gen_q(g),
                 }
             })
             .collect();
@@ -113,7 +115,7 @@ impl ProblemData {
                 BranchData {
                     y: net.br_y[l],
                     limit_sq: net.rate_limit_sq(l, params.line_limit_margin),
-                    k_base: offset + layout.branch_base(l),
+                    k_base: layout.branch_base(l),
                     vmin_i: net.vmin[f],
                     vmax_i: net.vmax[f],
                     vmin_j: net.vmin[t],
@@ -144,15 +146,15 @@ impl ProblemData {
                     p_terms: plan
                         .p_copies
                         .iter()
-                        .map(|&k| (offset + k, sign(k), slot(k)))
+                        .map(|&k| (k, sign(k), slot(k)))
                         .collect(),
                     q_terms: plan
                         .q_copies
                         .iter()
-                        .map(|&k| (offset + k, sign(k), slot(k)))
+                        .map(|&k| (k, sign(k), slot(k)))
                         .collect(),
-                    w_constraints: plan.w_constraints.iter().map(|&k| offset + k).collect(),
-                    theta_constraints: plan.theta_constraints.iter().map(|&k| offset + k).collect(),
+                    w_constraints: plan.w_constraints.clone(),
+                    theta_constraints: plan.theta_constraints.clone(),
                 }
             })
             .collect();
@@ -164,15 +166,11 @@ impl ProblemData {
     }
 }
 
-/// Per-constraint `(owning bus, slot)` scatter plan for the v buffer. The
-/// bus index is shifted by `bus_offset` (scenario `s` of a batch passes
-/// `s · nbus`).
-pub(crate) fn v_plan(layout: &Layout, bus_offset: usize) -> Vec<(usize, BusSlot)> {
-    layout
-        .constraints
-        .iter()
-        .map(|c| (bus_offset + c.bus, c.slot))
-        .collect()
+/// Per-constraint `(owning bus, slot)` scatter plan for the v buffer, in
+/// scenario-local bus indices. One plan serves every scenario of a batch:
+/// slot `s` reads bus `s · nbus + bus`.
+pub(crate) fn v_plan(layout: &Layout) -> Vec<(usize, BusSlot)> {
+    layout.constraints.iter().map(|c| (c.bus, c.slot)).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -305,16 +303,19 @@ impl AlmSettings {
 }
 
 /// Generator update: closed form (6) for the box-constrained quadratic.
+/// `base` is the owning slot's offset into the constraint-major buffers
+/// (`0` for a single solve, `slot · m` inside a batch).
 #[inline]
 pub(crate) fn generator_element(
     d: &GenData,
+    base: usize,
     v: &[f64],
     z: &[f64],
     y: &[f64],
     rho: &[f64],
     state: &mut GenState,
 ) {
-    let (kp, kq) = (d.k_p, d.k_q);
+    let (kp, kq) = (base + d.k_p, base + d.k_q);
     let tp = v[kp] - z[kp];
     let pg = (rho[kp] * tp - y[kp] - d.c1) / (2.0 * d.c2 + rho[kp]);
     state.pg = pg.clamp(d.pmin, d.pmax);
@@ -324,10 +325,12 @@ pub(crate) fn generator_element(
 }
 
 /// Branch update: one TRON block solve, wrapped in the inner
-/// augmented-Lagrangian loop on the line-limit slack equalities.
+/// augmented-Lagrangian loop on the line-limit slack equalities. `base` as
+/// in [`generator_element`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn branch_element(
     d: &BranchData,
+    base: usize,
     v: &[f64],
     z: &[f64],
     y: &[f64],
@@ -344,8 +347,8 @@ pub(crate) fn branch_element(
         rho: rho[k],
     };
     for j in 0..4 {
-        problem.flow_terms[j] = term(d.k_base + j);
-        problem.volt_terms[j] = term(d.k_base + 4 + j);
+        problem.flow_terms[j] = term(base + d.k_base + j);
+        problem.volt_terms[j] = term(base + d.k_base + 4 + j);
     }
     problem.alm_lambda = state.alm_lambda;
     problem.alm_rho = if state.alm_rho > 0.0 {
@@ -422,9 +425,10 @@ pub(crate) fn u_element(
 }
 
 /// Bus update: the equality-constrained diagonal QP (7) over `w`, `θ` and
-/// the power copies.
+/// the power copies. `base` as in [`generator_element`].
 pub(crate) fn bus_element(
     d: &BusData,
+    base: usize,
     u: &[f64],
     z: &[f64],
     y: &[f64],
@@ -433,7 +437,10 @@ pub(crate) fn bus_element(
 ) {
     // Linear/quadratic coefficients of each variable in the separable
     // objective:  0.5 * q * x² − c * x.
-    let coef = |k: usize| -> (f64, f64) { (rho[k], rho[k] * (u[k] + z[k]) + y[k]) };
+    let coef = |k: usize| -> (f64, f64) {
+        let k = base + k;
+        (rho[k], rho[k] * (u[k] + z[k]) + y[k])
+    };
 
     // θ update: unconstrained, separable.
     let mut num = 0.0;

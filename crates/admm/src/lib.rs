@@ -23,11 +23,15 @@
 //! No host–device transfers occur during the solve; the transfer counters of
 //! [`gridsim_batch`] verify this.
 //!
-//! Beyond the paper's per-case solver, [`scenario::ScenarioBatch`] widens
-//! every kernel launch to span *K* load/contingency scenarios of one network
-//! at once (scenario-major buffers, per-scenario convergence masks,
-//! warm-start chaining) — the fleet-solver mode used by the
-//! `scenario_throughput` experiment.
+//! Beyond the paper's per-case solver, the [`scenario`] module provides the
+//! multi-device execution engine: [`scenario::ScenarioProblem`] holds the
+//! `Arc`-deduplicated read-only problem data of a scenario set, and
+//! [`scenario::ScenarioScheduler`] shards the scenarios across a
+//! [`gridsim_batch::DevicePool`] with streaming admission (converged
+//! scenarios hand their buffer slot to the next pending one).
+//! [`scenario::ScenarioBatch`] — the K-scenarios-on-one-device special case —
+//! remains the convenience front end used by the `scenario_throughput`
+//! experiment.
 
 pub mod branch_problem;
 pub(crate) mod kernels;
@@ -40,6 +44,8 @@ pub mod tracking;
 pub use branch_problem::BranchProblem;
 pub use layout::{ConstraintKind, Layout};
 pub use params::AdmmParams;
-pub use scenario::{ScenarioBatch, ScenarioBatchResult, ScenarioResult};
+pub use scenario::{
+    ScenarioBatch, ScenarioBatchResult, ScenarioProblem, ScenarioResult, ScenarioScheduler,
+};
 pub use solver::{AdmmResult, AdmmSolver, AdmmStatus};
 pub use tracking::{track_horizon, PeriodResult, TrackingConfig};

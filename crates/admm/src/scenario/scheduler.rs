@@ -1,0 +1,672 @@
+//! The multi-device scenario scheduler: sharding plus streaming admission.
+//!
+//! [`ScenarioScheduler`] maps a scenario set onto a [`DevicePool`]:
+//!
+//! * **sharding** — scenarios are dealt round-robin across the pool's
+//!   logical devices; shards execute concurrently, each billing its kernel
+//!   work to its own device's statistics stream,
+//! * **streaming admission** — each device runs a fixed number of *slots*
+//!   (lanes). When a slot's scenario terminates, its result is extracted
+//!   from that slot's buffer segment and the next pending scenario of the
+//!   shard is admitted into the freed slot, so the device never idles lanes
+//!   on converged scenarios while work is still queued.
+//!
+//! Because every scenario's iterates depend only on its own buffer segment
+//! and control state, the per-scenario results are **bitwise identical**
+//! for *any* device count, lane count, and admission order — and equal to
+//! a [`super::ScenarioBatch`] solve of the same scenarios, which is itself
+//! the K-scenarios-on-one-device, all-admitted-at-once special case of this
+//! scheduler. The property suite asserts exactly that.
+
+use super::problem::{ScenarioData, ScenarioProblem};
+use super::{ScenarioBatchResult, ScenarioResult};
+use crate::kernels::{self, AlmSettings, BranchState, BusState, GenState};
+use crate::params::AdmmParams;
+use crate::solver::{AdmmStatus, WarmState};
+use gridsim_acopf::violations::SolutionQuality;
+use gridsim_batch::{Device, DeviceBuffer, DevicePool};
+use gridsim_grid::network::Network;
+use gridsim_tron::TronSolver;
+use std::time::Instant;
+
+/// Per-slot control state of the outer/inner loop (one live scenario).
+#[derive(Debug, Clone)]
+struct ScenCtl {
+    beta: f64,
+    outer_done: usize,
+    inner_in_outer: usize,
+    total_inner: usize,
+    z_inf_prev: f64,
+    z_inf: f64,
+    primres: f64,
+    status: AdmmStatus,
+}
+
+impl ScenCtl {
+    fn fresh(params: &AdmmParams) -> ScenCtl {
+        ScenCtl {
+            beta: params.beta_init,
+            outer_done: 0,
+            inner_in_outer: 0,
+            total_inner: 0,
+            z_inf_prev: f64::INFINITY,
+            z_inf: f64::INFINITY,
+            primres: f64::INFINITY,
+            status: AdmmStatus::MaxOuterIterations,
+        }
+    }
+}
+
+/// Slot-major device state of one shard.
+struct SlotState {
+    gens: DeviceBuffer<GenState>,
+    branches: DeviceBuffer<BranchState>,
+    buses: DeviceBuffer<BusState>,
+    u: DeviceBuffer<f64>,
+    v: DeviceBuffer<f64>,
+    z: DeviceBuffer<f64>,
+    z_prev: DeviceBuffer<f64>,
+    y: DeviceBuffer<f64>,
+    lam: DeviceBuffer<f64>,
+    rho: DeviceBuffer<f64>,
+}
+
+/// Host-side initial state of one scenario segment.
+struct SegmentHost {
+    gens: Vec<GenState>,
+    branches: Vec<BranchState>,
+    buses: Vec<BusState>,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    z: Vec<f64>,
+    y: Vec<f64>,
+    lam: Vec<f64>,
+}
+
+/// Precomputed element-index → owning-slot lookup tables, one per buffer
+/// geometry. The tick closures run over global slot-major indices; a `u32`
+/// load here replaces a per-element integer division (which adds up across
+/// the ~10⁹ cheap kernel elements of a large solve), and the looked-up
+/// value is the same integer the division would produce, so results are
+/// unchanged bitwise.
+struct SegMaps {
+    gen: Vec<u32>,
+    branch: Vec<u32>,
+    bus: Vec<u32>,
+    cons: Vec<u32>,
+}
+
+impl SegMaps {
+    fn build(ll: usize, problem: &ScenarioProblem) -> SegMaps {
+        let seg_of = |n: usize| (0..ll * n).map(|i| (i / n) as u32).collect();
+        SegMaps {
+            gen: seg_of(problem.ngen),
+            branch: seg_of(problem.nbranch),
+            bus: seg_of(problem.nbus),
+            cons: seg_of(problem.m),
+        }
+    }
+}
+
+/// The multi-device scenario execution engine.
+#[derive(Debug, Clone)]
+pub struct ScenarioScheduler {
+    /// Algorithm parameters (shared by every scenario).
+    pub params: AdmmParams,
+    /// The device pool scenarios are sharded across.
+    pub pool: DevicePool,
+    lanes_per_device: Option<usize>,
+}
+
+impl ScenarioScheduler {
+    /// A scheduler on the environment-selected pool (`GRIDSIM_DEVICES`
+    /// logical parallel devices, default 1).
+    pub fn new(params: AdmmParams) -> Self {
+        Self::with_pool(params, DevicePool::from_env())
+    }
+
+    /// A scheduler on a specific device pool.
+    pub fn with_pool(params: AdmmParams, pool: DevicePool) -> Self {
+        ScenarioScheduler {
+            params,
+            pool,
+            lanes_per_device: None,
+        }
+    }
+
+    /// Cap the number of concurrent scenario slots per device. With fewer
+    /// lanes than scenarios per shard, the scheduler streams: finished
+    /// slots are refilled from the pending queue. Without a cap (the
+    /// default) each device admits its whole shard at once.
+    pub fn with_lanes(mut self, lanes_per_device: usize) -> Self {
+        assert!(lanes_per_device >= 1, "need at least one lane");
+        self.lanes_per_device = Some(lanes_per_device);
+        self
+    }
+
+    /// The configured lane cap, if any.
+    pub fn lanes_per_device(&self) -> Option<usize> {
+        self.lanes_per_device
+    }
+
+    /// Solve all scenarios from a cold start. Networks must share the first
+    /// one's dimensions and topology (panics otherwise); results are in
+    /// input order and bitwise independent of the device/lane configuration.
+    pub fn solve(&self, nets: &[Network]) -> ScenarioBatchResult {
+        self.run(nets, None, None)
+    }
+
+    /// Solve all scenarios warm-started from one shared [`WarmState`],
+    /// optionally with per-scenario ramp-limited generator bounds
+    /// (`pg_bounds[s]` applies to scenario `s`).
+    pub fn solve_warm(
+        &self,
+        nets: &[Network],
+        warm: &WarmState,
+        pg_bounds: Option<&[(Vec<f64>, Vec<f64>)]>,
+    ) -> ScenarioBatchResult {
+        self.run(nets, Some(warm), pg_bounds)
+    }
+
+    fn run(
+        &self,
+        nets: &[Network],
+        warm: Option<&WarmState>,
+        pg_bounds: Option<&[(Vec<f64>, Vec<f64>)]>,
+    ) -> ScenarioBatchResult {
+        let start_time = Instant::now();
+        // The tick loop performs one inner iteration per round before it
+        // checks the caps, so zero-iteration budgets (which the single
+        // solver answers with an immediate return) cannot be honored here.
+        assert!(
+            self.params.max_inner >= 1 && self.params.max_outer >= 1,
+            "ScenarioScheduler needs max_inner >= 1 and max_outer >= 1"
+        );
+        let problem = ScenarioProblem::build(nets, &self.params, pg_bounds);
+        let ndev = self.pool.len().min(nets.len());
+        // Deal scenarios round-robin across the devices.
+        let shards: Vec<Vec<usize>> = (0..ndev)
+            .map(|d| (d..nets.len()).step_by(ndev).collect())
+            .collect();
+
+        let mut slots: Vec<Option<ScenarioResult>> = nets.iter().map(|_| None).collect();
+        let mut ticks = 0usize;
+        if ndev == 1 {
+            let (results, t) = run_shard(
+                &self.params,
+                self.pool.device(0),
+                &problem,
+                nets,
+                &shards[0],
+                self.lanes_per_device,
+                warm,
+            );
+            ticks = t;
+            for (idx, r) in results {
+                slots[idx] = Some(r);
+            }
+        } else {
+            // One host thread per device shard; each shard's kernel work is
+            // billed to its own device stream.
+            let shard_outputs = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(d, shard)| {
+                        let device = self.pool.device(d);
+                        let params = &self.params;
+                        let problem = &problem;
+                        let lanes = self.lanes_per_device;
+                        scope.spawn(move || {
+                            run_shard(params, device, problem, nets, shard, lanes, warm)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("device shard thread panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (results, t) in shard_outputs {
+                // Shards run concurrently: the batch's tick count is the
+                // longest device's, the wall-clock analogue.
+                ticks = ticks.max(t);
+                for (idx, r) in results {
+                    slots[idx] = Some(r);
+                }
+            }
+        }
+        ScenarioBatchResult {
+            results: slots
+                .into_iter()
+                .map(|r| r.expect("every scenario produces a result"))
+                .collect(),
+            solve_time: start_time.elapsed(),
+            ticks,
+        }
+    }
+}
+
+/// Host-side initial state of one scenario, bitwise identical to the state
+/// the single driver's init kernels would produce for it.
+fn init_segment(
+    net: &Network,
+    data: &ScenarioData,
+    problem: &ScenarioProblem,
+    warm: Option<&WarmState>,
+) -> SegmentHost {
+    let m = problem.m;
+    let (gens, branches, mut buses, y, lam, z) = match warm {
+        Some(w) => {
+            let (gens, branches, buses) = kernels::warm_states(net, w);
+            (
+                gens,
+                branches,
+                buses,
+                w.y.clone(),
+                w.lam.clone(),
+                w.z.clone(),
+            )
+        }
+        None => {
+            let gens: Vec<GenState> = data.gens.iter().map(kernels::cold_gen_state).collect();
+            let branches: Vec<BranchState> = data
+                .branches
+                .iter()
+                .map(kernels::cold_branch_state)
+                .collect();
+            let buses: Vec<BusState> = (0..problem.nbus)
+                .map(|b| {
+                    kernels::cold_bus_state(
+                        net.vmin[b],
+                        net.vmax[b],
+                        problem.layout.bus_plans[b].num_copies,
+                    )
+                })
+                .collect();
+            (
+                gens,
+                branches,
+                buses,
+                vec![0.0; m],
+                vec![0.0; m],
+                vec![0.0; m],
+            )
+        }
+    };
+    let mut u = vec![0.0f64; m];
+    for (k, uk) in u.iter_mut().enumerate() {
+        *uk = kernels::u_element(k, problem.ngen, &gens, &branches);
+    }
+    if warm.is_none() {
+        // Seed the bus copies from the consistent component values so a
+        // cold start begins from consensus agreement.
+        for (b, bus) in buses.iter_mut().enumerate() {
+            kernels::seed_bus_copies(&data.buses[b], &u, bus);
+        }
+    }
+    let mut v = vec![0.0f64; m];
+    for (k, vk) in v.iter_mut().enumerate() {
+        let (bus, slot) = problem.vplan[k];
+        *vk = kernels::v_element(&buses[bus], slot);
+    }
+    SegmentHost {
+        gens,
+        branches,
+        buses,
+        u,
+        v,
+        z,
+        y,
+        lam,
+    }
+}
+
+/// Admit a scenario into slot `s` of an existing shard state: one ranged
+/// host-to-device upload per live buffer. (`rho` is layout-derived and
+/// identical for every scenario; `z_prev` is overwritten from `z` on the
+/// slot's first tick before any read.)
+fn admit_into_slot(st: &mut SlotState, s: usize, seg: &SegmentHost, problem: &ScenarioProblem) {
+    let (ngen, nbranch, nbus, m) = (problem.ngen, problem.nbranch, problem.nbus, problem.m);
+    st.gens.upload_range(s * ngen, &seg.gens);
+    st.branches.upload_range(s * nbranch, &seg.branches);
+    st.buses.upload_range(s * nbus, &seg.buses);
+    st.u.upload_range(s * m, &seg.u);
+    st.v.upload_range(s * m, &seg.v);
+    st.z.upload_range(s * m, &seg.z);
+    st.y.upload_range(s * m, &seg.y);
+    st.lam.upload_range(s * m, &seg.lam);
+}
+
+/// Extract slot `s`'s finished scenario: one ranged device-to-host read per
+/// result-bearing buffer.
+fn extract_slot(
+    st: &SlotState,
+    s: usize,
+    net: &Network,
+    ctl: &ScenCtl,
+    problem: &ScenarioProblem,
+) -> ScenarioResult {
+    let (ngen, nbranch, nbus, m) = (problem.ngen, problem.nbranch, problem.nbus, problem.m);
+    let gens = st.gens.to_host_range(s * ngen, ngen);
+    let branches = st.branches.to_host_range(s * nbranch, nbranch);
+    let buses = st.buses.to_host_range(s * nbus, nbus);
+    let y = st.y.to_host_range(s * m, m);
+    let lam = st.lam.to_host_range(s * m, m);
+    let z = st.z.to_host_range(s * m, m);
+    let (solution, warm_state) = kernels::extract_segment(&gens, &branches, &buses, &y, &lam, &z);
+    let quality = SolutionQuality::evaluate(net, &solution);
+    ScenarioResult {
+        name: net.name.clone(),
+        objective: solution.objective(net),
+        quality,
+        solution,
+        status: ctl.status,
+        inner_iterations: ctl.total_inner,
+        outer_iterations: ctl.outer_done,
+        z_inf: ctl.z_inf,
+        primal_residual: ctl.primres,
+        warm_state,
+    }
+}
+
+/// Run one device's shard with streaming admission; returns the finished
+/// scenarios tagged with their input indices, plus the shard's tick count.
+fn run_shard(
+    params: &AdmmParams,
+    device: &Device,
+    problem: &ScenarioProblem,
+    nets: &[Network],
+    shard: &[usize],
+    lanes: Option<usize>,
+    warm: Option<&WarmState>,
+) -> (Vec<(usize, ScenarioResult)>, usize) {
+    let (ngen, nbranch, nbus, m) = (problem.ngen, problem.nbranch, problem.nbus, problem.m);
+    let ll = lanes.unwrap_or(shard.len()).min(shard.len());
+    let tron = TronSolver::new(params.tron.clone());
+    let alm = AlmSettings::from_params(params);
+    let stats = device.stats().clone();
+
+    // Fill the initial lanes host-side, then create the slot-major buffers
+    // with one bulk upload each.
+    let mut queue = shard.iter().copied();
+    let mut occupant: Vec<usize> = Vec::with_capacity(ll);
+    let mut gen_host: Vec<GenState> = Vec::with_capacity(ll * ngen);
+    let mut branch_host: Vec<BranchState> = Vec::with_capacity(ll * nbranch);
+    let mut bus_host: Vec<BusState> = Vec::with_capacity(ll * nbus);
+    let mut u_host = Vec::with_capacity(ll * m);
+    let mut v_host = Vec::with_capacity(ll * m);
+    let mut z_host = Vec::with_capacity(ll * m);
+    let mut y_host = Vec::with_capacity(ll * m);
+    let mut lam_host = Vec::with_capacity(ll * m);
+    let mut rho_host = Vec::with_capacity(ll * m);
+    for _ in 0..ll {
+        let idx = queue.next().expect("lanes never exceed the shard");
+        let seg = init_segment(&nets[idx], &problem.data[idx], problem, warm);
+        occupant.push(idx);
+        gen_host.extend(seg.gens);
+        branch_host.extend(seg.branches);
+        bus_host.extend(seg.buses);
+        u_host.extend(seg.u);
+        v_host.extend(seg.v);
+        z_host.extend(seg.z);
+        y_host.extend(seg.y);
+        lam_host.extend(seg.lam);
+        rho_host.extend_from_slice(&problem.rho);
+    }
+    let mut st = SlotState {
+        gens: DeviceBuffer::from_host(stats.clone(), &gen_host),
+        branches: DeviceBuffer::from_host(stats.clone(), &branch_host),
+        buses: DeviceBuffer::from_host(stats.clone(), &bus_host),
+        u: DeviceBuffer::from_host(stats.clone(), &u_host),
+        v: DeviceBuffer::from_host(stats.clone(), &v_host),
+        z: DeviceBuffer::from_host(stats.clone(), &z_host),
+        z_prev: DeviceBuffer::zeroed(stats.clone(), ll * m),
+        y: DeviceBuffer::from_host(stats.clone(), &y_host),
+        lam: DeviceBuffer::from_host(stats.clone(), &lam_host),
+        rho: DeviceBuffer::from_host(stats, &rho_host),
+    };
+
+    let mut slot_data: Vec<ScenarioData> =
+        occupant.iter().map(|&i| problem.data[i].clone()).collect();
+    let segs = SegMaps::build(ll, problem);
+    let mut ctl: Vec<ScenCtl> = (0..ll).map(|_| ScenCtl::fresh(params)).collect();
+    let mut active = vec![true; ll];
+    let mut out: Vec<(usize, ScenarioResult)> = Vec::with_capacity(shard.len());
+    let mut ticks = 0usize;
+
+    while active.iter().any(|&a| a) {
+        ticks += 1;
+        tick(
+            device, &mut st, problem, &slot_data, &segs, &tron, &alm, &active, &ctl,
+        );
+
+        // Residuals, per slot.
+        let prim = device.reduce_max_segments("primal_residual", &st.z, m, &active, {
+            let u = st.u.as_slice();
+            let v = st.v.as_slice();
+            move |k, zk| (u[k] - v[k] + zk).abs()
+        });
+        let dual = device.reduce_max_segments("dual_residual", &st.z, m, &active, {
+            let zp = st.z_prev.as_slice();
+            let rho = st.rho.as_slice();
+            move |k, zk| (rho[k] * (zk - zp[k])).abs()
+        });
+
+        // Per-slot control: inner bookkeeping, outer boundaries.
+        let mut boundary = vec![false; ll];
+        for s in 0..ll {
+            if !active[s] {
+                continue;
+            }
+            let c = &mut ctl[s];
+            c.total_inner += 1;
+            c.inner_in_outer += 1;
+            c.primres = prim[s];
+            let inner_converged = prim[s] <= params.eps_inner && dual[s] <= params.eps_inner;
+            if inner_converged || c.inner_in_outer >= params.max_inner {
+                boundary[s] = true;
+            }
+        }
+        if !boundary.iter().any(|&b| b) {
+            continue;
+        }
+
+        // Outer-level update and termination for slots at a boundary.
+        let z_inf = device.reduce_max_segments("z_norm", &st.z, m, &boundary, |_, zk| zk.abs());
+        let mut lambda_mask = vec![false; ll];
+        let mut finished = vec![false; ll];
+        for s in 0..ll {
+            if !boundary[s] {
+                continue;
+            }
+            let c = &mut ctl[s];
+            c.z_inf = z_inf[s];
+            c.inner_in_outer = 0;
+            c.outer_done += 1;
+            if c.z_inf <= params.eps_outer {
+                c.status = AdmmStatus::Converged;
+                finished[s] = true;
+            } else {
+                lambda_mask[s] = true;
+            }
+        }
+        if lambda_mask.iter().any(|&b| b) {
+            let betas: Vec<f64> = ctl.iter().map(|c| c.beta).collect();
+            let bound = params.lambda_bound;
+            let z = st.z.as_slice();
+            let cons = segs.cons.as_slice();
+            device.launch_map_segments("lambda_update", &mut st.lam, m, &lambda_mask, {
+                move |k, lk| kernels::lambda_element(z[k], betas[cons[k] as usize], bound, lk)
+            });
+            for s in 0..ll {
+                if !lambda_mask[s] {
+                    continue;
+                }
+                let c = &mut ctl[s];
+                if c.z_inf > params.z_decrease_factor * c.z_inf_prev {
+                    c.beta *= params.beta_factor;
+                }
+                c.z_inf_prev = c.z_inf;
+                if c.outer_done >= params.max_outer {
+                    finished[s] = true;
+                }
+            }
+        }
+
+        // Extract finished slots and stream the next pending scenarios in.
+        for s in 0..ll {
+            if !finished[s] {
+                continue;
+            }
+            let idx = occupant[s];
+            out.push((idx, extract_slot(&st, s, &nets[idx], &ctl[s], problem)));
+            match queue.next() {
+                Some(next) => {
+                    let seg = init_segment(&nets[next], &problem.data[next], problem, warm);
+                    admit_into_slot(&mut st, s, &seg, problem);
+                    occupant[s] = next;
+                    slot_data[s] = problem.data[next].clone();
+                    ctl[s] = ScenCtl::fresh(params);
+                }
+                None => active[s] = false,
+            }
+        }
+    }
+    (out, ticks)
+}
+
+/// One batched inner iteration over every active slot: the eight kernel
+/// launches of Algorithm 1's lines 3–6, each spanning `L × n` elements.
+#[allow(clippy::too_many_arguments)]
+fn tick(
+    device: &Device,
+    st: &mut SlotState,
+    problem: &ScenarioProblem,
+    slot_data: &[ScenarioData],
+    segs: &SegMaps,
+    tron: &TronSolver,
+    alm: &AlmSettings,
+    active: &[bool],
+    ctl: &[ScenCtl],
+) {
+    let (ngen, nbranch, nbus, m) = (problem.ngen, problem.nbranch, problem.nbus, problem.m);
+    // x block: generators and branches.
+    {
+        let v = st.v.as_slice();
+        let z = st.z.as_slice();
+        let y = st.y.as_slice();
+        let rho = st.rho.as_slice();
+        let gen_seg = segs.gen.as_slice();
+        device.launch_map_segments("generator_update", &mut st.gens, ngen, active, {
+            move |g, state| {
+                let s = gen_seg[g] as usize;
+                kernels::generator_element(
+                    &slot_data[s].gens[g - s * ngen],
+                    s * m,
+                    v,
+                    z,
+                    y,
+                    rho,
+                    state,
+                )
+            }
+        });
+        let branch_seg = segs.branch.as_slice();
+        device.launch_blocks_segments("branch_tron", &mut st.branches, nbranch, active, {
+            move |l, state| {
+                let s = branch_seg[l] as usize;
+                kernels::branch_element(
+                    &slot_data[s].branches[l - s * nbranch],
+                    s * m,
+                    v,
+                    z,
+                    y,
+                    rho,
+                    tron,
+                    alm,
+                    state,
+                )
+            }
+        });
+    }
+    {
+        let gens = st.gens.as_slice();
+        let branches = st.branches.as_slice();
+        let cons = segs.cons.as_slice();
+        device.launch_map_segments("u_scatter", &mut st.u, m, active, move |k, uk| {
+            let s = cons[k] as usize;
+            *uk = kernels::u_element(
+                k - s * m,
+                ngen,
+                &gens[s * ngen..(s + 1) * ngen],
+                &branches[s * nbranch..(s + 1) * nbranch],
+            );
+        });
+    }
+    // x̄ block: buses.
+    {
+        let u = st.u.as_slice();
+        let z = st.z.as_slice();
+        let y = st.y.as_slice();
+        let rho = st.rho.as_slice();
+        let bus_seg = segs.bus.as_slice();
+        device.launch_map_segments("bus_update", &mut st.buses, nbus, active, {
+            move |b, state| {
+                let s = bus_seg[b] as usize;
+                kernels::bus_element(
+                    &slot_data[s].buses[b - s * nbus],
+                    s * m,
+                    u,
+                    z,
+                    y,
+                    rho,
+                    state,
+                )
+            }
+        });
+    }
+    {
+        let buses = st.buses.as_slice();
+        let vplan = problem.vplan.as_slice();
+        let cons = segs.cons.as_slice();
+        device.launch_map_segments("v_scatter", &mut st.v, m, active, move |k, vk| {
+            let s = cons[k] as usize;
+            let (bus, slot) = vplan[k - s * m];
+            *vk = kernels::v_element(&buses[s * nbus + bus], slot);
+        });
+    }
+    // z and multiplier updates.
+    {
+        // Device-side copy of the active segments (free, like the single
+        // driver's z_prev copy).
+        let z = st.z.as_slice();
+        let zp = st.z_prev.as_mut_slice();
+        for (s, &a) in active.iter().enumerate() {
+            if a {
+                zp[s * m..(s + 1) * m].copy_from_slice(&z[s * m..(s + 1) * m]);
+            }
+        }
+    }
+    {
+        let betas: Vec<f64> = ctl.iter().map(|c| c.beta).collect();
+        let u = st.u.as_slice();
+        let v = st.v.as_slice();
+        let y = st.y.as_slice();
+        let lam = st.lam.as_slice();
+        let rho = st.rho.as_slice();
+        let cons = segs.cons.as_slice();
+        device.launch_map_segments("z_update", &mut st.z, m, active, move |k, zk| {
+            *zk = kernels::z_element(k, u, v, y, lam, rho, betas[cons[k] as usize]);
+        });
+    }
+    {
+        let u = st.u.as_slice();
+        let v = st.v.as_slice();
+        let z = st.z.as_slice();
+        let rho = st.rho.as_slice();
+        device.launch_map_segments("y_update", &mut st.y, m, active, move |k, yk| {
+            kernels::y_element(k, u, v, z, rho, yk);
+        });
+    }
+}

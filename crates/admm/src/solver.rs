@@ -135,8 +135,8 @@ impl AdmmSolver {
         let start_time = Instant::now();
         let params = &self.params;
         let layout = Layout::build(net, params);
-        let data = ProblemData::build(net, &layout, params, pg_bounds.as_ref(), 0);
-        let vplan = kernels::v_plan(&layout, 0);
+        let data = ProblemData::build(net, &layout, params, pg_bounds.as_ref());
+        let vplan = kernels::v_plan(&layout);
         let mut st = self.init_state(net, &layout, &data, &vplan, warm);
         let tron = TronSolver::new(params.tron.clone());
 
@@ -299,7 +299,7 @@ impl AdmmSolver {
         let rho = st.rho.as_slice();
         self.device
             .launch_map("generator_update", &mut st.gens, move |g, state| {
-                kernels::generator_element(&gens_data[g], v, z, y, rho, state);
+                kernels::generator_element(&gens_data[g], 0, v, z, y, rho, state);
             });
     }
 
@@ -318,7 +318,7 @@ impl AdmmSolver {
         let alm = AlmSettings::from_params(params);
         self.device
             .launch_blocks("branch_tron", &mut st.branches, move |l, state| {
-                kernels::branch_element(&branches_data[l], v, z, y, rho, tron, &alm, state);
+                kernels::branch_element(&branches_data[l], 0, v, z, y, rho, tron, &alm, state);
             });
     }
 
@@ -340,7 +340,7 @@ impl AdmmSolver {
         let rho = st.rho.as_slice();
         self.device
             .launch_map("bus_update", &mut st.buses, move |b, state| {
-                kernels::bus_element(&buses_data[b], u, z, y, rho, state);
+                kernels::bus_element(&buses_data[b], 0, u, z, y, rho, state);
             });
     }
 

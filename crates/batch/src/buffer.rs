@@ -39,6 +39,36 @@ impl<T: Clone> DeviceBuffer<T> {
         self.stats.record_h2d(std::mem::size_of_val(host));
         self.data.clone_from_slice(host);
     }
+
+    /// Copy host data into the sub-range starting at `offset` (counts one
+    /// transfer of the range's bytes). The streaming scheduler uses this to
+    /// re-seed one scenario slot without re-uploading the whole batch.
+    pub fn upload_range(&mut self, offset: usize, host: &[T]) {
+        assert!(
+            offset + host.len() <= self.data.len(),
+            "upload_range [{}, {}) out of bounds for buffer of length {}",
+            offset,
+            offset + host.len(),
+            self.data.len()
+        );
+        self.stats.record_h2d(std::mem::size_of_val(host));
+        self.data[offset..offset + host.len()].clone_from_slice(host);
+    }
+
+    /// Copy the sub-range `[offset, offset + len)` back to the host (counts
+    /// one transfer of the range's bytes). The streaming scheduler uses this
+    /// to extract one finished scenario without draining the whole batch.
+    pub fn to_host_range(&self, offset: usize, len: usize) -> Vec<T> {
+        assert!(
+            offset + len <= self.data.len(),
+            "to_host_range [{}, {}) out of bounds for buffer of length {}",
+            offset,
+            offset + len,
+            self.data.len()
+        );
+        self.stats.record_d2h(len * std::mem::size_of::<T>());
+        self.data[offset..offset + len].to_vec()
+    }
 }
 
 impl<T: Default + Clone> DeviceBuffer<T> {

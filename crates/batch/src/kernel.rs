@@ -28,14 +28,28 @@ impl Device {
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
+        self.launch_impl(name, buf, usize::MAX, f);
+    }
+
+    /// Shared body of the whole-buffer launches; `min_len` is the parallel
+    /// scheduling granularity (`usize::MAX` keeps the default cheap-kernel
+    /// threshold, `1` fans out block-per-subproblem work).
+    fn launch_impl<T, F>(&self, name: &str, buf: &mut DeviceBuffer<T>, min_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
         let start = Instant::now();
         let n = buf.len() as u64;
         match self.config.backend {
             Backend::Parallel => {
-                buf.as_mut_slice()
-                    .par_iter_mut()
-                    .enumerate()
-                    .for_each(|(i, x)| f(i, x));
+                let it = buf.as_mut_slice().par_iter_mut();
+                let it = if min_len == usize::MAX {
+                    it
+                } else {
+                    it.with_min_len(min_len)
+                };
+                it.enumerate().for_each(|(i, x)| f(i, x));
             }
             Backend::Sequential => {
                 for (i, x) in buf.as_mut_slice().iter_mut().enumerate() {
@@ -46,17 +60,19 @@ impl Device {
         self.stats.record_launch(name, n, start.elapsed());
     }
 
-    /// Launch a kernel with one thread block per element of `states`. This is
-    /// identical to [`Self::launch_map`] except that the block index is
-    /// reported in the statistics under the mental model "one block per
-    /// subproblem" (the paper's ExaTron launch geometry), and the closure is
-    /// expected to do substantial per-element work.
+    /// Launch a kernel with one thread block per element of `states`, under
+    /// the mental model "one block per subproblem" (the paper's ExaTron
+    /// launch geometry). Unlike [`Self::launch_map`], the closure is expected
+    /// to do substantial per-element work, so the parallel backend schedules
+    /// at single-element granularity: even a handful of blocks fans out
+    /// across the worker pool instead of falling below the cheap-kernel
+    /// sequential threshold.
     pub fn launch_blocks<T, F>(&self, name: &str, states: &mut DeviceBuffer<T>, f: F)
     where
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
-        self.launch_map(name, states, f);
+        self.launch_impl(name, states, 1, f);
     }
 
     /// Launch a kernel over two equally-sized buffers, one thread per index.
@@ -117,6 +133,24 @@ impl Device {
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
+        self.launch_segments_impl(name, buf, seg_len, active, usize::MAX, f);
+    }
+
+    /// Shared body of the segmented launches; `min_len` is the parallel
+    /// scheduling granularity (`usize::MAX` keeps the default cheap-kernel
+    /// threshold, `1` fans out block-per-subproblem work).
+    fn launch_segments_impl<T, F>(
+        &self,
+        name: &str,
+        buf: &mut DeviceBuffer<T>,
+        seg_len: usize,
+        active: &[bool],
+        min_len: usize,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
         assert!(seg_len > 0, "segments must be non-empty");
         assert_eq!(
             buf.len(),
@@ -128,25 +162,25 @@ impl Device {
         let live = live_segments as u64 * seg_len as u64;
         match self.config.backend {
             Backend::Parallel => {
+                let it = buf.as_mut_slice().par_iter_mut();
+                let it = if min_len == usize::MAX {
+                    it
+                } else {
+                    it.with_min_len(min_len)
+                };
                 if live_segments == active.len() {
                     // Fast path for the common all-active case: no per-element
                     // mask check. (Skipping whole inactive chunks in parallel
                     // would need chunked parallel iteration the rayon shim
                     // does not provide; the masked path below pays one cheap
                     // check per element instead.)
-                    buf.as_mut_slice()
-                        .par_iter_mut()
-                        .enumerate()
-                        .for_each(|(i, x)| f(i, x));
+                    it.enumerate().for_each(|(i, x)| f(i, x));
                 } else {
-                    buf.as_mut_slice()
-                        .par_iter_mut()
-                        .enumerate()
-                        .for_each(|(i, x)| {
-                            if active[i / seg_len] {
-                                f(i, x)
-                            }
-                        });
+                    it.enumerate().for_each(|(i, x)| {
+                        if active[i / seg_len] {
+                            f(i, x)
+                        }
+                    });
                 }
             }
             Backend::Sequential => {
@@ -165,7 +199,8 @@ impl Device {
 
     /// One thread *block* per element of the active segments; the segmented
     /// analogue of [`Self::launch_blocks`], used for the batched TRON branch
-    /// solves spanning all scenarios in one launch.
+    /// solves spanning all scenarios in one launch. Schedules at
+    /// single-element granularity like [`Self::launch_blocks`].
     pub fn launch_blocks_segments<T, F>(
         &self,
         name: &str,
@@ -177,7 +212,7 @@ impl Device {
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
-        self.launch_map_segments(name, states, seg_len, active, f);
+        self.launch_segments_impl(name, states, seg_len, active, 1, f);
     }
 
     /// Per-segment max-reduction over a scenario-major buffer: returns one

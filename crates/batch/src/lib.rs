@@ -28,8 +28,10 @@
 pub mod buffer;
 pub mod device;
 pub mod kernel;
+pub mod pool;
 pub mod stats;
 
 pub use buffer::DeviceBuffer;
 pub use device::{Backend, Device, DeviceConfig};
+pub use pool::{DevicePool, DEVICE_COUNT_ENV};
 pub use stats::{DeviceStats, KernelStats, StatsSnapshot};

@@ -95,6 +95,33 @@ impl StatsSnapshot {
         self.kernels.values().map(|k| k.launches).sum()
     }
 
+    /// Total number of thread blocks across all kernels.
+    pub fn total_blocks(&self) -> u64 {
+        self.kernels.values().map(|k| k.blocks).sum()
+    }
+
+    /// Total wall-clock time spent inside kernel bodies, summed across all
+    /// kernels (a device's "busy time").
+    pub fn kernel_elapsed(&self) -> Duration {
+        self.kernels.values().map(|k| k.elapsed).sum()
+    }
+
+    /// Fold another snapshot's counters into this one (per-kernel timings
+    /// are summed by kernel name). Used to aggregate the per-device streams
+    /// of a [`crate::DevicePool`] into one pool-wide view.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.host_to_device_transfers += other.host_to_device_transfers;
+        self.device_to_host_transfers += other.device_to_host_transfers;
+        self.host_to_device_bytes += other.host_to_device_bytes;
+        self.device_to_host_bytes += other.device_to_host_bytes;
+        for (name, k) in &other.kernels {
+            let entry = self.kernels.entry(name.clone()).or_default();
+            entry.launches += k.launches;
+            entry.blocks += k.blocks;
+            entry.elapsed += k.elapsed;
+        }
+    }
+
     /// Total transfers in either direction.
     pub fn total_transfers(&self) -> u64 {
         self.host_to_device_transfers + self.device_to_host_transfers

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run -p gridsim-bench --release --bin scenario_throughput \
-//!     [--scale small|medium|paper] [--k K] [--nbus N] [--sigma S] [--seed U]
+//!     [--scale small|medium|paper] [--k K] [--nbus N] [--sigma S] [--seed U] \
+//!     [--devices D1,D2,...] [--lanes L]
 //! ```
 //!
 //! By default this runs a mixed scenario set (load ramp + per-bus
@@ -17,9 +18,16 @@
 //! same parameters; the batched side additionally verifies bitwise
 //! agreement with the sequential solves, so the speedup column is a
 //! like-for-like wall-clock ratio at identical numerics.
+//!
+//! A second sweep schedules the largest set across 1/2/4 logical devices
+//! (streaming admission) through [`gridsim_admm::ScenarioScheduler`] and
+//! prints the per-device kernel breakdown — launches, blocks, and busy time
+//! per logical device — from each device's own statistics stream.
 
 use gridsim_admm::AdmmParams;
-use gridsim_bench::experiments::{run_scenario_throughput, to_json, ScenarioThroughputRow};
+use gridsim_bench::experiments::{
+    run_device_sweep_row, run_scenario_throughput, to_json, DeviceSweepRow, ScenarioThroughputRow,
+};
 use gridsim_bench::{arg_value, Scale, TextTable};
 use gridsim_grid::scenario::ScenarioSet;
 use gridsim_grid::synthetic::TableICase;
@@ -129,6 +137,62 @@ fn main() {
             last.sequential_launches as f64 / last.batch_launches.max(1) as f64
         );
     }
+
+    // ---- device sweep: shard the largest set across logical devices ----
+    let device_counts: Vec<usize> = arg_value("--devices")
+        .map(|v| v.split(',').filter_map(|d| d.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let lanes: Option<usize> = arg_value("--lanes").and_then(|v| v.parse().ok());
+    let set = mixed_set(&case, k_max, sigma, seed);
+    // One shared reference solve at the sweep's own K (the throughput rows
+    // above stop at the largest power of two ≤ k_max, so their last row is
+    // not necessarily the same scenario count): every sweep row compares
+    // bitwise and wall-clock against this single batch.
+    eprintln!("reference batch at K = {k_max} ...");
+    let reference = gridsim_admm::ScenarioBatch::new(params.clone())
+        .solve(&set.networks().expect("scenario cases compile"));
+    let batch_time = reference.solve_time.as_secs_f64();
+    println!(
+        "\nDevice sweep at K = {k_max} (streaming scheduler, {} lanes/device):",
+        lanes.map_or("unbounded".to_string(), |l| l.to_string()),
+    );
+    let mut sweep: Vec<DeviceSweepRow> = Vec::new();
+    let mut dev_table = TextTable::new(vec![
+        "Devices",
+        "Lanes",
+        "Sched t (s)",
+        "vs 1-dev batch",
+        "Ticks",
+        "Bitwise",
+        "Per-device launches",
+        "Per-device blocks",
+        "Per-device busy (s)",
+    ]);
+    for &d in &device_counts {
+        let d = d.clamp(1, k_max);
+        eprintln!("devices = {d} ...");
+        let row = run_device_sweep_row(&case.name, &set, &params, d, lanes, Some(&reference));
+        dev_table.add_row(vec![
+            row.devices.to_string(),
+            row.lanes_per_device.to_string(),
+            format!("{:.3}", row.sched_time_s),
+            format!("{:.2}x", batch_time / row.sched_time_s),
+            row.ticks.to_string(),
+            row.bitwise_identical.to_string(),
+            format!("{:?}", row.per_device_launches),
+            format!("{:?}", row.per_device_blocks),
+            format!(
+                "{:?}",
+                row.per_device_busy_s
+                    .iter()
+                    .map(|s| (s * 1e3).round() / 1e3)
+                    .collect::<Vec<f64>>()
+            ),
+        ]);
+        sweep.push(row);
+    }
+    println!("{dev_table}");
+
     println!("\nJSON results:");
-    println!("{}", to_json(&rows));
+    println!("{}", to_json(&(rows, sweep)));
 }

@@ -3,7 +3,8 @@
 
 use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::{relative_gap, SolutionQuality};
-use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch};
+use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch, ScenarioScheduler};
+use gridsim_batch::DevicePool;
 use gridsim_grid::load_profile::LoadProfile;
 use gridsim_grid::network::Case;
 use gridsim_grid::scenario::ScenarioSet;
@@ -238,6 +239,93 @@ pub fn run_scenario_throughput(
     }
 }
 
+/// One row of the device-sweep experiment: the same scenario set scheduled
+/// across `devices` logical devices with streaming admission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSweepRow {
+    /// Case / scenario-set name.
+    pub name: String,
+    /// Number of logical devices scenarios were sharded across.
+    pub devices: usize,
+    /// Concurrent scenario slots per device (streaming admission below
+    /// `ceil(K / devices)`).
+    pub lanes_per_device: usize,
+    /// Number of scenarios `K`.
+    pub scenarios: usize,
+    /// Wall-clock of the scheduled solve (seconds).
+    pub sched_time_s: f64,
+    /// Ticks of the longest device (shards run concurrently).
+    pub ticks: usize,
+    /// Whether every scenario's result is bitwise identical to the
+    /// single-device `ScenarioBatch` reference solve.
+    pub bitwise_identical: bool,
+    /// Kernel launches recorded per device, in device order.
+    pub per_device_launches: Vec<u64>,
+    /// Thread blocks executed per device, in device order.
+    pub per_device_blocks: Vec<u64>,
+    /// Busy time (summed kernel wall-clock) per device, in seconds.
+    pub per_device_busy_s: Vec<f64>,
+}
+
+/// Schedule `set` across `devices` logical devices (streaming admission when
+/// `lanes` caps the per-device slots) and compare against a single-device
+/// `ScenarioBatch` reference for bitwise identity. Returns the row plus the
+/// scheduler's per-device statistics breakdown. Pass a precomputed
+/// `reference` (a `ScenarioBatch` solve of the same set and params) when
+/// sweeping several device counts, so the ~identical reference solve runs
+/// once instead of once per row; `None` solves it internally.
+pub fn run_device_sweep_row(
+    name: &str,
+    set: &ScenarioSet,
+    params: &AdmmParams,
+    devices: usize,
+    lanes: Option<usize>,
+    reference: Option<&gridsim_admm::ScenarioBatchResult>,
+) -> DeviceSweepRow {
+    let nets = set.networks().expect("scenario cases must compile");
+    let pool = DevicePool::parallel(devices);
+    let mut scheduler = ScenarioScheduler::with_pool(params.clone(), pool);
+    if let Some(l) = lanes {
+        scheduler = scheduler.with_lanes(l);
+    }
+    let before = scheduler.pool.snapshots();
+    let sched = scheduler.solve(&nets);
+    let after = scheduler.pool.snapshots();
+
+    let own_reference;
+    let reference = match reference {
+        Some(r) => r,
+        None => {
+            own_reference = ScenarioBatch::new(params.clone()).solve(&nets);
+            &own_reference
+        }
+    };
+    let bitwise = sched.results.iter().zip(&reference.results).all(|(a, b)| {
+        a.solution.pg == b.solution.pg
+            && a.solution.qg == b.solution.qg
+            && a.solution.vm == b.solution.vm
+            && a.solution.va == b.solution.va
+            && a.inner_iterations == b.inner_iterations
+    });
+
+    let deltas: Vec<_> = after.iter().zip(&before).map(|(a, b)| a.since(b)).collect();
+    DeviceSweepRow {
+        name: name.to_string(),
+        devices,
+        lanes_per_device: lanes.unwrap_or_else(|| nets.len().div_ceil(devices)),
+        scenarios: nets.len(),
+        sched_time_s: sched.solve_time.as_secs_f64(),
+        ticks: sched.ticks,
+        bitwise_identical: bitwise,
+        per_device_launches: deltas.iter().map(|d| d.total_launches()).collect(),
+        per_device_blocks: deltas.iter().map(|d| d.total_blocks()).collect(),
+        per_device_busy_s: deltas
+            .iter()
+            .map(|d| d.kernel_elapsed().as_secs_f64())
+            .collect(),
+    }
+}
+
 /// Serialize experiment results to pretty JSON (written next to the text
 /// tables so plots can be regenerated without re-running the experiment).
 pub fn to_json<T: Serialize>(value: &T) -> String {
@@ -328,5 +416,23 @@ mod tests {
         let back: ColdStartRow = serde_json::from_str(&json).unwrap();
         assert_eq!(back.name, "x");
         assert_eq!(back.admm_iterations, 10);
+    }
+
+    #[test]
+    fn device_sweep_row_is_bitwise_and_bills_every_device() {
+        let set = ScenarioSet::load_ramp(cases::case9(), 4, 0.99, 1.01);
+        let row =
+            run_device_sweep_row("case9", &set, &AdmmParams::test_profile(), 2, Some(1), None);
+        assert_eq!(row.devices, 2);
+        assert_eq!(row.lanes_per_device, 1);
+        assert_eq!(row.scenarios, 4);
+        assert!(row.bitwise_identical, "scheduler diverged from batch");
+        assert_eq!(row.per_device_launches.len(), 2);
+        assert!(row.per_device_launches.iter().all(|&l| l > 0));
+        assert!(row.per_device_blocks.iter().all(|&b| b > 0));
+        // Round-trips through the JSON export like the other rows.
+        let back: DeviceSweepRow = serde_json::from_str(&to_json(&row)).unwrap();
+        assert_eq!(back.devices, 2);
+        assert_eq!(back.per_device_blocks, row.per_device_blocks);
     }
 }

@@ -29,8 +29,8 @@ pub mod registry;
 pub mod table;
 
 pub use experiments::{
-    run_cold_start, run_scenario_throughput, run_tracking_comparison, ColdStartRow,
-    ScenarioThroughputRow, TrackingRow,
+    run_cold_start, run_device_sweep_row, run_scenario_throughput, run_tracking_comparison,
+    ColdStartRow, DeviceSweepRow, ScenarioThroughputRow, TrackingRow,
 };
 pub use registry::{arg_value, BenchCase, Scale};
 pub use table::TextTable;

@@ -2,7 +2,8 @@
 //!
 //! Implements the data-parallel iterator subset used by the workspace
 //! (`par_iter`, `par_iter_mut`, `enumerate`, `zip`, `map`, `for_each`,
-//! `reduce`, `sum`) on top of `std::thread::scope`.
+//! `reduce`, `sum`, `with_min_len`) on top of a persistent work-stealing
+//! thread pool (see [`pool`]) instead of real rayon's.
 //!
 //! Two guarantees that real rayon does **not** make:
 //!
@@ -10,25 +11,43 @@
 //!    materialize mapped values in index order (the map runs in parallel)
 //!    and combine them sequentially, so parallel results are bit-identical
 //!    to sequential ones regardless of thread count or scheduling.
-//! 2. **Stable chunking.** Work is split into contiguous chunks of a size
-//!    that depends only on the input length and thread count.
+//! 2. **Deterministic coverage.** A parallel iteration applies its closure
+//!    to each index exactly once over disjoint chunk ranges; only the
+//!    thread assignment varies between runs.
 //!
 //! The ADMM solver's Parallel-vs-Sequential agreement tests rely on (1).
+//!
+//! Scheduling: inputs shorter than the default `min_len` (1024) run inline —
+//! pool dispatch costs more than tiny kernels — and `with_min_len(n)`
+//! overrides that floor, exactly like real rayon's
+//! `IndexedParallelIterator::with_min_len`. Heavy per-element workloads
+//! (e.g. one trust-region solve per element) use `with_min_len(1)` to fan
+//! out even tiny batches.
 
-use std::num::NonZeroUsize;
+mod pool;
 
-/// Inputs below this length run sequentially: thread spawn overhead
-/// dominates for tiny kernels, and results are identical either way.
+/// Inputs below this length run on the calling thread unless a smaller
+/// `with_min_len` is requested: pool dispatch overhead dominates for tiny
+/// kernels, and results are identical either way.
 const PARALLEL_THRESHOLD: usize = 1024;
 
-fn worker_count() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+/// Number of threads the global pool schedules across (mirrors
+/// `rayon::current_num_threads`). Respects `GRIDSIM_POOL_THREADS`.
+pub fn current_num_threads() -> usize {
+    pool::global().workers()
 }
 
-fn chunk_size(len: usize) -> usize {
-    len.div_ceil(worker_count()).max(1)
+/// Shareable raw pointer for handing disjoint `&mut` ranges to pool chunks.
+/// (Accessed through [`SendPtr::get`] so closures capture the whole wrapper,
+/// not the raw-pointer field — 2021-edition closures capture per field.)
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 /// `rayon::prelude` equivalent: brings the `par_iter*` extension trait and
@@ -50,31 +69,57 @@ pub trait ParallelSlice<T> {
 
 impl<T> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> ParIter<'_, T> {
-        ParIter { data: self }
+        ParIter {
+            data: self,
+            min_len: PARALLEL_THRESHOLD,
+        }
     }
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
-        ParIterMut { data: self }
+        ParIterMut {
+            data: self,
+            min_len: PARALLEL_THRESHOLD,
+        }
     }
 }
 
 /// Shared parallel iterator over a slice.
 pub struct ParIter<'a, T> {
     data: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T> ParIter<'a, T> {
+    /// Lower bound on the indices each parallel chunk receives (like real
+    /// rayon's `with_min_len`). Values below the default threshold opt tiny
+    /// inputs into parallel execution — worthwhile only when each element is
+    /// expensive.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Pair each element with its index.
     pub fn enumerate(self) -> EnumeratedParIter<'a, T> {
-        EnumeratedParIter { data: self.data }
+        EnumeratedParIter {
+            data: self.data,
+            min_len: self.min_len,
+        }
     }
 }
 
 /// Index-annotated shared parallel iterator.
 pub struct EnumeratedParIter<'a, T> {
     data: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T: Sync> EnumeratedParIter<'a, T> {
+    /// See [`ParIter::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Map each `(index, &element)` pair through `f`.
     pub fn map<R, F>(self, f: F) -> MappedParIter<'a, T, F, R>
     where
@@ -83,6 +128,7 @@ impl<'a, T: Sync> EnumeratedParIter<'a, T> {
     {
         MappedParIter {
             data: self.data,
+            min_len: self.min_len,
             f,
             _marker: std::marker::PhantomData,
         }
@@ -93,21 +139,10 @@ impl<'a, T: Sync> EnumeratedParIter<'a, T> {
     where
         F: Fn((usize, &T)) + Sync,
     {
-        if self.data.len() < PARALLEL_THRESHOLD {
-            for pair in self.data.iter().enumerate() {
-                f(pair);
-            }
-            return;
-        }
-        let size = chunk_size(self.data.len());
-        std::thread::scope(|scope| {
-            for (ci, chunk) in self.data.chunks(size).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    for (j, x) in chunk.iter().enumerate() {
-                        f((ci * size + j, x));
-                    }
-                });
+        let data = self.data;
+        pool::global().run(data.len(), self.min_len, &|start, end| {
+            for (i, x) in data[start..end].iter().enumerate() {
+                f((start + i, x));
             }
         });
     }
@@ -116,6 +151,7 @@ impl<'a, T: Sync> EnumeratedParIter<'a, T> {
 /// Result of mapping an enumerated shared iterator.
 pub struct MappedParIter<'a, T, F, R> {
     data: &'a [T],
+    min_len: usize,
     f: F,
     _marker: std::marker::PhantomData<R>,
 }
@@ -125,33 +161,32 @@ where
     F: Fn((usize, &T)) -> R + Sync,
     R: Send,
 {
-    /// Evaluate the map in parallel, preserving index order.
+    /// Evaluate the map in parallel, preserving index order: chunk `i`
+    /// writes results straight into slots `[start, end)` of the output, so
+    /// the materialized vector is identical to a sequential map regardless
+    /// of which thread ran which chunk.
     fn materialize(self) -> Vec<R> {
-        if self.data.len() < PARALLEL_THRESHOLD {
-            return self.data.iter().enumerate().map(self.f).collect();
+        let len = self.data.len();
+        let mut out: Vec<R> = Vec::with_capacity(len);
+        {
+            let data = self.data;
+            let f = &self.f;
+            let out_ptr = SendPtr(out.as_mut_ptr());
+            pool::global().run(len, self.min_len, &|start, end| {
+                let base = out_ptr.get();
+                for (i, x) in data[start..end].iter().enumerate() {
+                    // SAFETY: chunks own disjoint [start, end) ranges within
+                    // the vector's allocated capacity; `set_len` below runs
+                    // only after every chunk finished.
+                    unsafe { base.add(start + i).write(f((start + i, x))) };
+                }
+            });
         }
-        let size = chunk_size(self.data.len());
-        let mut out = Vec::with_capacity(self.data.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .data
-                .chunks(size)
-                .enumerate()
-                .map(|(ci, chunk)| {
-                    let f = &self.f;
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(j, x)| f((ci * size + j, x)))
-                            .collect::<Vec<R>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("rayon shim worker panicked"));
-            }
-        });
+        // SAFETY: the pool call returned, so all `len` slots are initialized.
+        // (If a chunk panicked, the pool rethrows before this line; `out`
+        // then drops with len 0 and elements other chunks already wrote are
+        // leaked, not double-dropped — the safe choice on the panic path.)
+        unsafe { out.set_len(len) };
         out
     }
 
@@ -188,12 +223,22 @@ where
 /// Exclusive parallel iterator over a slice.
 pub struct ParIterMut<'a, T> {
     data: &'a mut [T],
+    min_len: usize,
 }
 
 impl<'a, T> ParIterMut<'a, T> {
+    /// See [`ParIter::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Pair each element with its index.
     pub fn enumerate(self) -> EnumeratedParIterMut<'a, T> {
-        EnumeratedParIterMut { data: self.data }
+        EnumeratedParIterMut {
+            data: self.data,
+            min_len: self.min_len,
+        }
     }
 
     /// Walk two equal-length slices in lockstep.
@@ -206,6 +251,7 @@ impl<'a, T> ParIterMut<'a, T> {
         ParZipMut {
             a: self.data,
             b: other.data,
+            min_len: self.min_len,
         }
     }
 }
@@ -213,29 +259,29 @@ impl<'a, T> ParIterMut<'a, T> {
 /// Index-annotated exclusive parallel iterator.
 pub struct EnumeratedParIterMut<'a, T> {
     data: &'a mut [T],
+    min_len: usize,
 }
 
 impl<'a, T: Send> EnumeratedParIterMut<'a, T> {
+    /// See [`ParIter::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Apply `f` to every `(index, &mut element)` pair.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &mut T)) + Sync,
     {
-        if self.data.len() < PARALLEL_THRESHOLD {
-            for pair in self.data.iter_mut().enumerate() {
-                f(pair);
-            }
-            return;
-        }
-        let size = chunk_size(self.data.len());
-        std::thread::scope(|scope| {
-            for (ci, chunk) in self.data.chunks_mut(size).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    for (j, x) in chunk.iter_mut().enumerate() {
-                        f((ci * size + j, x));
-                    }
-                });
+        let len = self.data.len();
+        let ptr = SendPtr(self.data.as_mut_ptr());
+        pool::global().run(len, self.min_len, &|start, end| {
+            let base = ptr.get();
+            for i in start..end {
+                // SAFETY: concurrent chunks cover disjoint index ranges, so
+                // each element's `&mut` is exclusive.
+                f((i, unsafe { &mut *base.add(i) }));
             }
         });
     }
@@ -245,6 +291,7 @@ impl<'a, T: Send> EnumeratedParIterMut<'a, T> {
 pub struct ParZipMut<'a, 'b, A, B> {
     a: &'a mut [A],
     b: &'b mut [B],
+    min_len: usize,
 }
 
 impl<'a, 'b, A, B> ParZipMut<'a, 'b, A, B> {
@@ -253,6 +300,7 @@ impl<'a, 'b, A, B> ParZipMut<'a, 'b, A, B> {
         EnumeratedParZipMut {
             a: self.a,
             b: self.b,
+            min_len: self.min_len,
         }
     }
 }
@@ -261,34 +309,32 @@ impl<'a, 'b, A, B> ParZipMut<'a, 'b, A, B> {
 pub struct EnumeratedParZipMut<'a, 'b, A, B> {
     a: &'a mut [A],
     b: &'b mut [B],
+    min_len: usize,
 }
 
 impl<'a, 'b, A: Send, B: Send> EnumeratedParZipMut<'a, 'b, A, B> {
+    /// See [`ParIter::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Apply `f` to every `(index, (&mut a, &mut b))` triple.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, (&mut A, &mut B))) + Sync,
     {
-        if self.a.len() < PARALLEL_THRESHOLD {
-            for (i, pair) in self.a.iter_mut().zip(self.b.iter_mut()).enumerate() {
-                f((i, pair));
-            }
-            return;
-        }
-        let size = chunk_size(self.a.len());
-        std::thread::scope(|scope| {
-            for (ci, (ca, cb)) in self
-                .a
-                .chunks_mut(size)
-                .zip(self.b.chunks_mut(size))
-                .enumerate()
-            {
-                let f = &f;
-                scope.spawn(move || {
-                    for (j, pair) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
-                        f((ci * size + j, pair));
-                    }
-                });
+        let len = self.a.len();
+        let pa = SendPtr(self.a.as_mut_ptr());
+        let pb = SendPtr(self.b.as_mut_ptr());
+        pool::global().run(len, self.min_len, &|start, end| {
+            let (base_a, base_b) = (pa.get(), pb.get());
+            for i in start..end {
+                // SAFETY: disjoint chunk ranges; lengths were asserted equal
+                // when the zip was built.
+                let ax = unsafe { &mut *base_a.add(i) };
+                let bx = unsafe { &mut *base_b.add(i) };
+                f((i, (ax, bx)));
             }
         });
     }
@@ -341,5 +387,37 @@ mod tests {
             .reduce(|| f64::NEG_INFINITY, f64::max);
         let seq = v.iter().map(|x| x.abs()).fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn with_min_len_parallelizes_tiny_inputs() {
+        // 9 elements is far below the default threshold; with_min_len(1)
+        // must still visit every index exactly once and preserve order in
+        // collect.
+        let v: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let doubled: Vec<f64> = v
+            .par_iter()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(i, x)| x * 2.0 + i as f64)
+            .collect();
+        let expect: Vec<f64> = v
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 2.0 + i as f64)
+            .collect();
+        assert_eq!(doubled, expect);
+
+        let mut w = [0usize; 9];
+        w.par_iter_mut()
+            .with_min_len(1)
+            .enumerate()
+            .for_each(|(i, x)| *x = i * i);
+        assert!(w.iter().enumerate().all(|(i, &x)| x == i * i));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }

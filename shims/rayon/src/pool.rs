@@ -1,0 +1,340 @@
+//! A persistent work-stealing thread pool.
+//!
+//! Workers are spawned once per process and live for its lifetime. Each
+//! worker owns a chunk deque: the owner pops newest-first (LIFO, cache-warm),
+//! idle workers steal oldest-first (FIFO) from victims — the classic
+//! work-stealing discipline. A parallel-for call splits its index range into
+//! more chunks than workers, scatters them round-robin over the deques, and
+//! then *helps*: the submitting thread runs chunks itself until its job
+//! completes, so submission can never deadlock and single-job latency is the
+//! critical path of the slowest chunk, not of the slowest worker.
+//!
+//! Determinism: the pool schedules *which thread* runs a chunk, never *what*
+//! a chunk computes — chunks own disjoint index ranges and callers combine
+//! per-index results in index order — so results are bit-identical across
+//! worker counts, steal patterns, and repeated runs.
+//!
+//! On a single-core host (or under `GRIDSIM_POOL_THREADS=1`) no worker
+//! threads exist and every parallel-for runs inline on the caller, which is
+//! strictly cheaper than the scoped-thread-per-call design this pool
+//! replaces.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Chunks created per worker for one job. More than one so early-finishing
+/// workers can steal leftover chunks instead of idling (load balancing);
+/// bounded so per-chunk bookkeeping stays negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Type-erased range runner of one job. The raw pointer is only dereferenced
+/// while the submitting [`Pool::run`] call is blocked, which keeps the
+/// underlying closure borrow alive (see the safety comment in `run`).
+struct RawFunc(*const (dyn Fn(usize, usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the pointer is
+// only dereferenced during the lifetime of the `Pool::run` call that created
+// it (enforced by the pending-chunk count `run` waits on).
+unsafe impl Send for RawFunc {}
+unsafe impl Sync for RawFunc {}
+
+/// One parallel-for submission: `[0, len)` split into `pending` chunks.
+struct Job {
+    func: RawFunc,
+    /// Chunks not yet finished; the last finisher flips `done`.
+    pending: AtomicUsize,
+    /// First panic payload captured from a chunk, re-thrown by the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// A contiguous index range of one job.
+struct Chunk {
+    job: Arc<Job>,
+    start: usize,
+    end: usize,
+}
+
+struct Shared {
+    /// One deque per worker; the owner pops from the back, thieves from the
+    /// front.
+    queues: Vec<Mutex<VecDeque<Chunk>>>,
+    /// Bumped (under the lock) after every enqueue so idle workers can wait
+    /// without lost wakeups: a pusher enqueues first, then bumps + notifies,
+    /// so a worker that scans empty under this lock either sees the chunk or
+    /// sees the bump.
+    epoch: Mutex<u64>,
+    work_cv: Condvar,
+}
+
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+    /// Round-robin scatter cursor so consecutive jobs start on different
+    /// deques.
+    cursor: AtomicUsize,
+}
+
+fn run_chunk(chunk: &Chunk) {
+    // SAFETY: see `RawFunc` — the submitter is still inside `Pool::run`.
+    let f = unsafe { &*chunk.job.func.0 };
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(chunk.start, chunk.end))) {
+        let mut slot = chunk.job.panic.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(payload);
+    }
+    if chunk.job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut done = chunk.job.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        chunk.job.done_cv.notify_all();
+    }
+}
+
+/// Pop from our own deque (LIFO), else steal from a victim (FIFO).
+fn find_work(shared: &Shared, own: usize) -> Option<Chunk> {
+    let n = shared.queues.len();
+    if let Some(c) = shared.queues[own % n].lock().unwrap().pop_back() {
+        return Some(c);
+    }
+    for i in 1..n {
+        let victim = (own + i) % n;
+        if let Some(c) = shared.queues[victim].lock().unwrap().pop_front() {
+            return Some(c);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    loop {
+        if let Some(chunk) = find_work(&shared, index) {
+            run_chunk(&chunk);
+            continue;
+        }
+        let mut epoch = shared.epoch.lock().unwrap();
+        loop {
+            // Re-scan under the epoch lock; pushers bump the epoch after
+            // enqueueing, so finding nothing here means the wait below will
+            // be woken by any concurrent push.
+            if let Some(chunk) = find_work(&shared, index) {
+                drop(epoch);
+                run_chunk(&chunk);
+                break;
+            }
+            epoch = shared.work_cv.wait(epoch).unwrap();
+        }
+    }
+}
+
+impl Pool {
+    /// Spawn a pool with `workers` worker threads. A pool of one worker
+    /// spawns no threads at all: every `run` call executes inline.
+    pub(crate) fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            epoch: Mutex::new(0),
+            work_cv: Condvar::new(),
+        });
+        if workers > 1 {
+            for i in 0..workers {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gridsim-pool-{i}"))
+                    .spawn(move || worker_loop(s, i))
+                    .expect("spawn pool worker");
+            }
+        }
+        Pool {
+            shared,
+            workers,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f` over every index in `[0, len)`, in parallel chunks of at
+    /// least `min_len` indices each. `f(start, end)` must handle the
+    /// half-open range `[start, end)`; ranges of concurrent calls are
+    /// disjoint and together cover `[0, len)` exactly once.
+    pub(crate) fn run(&self, len: usize, min_len: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        let n_chunks = (len / min_len.max(1)).min(self.workers * CHUNKS_PER_WORKER);
+        if self.workers <= 1 || n_chunks <= 1 {
+            if len > 0 {
+                f(0, len);
+            }
+            return;
+        }
+        // SAFETY (lifetime erasure): `f` outlives this call, and the
+        // pending-count wait below guarantees no chunk dereferences the
+        // pointer after this function returns.
+        let func = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync),
+            >(f)
+        };
+        let job = Arc::new(Job {
+            func: RawFunc(func),
+            pending: AtomicUsize::new(n_chunks),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let first = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n_chunks {
+            let chunk = Chunk {
+                job: Arc::clone(&job),
+                start: i * len / n_chunks,
+                end: (i + 1) * len / n_chunks,
+            };
+            let q = (first + i) % self.shared.queues.len();
+            self.shared.queues[q].lock().unwrap().push_back(chunk);
+        }
+        {
+            let mut epoch = self.shared.epoch.lock().unwrap();
+            *epoch = epoch.wrapping_add(1);
+        }
+        self.shared.work_cv.notify_all();
+
+        // Help until our job completes: run any available chunk (ours or a
+        // concurrent submitter's — chunks never block, so this cannot
+        // deadlock), and only sleep when every queued chunk is claimed.
+        while job.pending.load(Ordering::Acquire) > 0 {
+            if let Some(chunk) = find_work(&self.shared, first) {
+                run_chunk(&chunk);
+            } else {
+                let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+                while !*done {
+                    done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+                }
+                break;
+            }
+        }
+        let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
+fn configured_workers() -> usize {
+    if let Ok(v) = std::env::var("GRIDSIM_POOL_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, sized from `GRIDSIM_POOL_THREADS` or the host's
+/// available parallelism.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(configured_workers()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = Pool::new(4);
+        for len in [0usize, 1, 7, 1000, 4096, 100_000] {
+            let hits: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+            pool.run(len, 1, &|start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "len {len}: some index not covered exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn min_len_bounds_chunk_sizes() {
+        let pool = Pool::new(4);
+        let smallest = Mutex::new(usize::MAX);
+        let chunks = AtomicU64::new(0);
+        pool.run(10_000, 512, &|start, end| {
+            chunks.fetch_add(1, Ordering::Relaxed);
+            let mut s = smallest.lock().unwrap();
+            *s = (*s).min(end - start);
+        });
+        assert!(chunks.load(Ordering::Relaxed) > 1, "should have split");
+        assert!(
+            *smallest.lock().unwrap() >= 512,
+            "chunk below min_len: {}",
+            smallest.lock().unwrap()
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let pool = Arc::new(Pool::new(4));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for round in 0..20u64 {
+                        let n = 3000;
+                        let sum = AtomicU64::new(0);
+                        pool.run(n, 1, &|start, end| {
+                            let local: u64 = (start as u64..end as u64).sum();
+                            sum.fetch_add(local, Ordering::Relaxed);
+                        });
+                        let expect = (n as u64 - 1) * n as u64 / 2;
+                        assert_eq!(
+                            sum.load(Ordering::Relaxed),
+                            expect,
+                            "submitter {t} round {round}"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter_and_pool_survives() {
+        let pool = Pool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(10_000, 1, &|start, _end| {
+                if start == 0 {
+                    panic!("boom from chunk");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool keeps working after a job panicked.
+        let count = AtomicU64::new(0);
+        pool.run(5_000, 1, &|start, end| {
+            count.fetch_add((end - start) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5_000);
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let tid = std::thread::current().id();
+        pool.run(50_000, 1, &|_s, _e| {
+            assert_eq!(std::thread::current().id(), tid, "must run on the caller");
+        });
+    }
+}

@@ -31,9 +31,10 @@ pub use gridsim_tron as tron;
 pub mod prelude {
     pub use gridsim_acopf::{OpfSolution, SolutionQuality};
     pub use gridsim_admm::{
-        AdmmParams, AdmmResult, AdmmSolver, ScenarioBatch, ScenarioBatchResult, ScenarioResult,
-        TrackingConfig,
+        AdmmParams, AdmmResult, AdmmSolver, ScenarioBatch, ScenarioBatchResult, ScenarioProblem,
+        ScenarioResult, ScenarioScheduler, TrackingConfig,
     };
+    pub use gridsim_batch::DevicePool;
     pub use gridsim_grid::{
         Case, LoadProfile, Network, Scenario, ScenarioSet, SyntheticSpec, TableICase,
     };
