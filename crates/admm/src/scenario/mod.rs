@@ -31,7 +31,7 @@
 //!   busy device never shrinks below full occupancy,
 //! * **bitwise-identical arithmetic** — the per-element update bodies are
 //!   shared with [`AdmmSolver`](crate::solver::AdmmSolver) through
-//!   [`crate::kernels`], and every scenario's iterates depend only on its
+//!   `crate::kernels`, and every scenario's iterates depend only on its
 //!   own buffer segment, so results are bit-for-bit independent of the
 //!   device count, lane count, and admission order — and a K=1 batch
 //!   reproduces a plain solve exactly on both backends.

@@ -11,7 +11,7 @@
 //! vector; N−1 outage scenarios additionally share one bus vector. The
 //! kernels can consume shared data from any slot because every stored index
 //! is scenario-local (the element functions add the slot's base offset at
-//! call time, see [`crate::kernels`]).
+//! call time, see `crate::kernels`).
 
 use crate::kernels::{self, BranchData, BusData, GenData, ProblemData};
 use crate::layout::{BusSlot, Layout};

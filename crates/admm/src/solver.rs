@@ -6,7 +6,7 @@
 //! by the batch TRON solver. Residual norms are device-side reductions, so no
 //! host–device transfer happens inside the solve.
 //!
-//! The per-element arithmetic lives in [`crate::kernels`] and is shared with
+//! The per-element arithmetic lives in `crate::kernels` and is shared with
 //! the batched multi-scenario driver ([`crate::scenario::ScenarioBatch`]),
 //! which runs the same updates over scenario-major buffers.
 

@@ -8,7 +8,7 @@ use gridsim_batch::DevicePool;
 use gridsim_grid::load_profile::LoadProfile;
 use gridsim_grid::network::Case;
 use gridsim_grid::scenario::ScenarioSet;
-use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver};
+use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver, KktCache, KktStrategy, Nlp};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -82,10 +82,23 @@ pub struct TrackingRow {
     /// Relative objective gap of the ADMM solution vs the baseline of the
     /// same period (Figure 3).
     pub relative_gap: f64,
+    /// Cumulative symbolic analyses the baseline has performed up to and
+    /// including this period. The condensed strategy shares one frozen
+    /// pattern across the whole horizon, so this stays flat after period 0
+    /// even though every period keeps paying `ipm_factorizations` numeric
+    /// refactorizations.
+    pub ipm_symbolic_analyses: usize,
+    /// KKT factorizations (numeric refactorizations) of this period's
+    /// baseline solve alone (per period, not cumulative).
+    pub ipm_factorizations: usize,
 }
 
 /// Run the 30-period tracking experiment on a case with both solvers,
-/// warm-starting each from its own previous period (Section IV-C).
+/// warm-starting each from its own previous period (Section IV-C). The
+/// interior-point baseline runs the condensed-space KKT strategy with a
+/// horizon-wide [`KktCache`]: the pattern of every period's condensed system
+/// is identical, so the whole reference trajectory costs one symbolic
+/// analysis and every Newton step is a numeric-only refactorization.
 pub fn run_tracking_comparison(
     case: &Case,
     profile: &LoadProfile,
@@ -98,6 +111,7 @@ pub fn run_tracking_comparison(
     let mut ipm_prev: Option<(Vec<f64>, Vec<f64>)> = None;
     let mut admm_cum = Duration::ZERO;
     let mut ipm_cum = Duration::ZERO;
+    let mut kkt_cache = KktCache::new();
 
     for (t, &mult) in profile.multipliers.iter().enumerate() {
         let case_t = case.scale_load(mult);
@@ -127,9 +141,10 @@ pub fn run_tracking_comparison(
             tol: 1e-6,
             max_iter: 300,
             initial_point: ipm_prev.as_ref().map(|(x, _)| x.clone()),
+            kkt_strategy: KktStrategy::Condensed,
             ..Default::default()
         })
-        .solve(&nlp);
+        .solve_with_cache(&nlp, &mut kkt_cache);
         ipm_cum += ipm_result.solve_time;
 
         let ipm_sol = nlp.to_solution(&ipm_result.x);
@@ -144,12 +159,96 @@ pub fn run_tracking_comparison(
             ipm_cumulative_s: ipm_cum.as_secs_f64(),
             admm_violation: admm_quality.max_violation(),
             relative_gap: relative_gap(admm_result.objective, ipm_result.objective),
+            ipm_symbolic_analyses: kkt_cache.symbolic_analyses(),
+            ipm_factorizations: ipm_result.factorizations,
         });
 
         ipm_prev = Some((ipm_result.x.clone(), ipm_sol.pg.clone()));
         admm_prev = Some(admm_result);
     }
     rows
+}
+
+/// One row of the full-vs-condensed KKT comparison: the same ACOPF solved by
+/// the interior-point baseline under both linear-algebra strategies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KktStrategyRow {
+    /// Case name.
+    pub name: String,
+    /// Number of decision variables `nx`.
+    pub variables: usize,
+    /// Dimension of the full augmented KKT system (`nx + ns + m_eq +
+    /// m_ineq`).
+    pub full_dim: usize,
+    /// Dimension of the condensed system (`nx + m_eq`).
+    pub condensed_dim: usize,
+    /// Wall-clock of the full-strategy solve (seconds).
+    pub full_time_s: f64,
+    /// Wall-clock of the condensed-strategy solve (seconds).
+    pub condensed_time_s: f64,
+    /// Iterations of the full-strategy solve.
+    pub full_iterations: usize,
+    /// Iterations of the condensed-strategy solve.
+    pub condensed_iterations: usize,
+    /// Factorizations (each with a fresh symbolic analysis) of the full
+    /// strategy.
+    pub full_factorizations: usize,
+    /// Numeric-only refactorizations of the condensed strategy.
+    pub condensed_factorizations: usize,
+    /// Symbolic analyses of the full strategy (one per factorization).
+    pub full_symbolic_analyses: usize,
+    /// Symbolic analyses of the condensed strategy (one per NLP, plus rare
+    /// structural-growth rebuilds).
+    pub condensed_symbolic_analyses: usize,
+    /// `|f_cond − f_full| / |f_full|`.
+    pub objective_rel_gap: f64,
+    /// Whether both strategies reported optimality.
+    pub both_optimal: bool,
+}
+
+/// Solve `case` with the interior-point baseline under both KKT strategies
+/// and record the comparison (factorization counts, symbolic-analysis
+/// counts, wall-clock, agreement). The condensed solve runs on the parallel
+/// batch device — its numeric refactorization fans the per-row column
+/// updates out as thread blocks.
+pub fn run_kkt_comparison(name: &str, case: &Case) -> KktStrategyRow {
+    let net = case.compile().expect("case must compile");
+    let nlp = AcopfNlp::new(&net);
+    let base_opts = IpmOptions {
+        tol: 1e-6,
+        max_iter: 300,
+        ..Default::default()
+    };
+    let full = IpmSolver::new(IpmOptions {
+        kkt_strategy: KktStrategy::Full,
+        ..base_opts.clone()
+    })
+    .solve(&nlp);
+    let condensed = IpmSolver::new(IpmOptions {
+        kkt_strategy: KktStrategy::Condensed,
+        ..base_opts
+    })
+    .solve(&nlp);
+
+    let nx = nlp.num_vars();
+    let m_eq = nlp.num_eq();
+    let m_ineq = nlp.num_ineq();
+    KktStrategyRow {
+        name: name.to_string(),
+        variables: nx,
+        full_dim: nx + 2 * m_ineq + m_eq,
+        condensed_dim: nx + m_eq,
+        full_time_s: full.solve_time.as_secs_f64(),
+        condensed_time_s: condensed.solve_time.as_secs_f64(),
+        full_iterations: full.iterations,
+        condensed_iterations: condensed.iterations,
+        full_factorizations: full.factorizations,
+        condensed_factorizations: condensed.factorizations,
+        full_symbolic_analyses: full.symbolic_analyses,
+        condensed_symbolic_analyses: condensed.symbolic_analyses,
+        objective_rel_gap: relative_gap(condensed.objective, full.objective),
+        both_optimal: full.is_optimal() && condensed.is_optimal(),
+    }
 }
 
 /// One row of the scenario-throughput experiment: `K` scenarios of one case
@@ -375,6 +474,27 @@ mod tests {
         // Cumulative times are nondecreasing.
         assert!(rows[2].admm_cumulative_s >= rows[1].admm_cumulative_s);
         assert!(rows[2].ipm_cumulative_s >= rows[1].ipm_cumulative_s);
+    }
+
+    #[test]
+    fn kkt_comparison_row_agrees_and_reuses_symbolic_on_case9() {
+        let row = run_kkt_comparison("case9", &cases::case9());
+        assert!(row.both_optimal, "one strategy failed to converge");
+        assert!(
+            row.objective_rel_gap < 1e-5,
+            "strategies disagree: gap {}",
+            row.objective_rel_gap
+        );
+        assert!(row.condensed_dim < row.full_dim);
+        // Full pays one symbolic analysis per factorization; condensed pays
+        // O(1) per NLP while refactorizing every iteration.
+        assert_eq!(row.full_symbolic_analyses, row.full_factorizations);
+        assert!(
+            row.condensed_symbolic_analyses <= 2,
+            "condensed analyses {}",
+            row.condensed_symbolic_analyses
+        );
+        assert!(row.condensed_factorizations > row.condensed_symbolic_analyses);
     }
 
     #[test]

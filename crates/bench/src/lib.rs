@@ -29,8 +29,9 @@ pub mod registry;
 pub mod table;
 
 pub use experiments::{
-    run_cold_start, run_device_sweep_row, run_scenario_throughput, run_tracking_comparison,
-    ColdStartRow, DeviceSweepRow, ScenarioThroughputRow, TrackingRow,
+    run_cold_start, run_device_sweep_row, run_kkt_comparison, run_scenario_throughput,
+    run_tracking_comparison, ColdStartRow, DeviceSweepRow, KktStrategyRow, ScenarioThroughputRow,
+    TrackingRow,
 };
 pub use registry::{arg_value, BenchCase, Scale};
 pub use table::TextTable;

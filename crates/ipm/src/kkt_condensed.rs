@@ -1,0 +1,731 @@
+//! Condensed-space KKT solves with frozen-pattern numeric refactorization.
+//!
+//! The augmented KKT system of [`crate::kkt`] carries four blocks of
+//! unknowns: primal variables `Δx`, inequality slacks `Δs`, equality duals
+//! `Δλ_E`, and inequality duals `Δλ_I`. The slack and inequality-dual blocks
+//! couple through *diagonal* matrices only, so they can be eliminated in
+//! closed form (Shin et al., arXiv:2307.16830 — the condensed-space
+//! interior-point step that makes each Newton solve GPU-friendly). With
+//! `D_s = Σ_s + δ_w` and `δ_c′` the regularized dual shift, the remaining
+//! quasi-definite system over the variable block and the equality duals is
+//!
+//! ```text
+//! [ H + Σ_x + δ_w I + J_Iᵀ C J_I    J_Eᵀ   ] [Δx  ]   [ b_x − J_Iᵀ w ]
+//! [ J_E                             −δ_c′ I ] [Δλ_E] = [ b_E          ]
+//!
+//!   C = D_s / (1 + δ_c′ D_s)          (diagonal)
+//!   w = (b_s − D_s b_I) / (1 + δ_c′ D_s)
+//! ```
+//!
+//! of dimension `nx + m_eq` instead of `nx + 2 m_ineq + m_eq` — exactly the
+//! `nx×nx` variable-block system when no equality constraints are present.
+//! The eliminated blocks are recovered exactly:
+//!
+//! ```text
+//! Δs   = (b_I + δ_c′ b_s − J_I Δx) / (1 + δ_c′ D_s)
+//! Δλ_I = b_s − D_s Δs
+//! ```
+//!
+//! Because the elimination is exact, the condensed step equals the full-KKT
+//! step up to floating-point roundoff; the two strategies agree to solver
+//! tolerance (a tested invariant).
+//!
+//! The second half of the module is the *symbolic reuse* the condensed shape
+//! unlocks: the condensed matrix has a fixed sparsity pattern across
+//! interior-point iterations (only values change with the barrier, the
+//! multipliers, and the inertia regularization δ_w), so [`KktCache`]
+//! analyzes the pattern once per NLP — probing the model callbacks with unit
+//! multipliers to harvest the full structural pattern — and every Newton
+//! step runs a numeric-only [`gridsim_sparse::LdlSymbolic::refactor_on`]
+//! whose per-row column updates fan out through
+//! [`gridsim_batch::Device::launch_blocks`]. Warm-started re-solves of the
+//! same network (rolling-horizon tracking) reuse the same cache across
+//! periods, so a whole trajectory costs one symbolic analysis. If an
+//! iteration ever produces a coordinate outside the frozen pattern (the
+//! model callbacks prune numerically-zero triplets, so the pattern can grow
+//! when a multiplier leaves zero), the cache rebuilds the union pattern and
+//! counts another analysis — correctness never depends on the probe being
+//! complete.
+
+use crate::kkt::KktDims;
+use gridsim_batch::Device;
+use gridsim_sparse::{Coo, Csc, LdlFactor, LdlOptions, LdlSymbolic, SparseError};
+
+/// Which linear-algebra path each Newton step takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KktStrategy {
+    /// Assemble and factorize the full augmented KKT system from scratch
+    /// every step (fresh symbolic analysis per factorization) — the paper's
+    /// baseline cost anatomy.
+    #[default]
+    Full,
+    /// Eliminate the slack and inequality-dual blocks to the condensed
+    /// quasi-definite system and solve it with frozen-pattern numeric
+    /// refactorization on the batch device.
+    Condensed,
+}
+
+/// Outcome of one condensed factorize-and-solve attempt.
+#[derive(Debug, Clone)]
+pub struct CondensedStep {
+    /// Newton step in the full layout `[Δx; Δs; Δλ_E; Δλ_I]` (identical to
+    /// the full-KKT solution layout).
+    pub step: Vec<f64>,
+    /// Inertia `(positive, negative, zero)` of the condensed matrix. The
+    /// expected inertia is `(nx, m_eq, 0)`; the eliminated blocks contribute
+    /// a fixed `(m_ineq, m_ineq)` on top of it in the full system.
+    pub inertia: (usize, usize, usize),
+    /// Pivots the regularized LDLᵀ had to bump.
+    pub num_regularized: usize,
+}
+
+/// A factorized condensed system whose triangular solve has not run yet, so
+/// the inertia-correction loop can reject it (and escalate `δ_w`) without
+/// paying the solve and the eliminated-block recovery.
+#[derive(Debug, Clone)]
+pub struct CondensedFactor {
+    factor: LdlFactor,
+    dims: KktDims,
+    /// Diagonal elimination factors frozen at factorization time.
+    ds: Vec<f64>,
+    e: Vec<f64>,
+    delta_cc: f64,
+    /// Inertia `(positive, negative, zero)` of the condensed matrix.
+    pub inertia: (usize, usize, usize),
+    /// Pivots the regularized LDLᵀ had to bump.
+    pub num_regularized: usize,
+}
+
+impl CondensedFactor {
+    /// Solve for the full-layout Newton step `[Δx; Δs; Δλ_E; Δλ_I]`. `rhs`
+    /// is the full augmented right-hand side `[b_x; b_s; b_E; b_I]` and
+    /// `jac_ineq` must be the matrix the factorization was assembled from.
+    pub fn solve(&self, jac_ineq: &Coo, rhs: &[f64]) -> Vec<f64> {
+        let dims = &self.dims;
+        assert_eq!(rhs.len(), dims.dim(), "rhs must cover the full system");
+        let nx = dims.nx;
+        let m_eq = dims.m_eq;
+        let m_ineq = dims.m_ineq;
+        let nv = dims.nv();
+        let ncond = nx + m_eq;
+
+        // Condensed right-hand side.
+        let b_x = &rhs[..nx];
+        let b_s = &rhs[nx..nv];
+        let b_e = &rhs[nv..nv + m_eq];
+        let b_i = &rhs[nv + m_eq..];
+        let mut rc = vec![0.0; ncond];
+        rc[..nx].copy_from_slice(b_x);
+        let w: Vec<f64> = (0..m_ineq)
+            .map(|r| (b_s[r] - self.ds[r] * b_i[r]) / self.e[r])
+            .collect();
+        for t in 0..jac_ineq.nnz() {
+            rc[jac_ineq.cols[t]] -= jac_ineq.vals[t] * w[jac_ineq.rows[t]];
+        }
+        rc[nx..].copy_from_slice(b_e);
+
+        let xc = self.factor.solve(&rc);
+
+        // Recover the eliminated blocks exactly.
+        let dx = &xc[..nx];
+        let dlambda_e = &xc[nx..];
+        let mut jx = vec![0.0; m_ineq];
+        for t in 0..jac_ineq.nnz() {
+            jx[jac_ineq.rows[t]] += jac_ineq.vals[t] * dx[jac_ineq.cols[t]];
+        }
+        let mut step = vec![0.0; dims.dim()];
+        step[..nx].copy_from_slice(dx);
+        for r in 0..m_ineq {
+            let dsr = (b_i[r] + self.delta_cc * b_s[r] - jx[r]) / self.e[r];
+            step[nx + r] = dsr;
+            step[nv + m_eq + r] = b_s[r] - self.ds[r] * dsr;
+        }
+        step[nv..nv + m_eq].copy_from_slice(dlambda_e);
+        step
+    }
+}
+
+/// Frozen condensed structure: pattern, slot maps, and the reusable symbolic
+/// factorization.
+#[derive(Debug, Clone)]
+struct CondensedStructure {
+    dims: KktDims,
+    ncond: usize,
+    /// Slot of every diagonal entry `(i, i)`.
+    diag_slots: Vec<usize>,
+    /// Symbolic analysis of the frozen pattern; [`LdlSymbolic::pattern`] is
+    /// the single copy of the full-symmetric CSC structure slot lookups run
+    /// against.
+    ldl: LdlSymbolic,
+    /// Expected pivot signs: `+1` on the variable block, `−1` on the
+    /// equality-dual block.
+    signs: Vec<i8>,
+}
+
+/// Reusable condensed-KKT state: survives across Newton iterations of one
+/// solve and across warm-started re-solves of structurally identical NLPs
+/// (rolling-horizon tracking), so the symbolic analysis is paid once.
+#[derive(Debug, Clone, Default)]
+pub struct KktCache {
+    structure: Option<CondensedStructure>,
+    symbolic_analyses: usize,
+    numeric_refactorizations: usize,
+}
+
+impl KktCache {
+    /// An empty cache (no analysis performed yet).
+    pub fn new() -> KktCache {
+        KktCache::default()
+    }
+
+    /// Symbolic analyses performed through this cache so far. One per NLP —
+    /// or per *family* of NLPs sharing a structure, when the cache is reused
+    /// across tracking periods — plus one per structural growth event.
+    pub fn symbolic_analyses(&self) -> usize {
+        self.symbolic_analyses
+    }
+
+    /// Numeric-only refactorizations performed through this cache.
+    pub fn numeric_refactorizations(&self) -> usize {
+        self.numeric_refactorizations
+    }
+
+    /// Make sure the frozen structure covers the given (probe) matrices.
+    /// Call once per solve with unit multipliers so value-pruned triplets
+    /// are all present; a no-op when the cached pattern already covers them.
+    pub fn ensure_structure(&mut self, dims: &KktDims, hess: &Coo, jac_eq: &Coo, jac_ineq: &Coo) {
+        if let Some(s) = &self.structure {
+            if s.dims == *dims && s.covers(hess, jac_eq, jac_ineq) {
+                return;
+            }
+        }
+        self.rebuild(dims, hess, jac_eq, jac_ineq);
+    }
+
+    /// Rebuild the frozen pattern as the union of the previous pattern (when
+    /// the dimensions still match) and the coordinates required by the given
+    /// matrices, then re-analyze. Counts one symbolic analysis.
+    fn rebuild(&mut self, dims: &KktDims, hess: &Coo, jac_eq: &Coo, jac_ineq: &Coo) {
+        let ncond = dims.nx + dims.m_eq;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        // Carry the previous pattern forward so alternating activity cannot
+        // thrash the analysis.
+        if let Some(s) = &self.structure {
+            if s.dims == *dims {
+                let (colptr, rowind) = s.ldl.pattern();
+                for j in 0..s.ncond {
+                    for &r in &rowind[colptr[j]..colptr[j + 1]] {
+                        rows.push(r);
+                        cols.push(j);
+                    }
+                }
+            }
+        }
+        // Every diagonal entry exists (barrier + regularization on the
+        // variable block, −δ_c′ on the equality-dual block).
+        for i in 0..ncond {
+            rows.push(i);
+            cols.push(i);
+        }
+        for t in 0..hess.nnz() {
+            rows.push(hess.rows[t]);
+            cols.push(hess.cols[t]);
+        }
+        for t in 0..jac_eq.nnz() {
+            let (r, c) = (dims.nx + jac_eq.rows[t], jac_eq.cols[t]);
+            rows.push(r);
+            cols.push(c);
+            rows.push(c);
+            cols.push(r);
+        }
+        // J_Iᵀ C J_I couples every pair of variables that share an
+        // inequality row.
+        let by_row = group_by_row(jac_ineq, dims.m_ineq);
+        for entries in &by_row {
+            for &(cp, _) in entries {
+                for &(cq, _) in entries {
+                    rows.push(cp);
+                    cols.push(cq);
+                }
+            }
+        }
+        let vals = vec![0.0; rows.len()];
+        let pattern = Csc::from_triplets(ncond, ncond, &rows, &cols, &vals);
+        let diag_slots: Vec<usize> = (0..ncond)
+            .map(|i| slot(&pattern.colptr, &pattern.rowind, i, i).expect("diagonal in pattern"))
+            .collect();
+        let ldl = LdlSymbolic::analyze_rcm(&pattern).expect("condensed pattern analyzes");
+        let mut signs = vec![1i8; dims.nx];
+        signs.extend(std::iter::repeat_n(-1i8, dims.m_eq));
+        self.structure = Some(CondensedStructure {
+            dims: *dims,
+            ncond,
+            diag_slots,
+            ldl,
+            signs,
+        });
+        self.symbolic_analyses += 1;
+    }
+
+    /// Factorize the condensed system for the given iteration data. The
+    /// triangular solve is deferred to [`CondensedFactor::solve`] so an
+    /// inertia rejection costs only the (numeric-only) refactorization.
+    #[allow(clippy::too_many_arguments)]
+    pub fn factorize_condensed(
+        &mut self,
+        device: &Device,
+        dims: &KktDims,
+        hess: &Coo,
+        sigma: &[f64],
+        jac_eq: &Coo,
+        jac_ineq: &Coo,
+        delta_w: f64,
+        delta_c: f64,
+        pivot_tol: f64,
+        pivot_reg: f64,
+    ) -> Result<CondensedFactor, SparseError> {
+        assert_eq!(sigma.len(), dims.nv(), "sigma must cover x and s blocks");
+        assert_eq!(dims.ns, dims.m_ineq, "one slack per inequality");
+        // Only the cheap dims check here: a full `covers` sweep per Newton
+        // attempt would duplicate the slot lookups `try_assemble` performs
+        // anyway, and its `None` → rebuild fallback already handles any
+        // coordinate outside the frozen pattern.
+        let needs_build = match &self.structure {
+            Some(s) => s.dims != *dims,
+            None => true,
+        };
+        if needs_build {
+            self.rebuild(dims, hess, jac_eq, jac_ineq);
+        }
+
+        let delta_cc = delta_c.max(1e-12);
+        let nx = dims.nx;
+        let m_ineq = dims.m_ineq;
+
+        // Per-inequality diagonal elimination factors.
+        let ds: Vec<f64> = (0..m_ineq).map(|r| sigma[nx + r] + delta_w).collect();
+        let e: Vec<f64> = ds.iter().map(|d| 1.0 + delta_cc * d).collect();
+
+        // Assemble values into the frozen pattern; if a coordinate falls
+        // outside it (a multiplier left zero and grew the model pattern),
+        // rebuild the union structure once and assemble again.
+        let by_row = group_by_row(jac_ineq, m_ineq);
+        let vals = match self.try_assemble(hess, sigma, jac_eq, &by_row, &ds, &e, delta_w, delta_cc)
+        {
+            Some(v) => v,
+            None => {
+                self.rebuild(dims, hess, jac_eq, jac_ineq);
+                self.try_assemble(hess, sigma, jac_eq, &by_row, &ds, &e, delta_w, delta_cc)
+                    .expect("pattern covers its own rebuild inputs")
+            }
+        };
+        let s = self.structure.as_ref().expect("structure ensured above");
+
+        // Numeric-only refactorization over the frozen pattern, with the
+        // per-row updates fanned out through the batch device.
+        let opts = LdlOptions {
+            pivot_tol,
+            pivot_reg,
+            expected_signs: s.signs.clone(),
+        };
+        let factor = s.ldl.refactor_on(device, &vals, &opts)?;
+        self.numeric_refactorizations += 1;
+        let inertia = factor.inertia();
+        let num_regularized = factor.num_regularized;
+        Ok(CondensedFactor {
+            factor,
+            dims: *dims,
+            ds,
+            e,
+            delta_cc,
+            inertia,
+            num_regularized,
+        })
+    }
+
+    /// One-shot convenience: factorize the condensed system and solve for
+    /// the full-layout Newton step. `rhs` is the full augmented right-hand
+    /// side `[b_x; b_s; b_E; b_I]` exactly as assembled for the full-KKT
+    /// path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_condensed(
+        &mut self,
+        device: &Device,
+        dims: &KktDims,
+        hess: &Coo,
+        sigma: &[f64],
+        jac_eq: &Coo,
+        jac_ineq: &Coo,
+        delta_w: f64,
+        delta_c: f64,
+        rhs: &[f64],
+        pivot_tol: f64,
+        pivot_reg: f64,
+    ) -> Result<CondensedStep, SparseError> {
+        let factor = self.factorize_condensed(
+            device, dims, hess, sigma, jac_eq, jac_ineq, delta_w, delta_c, pivot_tol, pivot_reg,
+        )?;
+        Ok(CondensedStep {
+            step: factor.solve(jac_ineq, rhs),
+            inertia: factor.inertia,
+            num_regularized: factor.num_regularized,
+        })
+    }
+
+    /// Scatter the iteration values into the frozen pattern. Returns `None`
+    /// when a coordinate is missing from the pattern.
+    #[allow(clippy::too_many_arguments)]
+    fn try_assemble(
+        &self,
+        hess: &Coo,
+        sigma: &[f64],
+        jac_eq: &Coo,
+        ji_by_row: &[Vec<(usize, f64)>],
+        ds: &[f64],
+        e: &[f64],
+        delta_w: f64,
+        delta_cc: f64,
+    ) -> Option<Vec<f64>> {
+        let s = self.structure.as_ref()?;
+        let nx = s.dims.nx;
+        let (colptr, rowind) = s.ldl.pattern();
+        let mut vals = vec![0.0; s.ldl.nnz()];
+        for t in 0..hess.nnz() {
+            let k = slot(colptr, rowind, hess.rows[t], hess.cols[t])?;
+            vals[k] += hess.vals[t];
+        }
+        for (i, &sig) in sigma.iter().enumerate().take(nx) {
+            vals[s.diag_slots[i]] += sig + delta_w;
+        }
+        for t in 0..jac_eq.nnz() {
+            let (r, c) = (nx + jac_eq.rows[t], jac_eq.cols[t]);
+            vals[slot(colptr, rowind, r, c)?] += jac_eq.vals[t];
+            vals[slot(colptr, rowind, c, r)?] += jac_eq.vals[t];
+        }
+        for i in 0..s.dims.m_eq {
+            vals[s.diag_slots[nx + i]] += -delta_cc;
+        }
+        // J_Iᵀ C J_I, one inequality row at a time; pairs are written
+        // symmetrically with the same product so the assembled matrix is
+        // exactly symmetric.
+        for (r, entries) in ji_by_row.iter().enumerate() {
+            let c_r = ds[r] / e[r];
+            for (p, &(cp, vp)) in entries.iter().enumerate() {
+                for &(cq, vq) in &entries[p..] {
+                    let v = (vp * c_r) * vq;
+                    vals[slot(colptr, rowind, cp, cq)?] += v;
+                    if cp != cq {
+                        vals[slot(colptr, rowind, cq, cp)?] += v;
+                    }
+                }
+            }
+        }
+        Some(vals)
+    }
+}
+
+impl CondensedStructure {
+    /// True when every coordinate the given matrices touch is present in the
+    /// frozen pattern.
+    fn covers(&self, hess: &Coo, jac_eq: &Coo, jac_ineq: &Coo) -> bool {
+        let nx = self.dims.nx;
+        let (colptr, rowind) = self.ldl.pattern();
+        for t in 0..hess.nnz() {
+            if slot(colptr, rowind, hess.rows[t], hess.cols[t]).is_none() {
+                return false;
+            }
+        }
+        for t in 0..jac_eq.nnz() {
+            let (r, c) = (nx + jac_eq.rows[t], jac_eq.cols[t]);
+            if slot(colptr, rowind, r, c).is_none() || slot(colptr, rowind, c, r).is_none() {
+                return false;
+            }
+        }
+        let by_row = group_by_row(jac_ineq, self.dims.m_ineq);
+        for entries in &by_row {
+            for &(cp, _) in entries {
+                for &(cq, _) in entries {
+                    if slot(colptr, rowind, cp, cq).is_none() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Position of entry `(row, col)` in a CSC pattern, if present.
+fn slot(colptr: &[usize], rowind: &[usize], row: usize, col: usize) -> Option<usize> {
+    if col + 1 >= colptr.len() {
+        return None;
+    }
+    let lo = colptr[col];
+    let hi = colptr[col + 1];
+    rowind[lo..hi].binary_search(&row).ok().map(|off| lo + off)
+}
+
+/// Group a COO matrix's entries by row, summing duplicate columns within a
+/// row and sorting by column (deterministic assembly order). Duplicates must
+/// be combined *before* the quadratic `J_Iᵀ C J_I` products — the full-KKT
+/// path sums them linearly during CSC conversion, and `(v₁+v₂)²` is not
+/// `v₁² + v₁v₂ + v₂²`.
+fn group_by_row(a: &Coo, nrows: usize) -> Vec<Vec<(usize, f64)>> {
+    let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nrows];
+    for t in 0..a.nnz() {
+        by_row[a.rows[t]].push((a.cols[t], a.vals[t]));
+    }
+    for entries in &mut by_row {
+        entries.sort_by_key(|&(c, _)| c);
+        entries.dedup_by(|next, kept| {
+            if next.0 == kept.0 {
+                kept.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+    }
+    by_row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kkt::assemble_kkt;
+    use gridsim_sparse::LdlFactor;
+
+    /// A small slacked problem: nx = 3, one equality, two inequalities.
+    fn small_dims() -> KktDims {
+        KktDims {
+            nx: 3,
+            ns: 2,
+            m_eq: 1,
+            m_ineq: 2,
+        }
+    }
+
+    fn small_problem() -> (Coo, Vec<f64>, Coo, Coo) {
+        let mut hess = Coo::new(3, 3);
+        hess.push(0, 0, 4.0);
+        hess.push(1, 1, 3.0);
+        hess.push(2, 2, 5.0);
+        hess.push(0, 1, 0.5);
+        hess.push(1, 0, 0.5);
+        let sigma = vec![0.3, 0.2, 0.1, 0.7, 0.9];
+        let mut jac_eq = Coo::new(1, 3);
+        jac_eq.push(0, 0, 1.0);
+        jac_eq.push(0, 2, -1.0);
+        let mut jac_ineq = Coo::new(2, 3);
+        jac_ineq.push(0, 0, 2.0);
+        jac_ineq.push(0, 1, -1.0);
+        jac_ineq.push(1, 1, 1.5);
+        jac_ineq.push(1, 2, 0.4);
+        (hess, sigma, jac_eq, jac_ineq)
+    }
+
+    #[test]
+    fn condensed_step_matches_full_kkt_solve() {
+        let dims = small_dims();
+        let (hess, sigma, jac_eq, jac_ineq) = small_problem();
+        let (delta_w, delta_c) = (1e-6, 1e-8);
+        let rhs: Vec<f64> = (0..dims.dim()).map(|i| (i as f64 * 0.7).sin()).collect();
+
+        let kkt = assemble_kkt(&dims, &hess, &sigma, &jac_eq, &jac_ineq, delta_w, delta_c);
+        let opts = LdlOptions {
+            expected_signs: dims.expected_signs(),
+            pivot_tol: 1e-13,
+            pivot_reg: 1e-9,
+        };
+        let full = LdlFactor::factorize_rcm(&kkt, &opts).unwrap().solve(&rhs);
+
+        let mut cache = KktCache::new();
+        let cond = cache
+            .solve_condensed(
+                &Device::parallel(),
+                &dims,
+                &hess,
+                &sigma,
+                &jac_eq,
+                &jac_ineq,
+                delta_w,
+                delta_c,
+                &rhs,
+                1e-13,
+                1e-9,
+            )
+            .unwrap();
+        let scale = full.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (a, b) in full.iter().zip(&cond.step) {
+            assert!(
+                (a - b).abs() < 1e-9 * scale,
+                "full {a} vs condensed {b} (scale {scale})"
+            );
+        }
+        // Expected inertia of the condensed system: (nx, m_eq, 0).
+        assert_eq!(cond.inertia, (3, 1, 0));
+        assert_eq!(cond.num_regularized, 0);
+        assert_eq!(cache.symbolic_analyses(), 1);
+        assert_eq!(cache.numeric_refactorizations(), 1);
+    }
+
+    #[test]
+    fn repeated_solves_reuse_one_symbolic_analysis() {
+        let dims = small_dims();
+        let (hess, sigma, jac_eq, jac_ineq) = small_problem();
+        let mut cache = KktCache::new();
+        let device = Device::sequential();
+        let rhs = vec![1.0; dims.dim()];
+        for k in 0..5 {
+            let delta_w = 1e-8 * (k as f64 + 1.0);
+            cache
+                .solve_condensed(
+                    &device, &dims, &hess, &sigma, &jac_eq, &jac_ineq, delta_w, 1e-8, &rhs, 1e-13,
+                    1e-9,
+                )
+                .unwrap();
+        }
+        assert_eq!(cache.symbolic_analyses(), 1);
+        assert_eq!(cache.numeric_refactorizations(), 5);
+    }
+
+    #[test]
+    fn pattern_growth_rebuilds_union_structure_once() {
+        let dims = small_dims();
+        let (hess, sigma, jac_eq, jac_ineq) = small_problem();
+        let mut cache = KktCache::new();
+        let device = Device::sequential();
+        let rhs = vec![1.0; dims.dim()];
+        // Seed the structure from a pruned Hessian (as a cold start with zero
+        // multipliers would produce).
+        let mut pruned = Coo::new(3, 3);
+        pruned.push(0, 0, 4.0);
+        pruned.push(1, 1, 3.0);
+        pruned.push(2, 2, 5.0);
+        cache
+            .solve_condensed(
+                &device, &dims, &pruned, &sigma, &jac_eq, &jac_ineq, 0.0, 1e-8, &rhs, 1e-13, 1e-9,
+            )
+            .unwrap();
+        assert_eq!(cache.symbolic_analyses(), 1);
+        // A Hessian coupling no inequality row shares — (0,2)/(2,0) — grows
+        // the pattern: one rebuild. (The (0,1) coupling of the standard
+        // Hessian is already covered by inequality row 0's product block.)
+        let mut hess = hess;
+        hess.push(0, 2, 0.25);
+        hess.push(2, 0, 0.25);
+        cache
+            .solve_condensed(
+                &device, &dims, &hess, &sigma, &jac_eq, &jac_ineq, 0.0, 1e-8, &rhs, 1e-13, 1e-9,
+            )
+            .unwrap();
+        assert_eq!(cache.symbolic_analyses(), 2);
+        // And the union pattern keeps covering the pruned shape afterwards.
+        cache
+            .solve_condensed(
+                &device, &dims, &pruned, &sigma, &jac_eq, &jac_ineq, 0.0, 1e-8, &rhs, 1e-13, 1e-9,
+            )
+            .unwrap();
+        assert_eq!(cache.symbolic_analyses(), 2);
+    }
+
+    #[test]
+    fn duplicate_jacobian_triplets_match_the_full_path() {
+        // The same (row, col) appearing twice in the inequality Jacobian is
+        // legal COO — the full path sums the duplicates during CSC
+        // conversion, so the condensed product must square the *sum*, not
+        // sum the squares.
+        let dims = KktDims {
+            nx: 2,
+            ns: 1,
+            m_eq: 0,
+            m_ineq: 1,
+        };
+        let mut hess = Coo::new(2, 2);
+        hess.push(0, 0, 3.0);
+        hess.push(1, 1, 2.0);
+        let sigma = vec![0.4, 0.6, 0.5];
+        let jac_eq = Coo::new(0, 2);
+        let mut jac_ineq = Coo::new(1, 2);
+        jac_ineq.push(0, 0, 2.0);
+        jac_ineq.push(0, 0, 1.0); // duplicate of (0, 0): effective value 3.0
+        jac_ineq.push(0, 1, -1.0);
+        let rhs: Vec<f64> = (0..dims.dim()).map(|i| 1.0 + 0.5 * i as f64).collect();
+
+        let kkt = assemble_kkt(&dims, &hess, &sigma, &jac_eq, &jac_ineq, 0.0, 1e-8);
+        let opts = LdlOptions {
+            expected_signs: dims.expected_signs(),
+            pivot_tol: 1e-13,
+            pivot_reg: 1e-9,
+        };
+        let full = LdlFactor::factorize_rcm(&kkt, &opts).unwrap().solve(&rhs);
+        let mut cache = KktCache::new();
+        let cond = cache
+            .solve_condensed(
+                &Device::sequential(),
+                &dims,
+                &hess,
+                &sigma,
+                &jac_eq,
+                &jac_ineq,
+                0.0,
+                1e-8,
+                &rhs,
+                1e-13,
+                1e-9,
+            )
+            .unwrap();
+        for (a, b) in full.iter().zip(&cond.step) {
+            assert!((a - b).abs() < 1e-9, "full {a} vs condensed {b}");
+        }
+    }
+
+    #[test]
+    fn no_equality_constraints_condenses_to_the_variable_block() {
+        let dims = KktDims {
+            nx: 2,
+            ns: 1,
+            m_eq: 0,
+            m_ineq: 1,
+        };
+        let mut hess = Coo::new(2, 2);
+        hess.push(0, 0, 2.0);
+        hess.push(1, 1, 2.0);
+        let sigma = vec![0.5, 0.4, 0.8];
+        let jac_eq = Coo::new(0, 2);
+        let mut jac_ineq = Coo::new(1, 2);
+        jac_ineq.push(0, 0, -1.0);
+        jac_ineq.push(0, 1, -1.0);
+        let rhs: Vec<f64> = (0..dims.dim()).map(|i| 0.3 + i as f64).collect();
+
+        let kkt = assemble_kkt(&dims, &hess, &sigma, &jac_eq, &jac_ineq, 0.0, 1e-8);
+        let opts = LdlOptions {
+            expected_signs: dims.expected_signs(),
+            pivot_tol: 1e-13,
+            pivot_reg: 1e-9,
+        };
+        let full = LdlFactor::factorize_rcm(&kkt, &opts).unwrap().solve(&rhs);
+        let mut cache = KktCache::new();
+        let cond = cache
+            .solve_condensed(
+                &Device::parallel(),
+                &dims,
+                &hess,
+                &sigma,
+                &jac_eq,
+                &jac_ineq,
+                0.0,
+                1e-8,
+                &rhs,
+                1e-13,
+                1e-9,
+            )
+            .unwrap();
+        // nx×nx positive definite system.
+        assert_eq!(cond.inertia, (2, 0, 0));
+        for (a, b) in full.iter().zip(&cond.step) {
+            assert!((a - b).abs() < 1e-9, "full {a} vs condensed {b}");
+        }
+    }
+}

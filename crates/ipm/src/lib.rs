@@ -17,22 +17,30 @@
 //! The cost anatomy — one sparse symmetric indefinite factorization per
 //! Newton iteration, growing super-linearly with network size — is exactly
 //! the baseline behaviour the paper's Table II and Figure 1 contrast against.
+//! The [`kkt_condensed`] module is the counterpoint: a condensed-space step
+//! (slack and inequality-dual blocks eliminated in closed form) whose frozen
+//! sparsity pattern is analyzed once per NLP and numerically refactorized on
+//! the batch device every iteration, selected through
+//! [`kkt_condensed::KktStrategy`].
 //!
 //! Modules:
 //!
 //! * [`nlp`] — the problem interface ([`nlp::Nlp`]),
 //! * [`acopf_nlp`] — the full polar ACOPF formulation (1) as an NLP,
 //! * [`kkt`] — assembly of the augmented KKT system,
+//! * [`kkt_condensed`] — the condensed-space step with symbolic reuse,
 //! * [`solver`] — the interior-point iteration,
 //! * [`report`] — iteration log and result types.
 
 pub mod acopf_nlp;
 pub mod kkt;
+pub mod kkt_condensed;
 pub mod nlp;
 pub mod report;
 pub mod solver;
 
 pub use acopf_nlp::AcopfNlp;
+pub use kkt_condensed::{KktCache, KktStrategy};
 pub use nlp::Nlp;
 pub use report::{IpmStatus, IterationRecord, SolveReport};
 pub use solver::{IpmOptions, IpmSolver};

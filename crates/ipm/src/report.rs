@@ -58,6 +58,11 @@ pub struct SolveReport {
     /// refactorizations) — the quantity that dominates Ipopt's run time on
     /// ACOPF.
     pub factorizations: usize,
+    /// Symbolic analyses performed during this solve. The full-KKT strategy
+    /// pays one per factorization; the condensed strategy analyzes the
+    /// frozen pattern once per NLP (plus rare structural-growth rebuilds)
+    /// and runs numeric-only refactorizations afterwards.
+    pub symbolic_analyses: usize,
     /// Per-iteration log.
     pub log: Vec<IterationRecord>,
 }
@@ -86,6 +91,7 @@ mod tests {
             primal_infeasibility: 1e-10,
             solve_time: Duration::ZERO,
             factorizations: 3,
+            symbolic_analyses: 3,
             log: vec![],
         };
         assert!(report.is_optimal());

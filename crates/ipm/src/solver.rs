@@ -10,8 +10,10 @@
 //! a multiple of μ (Fiacco–McCormick), as in Ipopt's monotone mode.
 
 use crate::kkt::{assemble_kkt, KktDims};
+use crate::kkt_condensed::{KktCache, KktStrategy};
 use crate::nlp::Nlp;
 use crate::report::{IpmStatus, IterationRecord, SolveReport};
+use gridsim_batch::Device;
 use gridsim_sparse::{LdlFactor, LdlOptions, Ordering};
 use std::time::Instant;
 
@@ -38,6 +40,11 @@ pub struct IpmOptions {
     pub initial_point: Option<Vec<f64>>,
     /// Optional warm start for the constraint multipliers `[λ_E; λ_I]`.
     pub initial_multipliers: Option<Vec<f64>>,
+    /// Which KKT path each Newton step uses: the full augmented system
+    /// (fresh symbolic analysis per factorization) or the condensed-space
+    /// system with frozen-pattern numeric refactorization on the batch
+    /// device.
+    pub kkt_strategy: KktStrategy,
 }
 
 impl Default for IpmOptions {
@@ -53,6 +60,7 @@ impl Default for IpmOptions {
             delta_c: 1e-8,
             initial_point: None,
             initial_multipliers: None,
+            kkt_strategy: KktStrategy::default(),
         }
     }
 }
@@ -62,18 +70,43 @@ impl Default for IpmOptions {
 pub struct IpmSolver {
     /// Options used by [`IpmSolver::solve`].
     pub options: IpmOptions,
+    /// Batch device the condensed strategy refactorizes on (the per-row
+    /// column updates of the numeric LDLᵀ fan out as thread blocks).
+    pub device: Device,
 }
 
 impl IpmSolver {
     /// Create a solver with the given options.
     pub fn new(options: IpmOptions) -> Self {
-        IpmSolver { options }
+        IpmSolver {
+            options,
+            device: Device::default(),
+        }
     }
 
-    /// Solve the NLP.
+    /// Replace the batch device used by the condensed KKT strategy.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Solve the NLP with a fresh KKT cache.
     pub fn solve<N: Nlp>(&self, nlp: &N) -> SolveReport {
+        let mut cache = KktCache::new();
+        self.solve_with_cache(nlp, &mut cache)
+    }
+
+    /// Solve the NLP, reusing (and updating) a caller-owned [`KktCache`].
+    ///
+    /// Under [`KktStrategy::Condensed`], consecutive solves of structurally
+    /// identical NLPs — the rolling-horizon tracking workload, where each
+    /// period re-solves the same network at drifted loads — share one
+    /// symbolic analysis across the whole trajectory. The full strategy
+    /// ignores the cache.
+    pub fn solve_with_cache<N: Nlp>(&self, nlp: &N, cache: &mut KktCache) -> SolveReport {
         let start_time = Instant::now();
         let opts = &self.options;
+        let symbolic_before = cache.symbolic_analyses();
 
         let nx = nlp.num_vars();
         let m_eq = nlp.num_eq();
@@ -128,11 +161,26 @@ impl IpmSolver {
             }
         }
 
+        // Probe the model pattern once with unit multipliers so the
+        // condensed structure covers every coordinate the callbacks can emit
+        // (they prune value-zero triplets, and cold starts carry λ = 0);
+        // growth later in the solve still rebuilds the union as a fallback.
+        if opts.kkt_strategy == KktStrategy::Condensed {
+            let x0 = &v[..nx];
+            let ones_eq = vec![1.0; m_eq];
+            let ones_ineq = vec![1.0; m_ineq];
+            let probe_hess = nlp.lagrangian_hessian(x0, 1.0, &ones_eq, &ones_ineq);
+            let probe_jac_eq = nlp.eq_jacobian(x0);
+            let probe_jac_ineq = nlp.ineq_jacobian(x0);
+            cache.ensure_structure(&dims, &probe_hess, &probe_jac_eq, &probe_jac_ineq);
+        }
+
         // Workspace.
         let mut grad_f = vec![0.0; nx];
         let mut ce = vec![0.0; m_eq];
         let mut log = Vec::new();
         let mut factorizations = 0usize;
+        let mut symbolic_full = 0usize;
         let mut ordering: Option<Ordering> = None;
         let mut delta_w_last = 0.0f64;
         let mut status = IpmStatus::MaxIterations;
@@ -249,40 +297,81 @@ impl IpmSolver {
             // Factorize with inertia correction.
             let mut delta_w = 0.0f64;
             let mut attempt = 0usize;
+            // A successful factorization before its (deferred) triangular
+            // solve: the full strategy carries the factor so inertia-rejected
+            // attempts never pay the solve.
+            enum Factorized {
+                Full(LdlFactor),
+                Condensed(crate::kkt_condensed::CondensedFactor),
+            }
             let solution = loop {
-                let kkt = assemble_kkt(
-                    &dims,
-                    &hess,
-                    &sigma,
-                    &jac_eq,
-                    &jac_ineq,
-                    delta_w,
-                    opts.delta_c,
-                );
-                if ordering.is_none() {
-                    ordering = Some(Ordering::rcm(&kkt));
-                }
-                let ldl_opts = LdlOptions {
-                    expected_signs: dims.expected_signs(),
-                    pivot_tol: 1e-13,
-                    pivot_reg: 1e-9,
-                };
                 factorizations += 1;
-                let factor = LdlFactor::factorize_with(
-                    &kkt,
-                    ordering.clone().expect("ordering computed above"),
-                    &ldl_opts,
-                );
-                match factor {
-                    Ok(fac) => {
-                        let (pos, neg, zero) = fac.inertia();
-                        let inertia_ok =
-                            pos == nv && neg == mc && zero == 0 && fac.num_regularized == 0;
+                // `Some((factorized, inertia_ok))` on a successful
+                // factorization, `None` on breakdown; both strategies share
+                // the retry loop.
+                let attempt_result = match opts.kkt_strategy {
+                    KktStrategy::Full => {
+                        let kkt = assemble_kkt(
+                            &dims,
+                            &hess,
+                            &sigma,
+                            &jac_eq,
+                            &jac_ineq,
+                            delta_w,
+                            opts.delta_c,
+                        );
+                        if ordering.is_none() {
+                            ordering = Some(Ordering::rcm(&kkt));
+                        }
+                        let ldl_opts = LdlOptions {
+                            expected_signs: dims.expected_signs(),
+                            pivot_tol: 1e-13,
+                            pivot_reg: 1e-9,
+                        };
+                        symbolic_full += 1;
+                        LdlFactor::factorize_with(
+                            &kkt,
+                            ordering.clone().expect("ordering computed above"),
+                            &ldl_opts,
+                        )
+                        .ok()
+                        .map(|fac| {
+                            let (pos, neg, zero) = fac.inertia();
+                            let inertia_ok =
+                                pos == nv && neg == mc && zero == 0 && fac.num_regularized == 0;
+                            (Factorized::Full(fac), inertia_ok)
+                        })
+                    }
+                    KktStrategy::Condensed => cache
+                        .factorize_condensed(
+                            &self.device,
+                            &dims,
+                            &hess,
+                            &sigma,
+                            &jac_eq,
+                            &jac_ineq,
+                            delta_w,
+                            opts.delta_c,
+                            1e-13,
+                            1e-9,
+                        )
+                        .ok()
+                        .map(|cond| {
+                            let inertia_ok =
+                                cond.inertia == (nx, m_eq, 0) && cond.num_regularized == 0;
+                            (Factorized::Condensed(cond), inertia_ok)
+                        }),
+                };
+                match attempt_result {
+                    Some((factorized, inertia_ok)) => {
                         if inertia_ok || attempt >= opts.max_refactorizations {
-                            break Some(fac.solve(&rhs));
+                            break Some(match factorized {
+                                Factorized::Full(fac) => fac.solve(&rhs),
+                                Factorized::Condensed(cond) => cond.solve(&jac_ineq, &rhs),
+                            });
                         }
                     }
-                    Err(_) => {
+                    None => {
                         if attempt >= opts.max_refactorizations {
                             break None;
                         }
@@ -421,6 +510,10 @@ impl IpmSolver {
 
         let x_final = v[..nx].to_vec();
         let objective = nlp.objective(&x_final);
+        let symbolic_analyses = match opts.kkt_strategy {
+            KktStrategy::Full => symbolic_full,
+            KktStrategy::Condensed => cache.symbolic_analyses() - symbolic_before,
+        };
         SolveReport {
             x: x_final,
             objective,
@@ -432,6 +525,7 @@ impl IpmSolver {
             primal_infeasibility: primal_inf,
             solve_time: start_time.elapsed(),
             factorizations,
+            symbolic_analyses,
             log,
         }
     }
@@ -648,6 +742,91 @@ mod tests {
         assert!(!report.log.is_empty());
         assert_eq!(report.log[0].iter, 0);
         assert!(report.factorizations >= report.iterations);
+        // The full strategy pays a symbolic analysis per factorization.
+        assert_eq!(report.symbolic_analyses, report.factorizations);
+    }
+
+    fn condensed_solver(tol: f64) -> IpmSolver {
+        IpmSolver::new(IpmOptions {
+            tol,
+            kkt_strategy: crate::kkt_condensed::KktStrategy::Condensed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn condensed_strategy_matches_full_on_hs071() {
+        let full = IpmSolver::new(IpmOptions {
+            tol: 1e-7,
+            ..Default::default()
+        })
+        .solve(&Hs071);
+        let condensed = condensed_solver(1e-7).solve(&Hs071);
+        assert!(condensed.is_optimal(), "status {:?}", condensed.status);
+        assert!(
+            (condensed.objective - full.objective).abs() < 1e-5 * full.objective.abs(),
+            "objectives {} vs {}",
+            condensed.objective,
+            full.objective
+        );
+        for (a, b) in condensed.x.iter().zip(&full.x) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // One symbolic analysis for the whole solve, numeric
+        // refactorizations every iteration.
+        assert!(
+            condensed.symbolic_analyses <= 2,
+            "symbolic analyses {}",
+            condensed.symbolic_analyses
+        );
+        assert!(condensed.factorizations >= condensed.iterations);
+        assert!(condensed.factorizations > condensed.symbolic_analyses);
+    }
+
+    #[test]
+    fn condensed_strategy_solves_inequality_and_bound_problems() {
+        let ineq = condensed_solver(1e-6).solve(&InequalityQp);
+        assert!(ineq.is_optimal(), "status {:?}", ineq.status);
+        assert!((ineq.x[0] - 0.5).abs() < 1e-5);
+        assert!((ineq.x[1] - 0.5).abs() < 1e-5);
+        assert!(ineq.lambda_ineq[0] > 0.1);
+
+        let bound = condensed_solver(1e-6).solve(&BoundOnly);
+        assert!(bound.is_optimal());
+        assert!((bound.x[0] - 1.0).abs() < 1e-5);
+
+        let eq = condensed_solver(1e-6).solve(&EqualityQp);
+        assert!(eq.is_optimal());
+        assert!((eq.x[0] - 0.5).abs() < 1e-6);
+        assert!((eq.lambda_eq[0] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shared_cache_reuses_symbolic_across_warm_resolves() {
+        let mut cache = crate::kkt_condensed::KktCache::new();
+        let solver = condensed_solver(1e-7);
+        let cold = solver.solve_with_cache(&Hs071, &mut cache);
+        assert!(cold.is_optimal());
+        let after_cold = cache.symbolic_analyses();
+        let warm_solver = IpmSolver::new(IpmOptions {
+            tol: 1e-7,
+            kkt_strategy: crate::kkt_condensed::KktStrategy::Condensed,
+            initial_point: Some(cold.x.clone()),
+            initial_multipliers: Some(
+                cold.lambda_eq
+                    .iter()
+                    .chain(cold.lambda_ineq.iter())
+                    .copied()
+                    .collect(),
+            ),
+            ..Default::default()
+        });
+        let warm = warm_solver.solve_with_cache(&Hs071, &mut cache);
+        assert!(warm.is_optimal());
+        // The warm re-solve rode the frozen pattern: no new analysis.
+        assert_eq!(cache.symbolic_analyses(), after_cold);
+        assert_eq!(warm.symbolic_analyses, 0);
+        assert!(warm.factorizations > 0);
     }
 
     #[test]

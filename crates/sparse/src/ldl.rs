@@ -18,6 +18,7 @@ use crate::csc::Csc;
 use crate::ordering::Ordering;
 use crate::symbolic::Symbolic;
 use crate::SparseError;
+use std::sync::Arc;
 
 /// Options controlling the factorization.
 #[derive(Debug, Clone)]
@@ -45,23 +46,61 @@ impl Default for LdlOptions {
 }
 
 /// A computed LDLᵀ factorization `P A Pᵀ = L D Lᵀ`.
+///
+/// The structural parts (column pointers, row indices, ordering) are held
+/// behind [`Arc`] so that factors produced by the symbolic-reuse
+/// refactorization of [`crate::refactor`] share one frozen copy instead of
+/// cloning `O(lnz)` index data on every numeric refactorization.
 #[derive(Debug, Clone)]
 pub struct LdlFactor {
     n: usize,
     /// Column pointers of L (strictly lower triangular, unit diagonal
     /// implied).
-    lcolptr: Vec<usize>,
-    lrowind: Vec<usize>,
+    lcolptr: Arc<Vec<usize>>,
+    lrowind: Arc<Vec<usize>>,
     lvalues: Vec<f64>,
     /// Diagonal of D.
     d: Vec<f64>,
     /// Ordering applied (identity when none requested).
-    ordering: Ordering,
+    ordering: Arc<Ordering>,
     /// Number of pivots that required regularization.
     pub num_regularized: usize,
 }
 
 impl LdlFactor {
+    /// Assemble a factor from precomputed parts (used by the symbolic-reuse
+    /// refactorization in [`crate::refactor`]).
+    pub(crate) fn from_parts(
+        n: usize,
+        lcolptr: Arc<Vec<usize>>,
+        lrowind: Arc<Vec<usize>>,
+        lvalues: Vec<f64>,
+        d: Vec<f64>,
+        ordering: Arc<Ordering>,
+        num_regularized: usize,
+    ) -> LdlFactor {
+        LdlFactor {
+            n,
+            lcolptr,
+            lrowind,
+            lvalues,
+            d,
+            ordering,
+            num_regularized,
+        }
+    }
+
+    /// Values of the strictly-lower-triangular factor `L`, in frozen column
+    /// order (testing / comparison accessor).
+    pub fn l_values(&self) -> &[f64] {
+        &self.lvalues
+    }
+
+    /// Diagonal of `D` in permuted order (testing / comparison accessor).
+    pub fn d_values(&self) -> &[f64] {
+        &self.d
+    }
+
     /// Factorize a symmetric matrix given by (at least) its upper triangle,
     /// using the supplied fill-reducing ordering.
     pub fn factorize_with(
@@ -181,11 +220,11 @@ impl LdlFactor {
 
         Ok(LdlFactor {
             n,
-            lcolptr,
-            lrowind,
+            lcolptr: Arc::new(lcolptr),
+            lrowind: Arc::new(lrowind),
             lvalues,
             d,
-            ordering,
+            ordering: Arc::new(ordering),
             num_regularized,
         })
     }
@@ -260,7 +299,7 @@ impl LdlFactor {
     }
 }
 
-fn regularize_pivot(dj: f64, expected_sign: i8, opts: &LdlOptions) -> f64 {
+pub(crate) fn regularize_pivot(dj: f64, expected_sign: i8, opts: &LdlOptions) -> f64 {
     match expected_sign {
         1 => {
             if dj < opts.pivot_tol {

@@ -14,6 +14,11 @@
 //! * symbolic analysis (elimination tree and column counts, [`symbolic`]),
 //! * an up-looking sparse LDLᵀ factorization with dynamic regularization and
 //!   inertia reporting for quasi-definite KKT systems ([`ldl`]),
+//! * a symbolic-reuse layer ([`refactor`]): analyze a pattern once, then run
+//!   numeric-only refactorizations — optionally fanned out over a
+//!   [`gridsim_batch::Device`] by elimination-tree level — that are bitwise
+//!   identical to fresh factorizations (the Świrydowicz-et-al. fixed-pattern
+//!   speedup the interior-point baseline exploits),
 //! * and small dense kernels ([`dense`]) shared with the batch TRON solver.
 
 pub mod coo;
@@ -22,6 +27,7 @@ pub mod csr;
 pub mod dense;
 pub mod ldl;
 pub mod ordering;
+pub mod refactor;
 pub mod symbolic;
 
 pub use coo::Coo;
@@ -29,6 +35,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use ldl::{LdlFactor, LdlOptions};
 pub use ordering::Ordering;
+pub use refactor::LdlSymbolic;
 pub use symbolic::Symbolic;
 
 /// Error type for sparse linear algebra.

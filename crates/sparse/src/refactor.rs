@@ -1,0 +1,671 @@
+//! Symbolic-reuse LDLᵀ: analyze once, numerically refactorize many times.
+//!
+//! Interior-point methods factorize a KKT matrix whose *pattern* never
+//! changes — only the values do (barrier terms, Hessian entries,
+//! regularization). Świrydowicz et al. (arXiv:2306.14337) show that the
+//! device-resident speedup of GPU linear solvers in this setting comes from
+//! freezing the symbolic analysis (elimination tree, fill pattern, pivot
+//! order) and running *numeric-only refactorizations* against it. This module
+//! implements that split for the up-looking LDLᵀ of [`crate::ldl`]:
+//!
+//! * [`LdlSymbolic::analyze`] runs once per problem: it fixes the
+//!   fill-reducing ordering, the permuted upper-triangular pattern, the
+//!   elimination tree, the full row pattern of `L`, the replay order of every
+//!   row's sparse dot products, and an elimination-tree *level schedule*;
+//! * [`LdlSymbolic::refactor`] replays the numeric factorization over the
+//!   frozen pattern — no graph walks, no allocation proportional to symbolic
+//!   work — and is **bitwise identical** to a fresh
+//!   [`LdlFactor::factorize_with`] of the same matrix (a tested invariant);
+//! * [`LdlSymbolic::refactor_on`] runs the same replay with the per-row
+//!   column updates fanned out through [`gridsim_batch::Device::launch_blocks`],
+//!   one elimination-tree level at a time. Rows on the same level own
+//!   disjoint subtrees, hence disjoint reads and writes, so the parallel
+//!   backend produces the same bits as the sequential one.
+//!
+//! The error-column reported on a [`SparseError::Breakdown`] may differ
+//! between the level-parallel and sequential schedules when several columns
+//! break down (the parallel schedule reports the lowest-indexed breakdown of
+//! the *first level* that fails); with a nonzero `pivot_reg` breakdown cannot
+//! occur at all.
+
+use crate::csc::Csc;
+use crate::ldl::{LdlFactor, LdlOptions};
+use crate::ordering::Ordering;
+use crate::symbolic::Symbolic;
+use crate::SparseError;
+use gridsim_batch::{Device, DeviceBuffer};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Frozen symbolic analysis of a symmetric matrix, reusable across any
+/// number of numeric refactorizations with the same sparsity pattern.
+#[derive(Debug, Clone)]
+pub struct LdlSymbolic {
+    n: usize,
+    /// Pattern of the analyzed matrix (CSC, both triangles as supplied).
+    a_colptr: Vec<usize>,
+    a_rowind: Vec<usize>,
+    /// Ordering fixed at analysis time.
+    ordering: Arc<Ordering>,
+    /// Permuted upper-triangular pattern (row ≤ col), CSC layout.
+    au_colptr: Vec<usize>,
+    au_rowind: Vec<usize>,
+    /// For each permuted-upper entry, the index of the corresponding value in
+    /// the *original* matrix's value array.
+    aval_map: Vec<usize>,
+    /// Elimination tree parents over the permuted pattern.
+    parent: Vec<usize>,
+    /// Column pointers of `L` (length `n + 1`).
+    lcolptr: Arc<Vec<usize>>,
+    /// Frozen row indices of `L`, ascending within each column.
+    lrowind: Arc<Vec<usize>>,
+    /// Replay order of each row's reach set (`rp_idx[rp_ptr[j]..rp_ptr[j+1]]`
+    /// is the exact column order the up-looking factorization visits when
+    /// computing row `j`).
+    rp_ptr: Vec<usize>,
+    rp_idx: Vec<usize>,
+    /// Elimination-tree level schedule: rows in
+    /// `level_idx[level_ptr[l]..level_ptr[l+1]]` depend only on rows of
+    /// levels `< l` and touch pairwise-disjoint columns of `L`.
+    level_ptr: Vec<usize>,
+    level_idx: Vec<usize>,
+}
+
+/// One row's pending output inside a level-parallel launch: the pivot, the
+/// regularization/breakdown flags, and the `L` entries to commit (slot,
+/// value). Rows of one level write disjoint slots, so the commits can be
+/// applied in any order; they are applied in ascending row order for
+/// determinism of the breakdown report.
+#[derive(Debug, Clone, Default)]
+struct RowTask {
+    j: usize,
+    dj: f64,
+    raw_pivot: f64,
+    regularized: bool,
+    breakdown: bool,
+    writes: Vec<(usize, f64)>,
+}
+
+impl LdlSymbolic {
+    /// Analyze the pattern of `a` under the supplied fill-reducing ordering.
+    /// Values of `a` are ignored; only the structure is frozen.
+    pub fn analyze(a: &Csc, ordering: Ordering) -> Result<LdlSymbolic, SparseError> {
+        if a.nrows != a.ncols {
+            return Err(SparseError::Shape(format!(
+                "matrix is {}x{}, expected square",
+                a.nrows, a.ncols
+            )));
+        }
+        let n = a.ncols;
+        if ordering.len() != n {
+            return Err(SparseError::Shape(format!(
+                "ordering has length {}, expected {n}",
+                ordering.len()
+            )));
+        }
+        // The same permute + upper-triangle construction the fresh
+        // factorization performs, so entry order (and therefore replayed
+        // arithmetic order) matches it exactly.
+        let permuted = a.symmetric_permute(&ordering.perm).upper_triangle();
+
+        // Map every permuted-upper entry back to its source value in `a`.
+        let mut aval_map = Vec::with_capacity(permuted.nnz());
+        for j in 0..n {
+            for p in permuted.colptr[j]..permuted.colptr[j + 1] {
+                let orig_row = ordering.perm[permuted.rowind[p]];
+                let orig_col = ordering.perm[j];
+                let lo = a.colptr[orig_col];
+                let hi = a.colptr[orig_col + 1];
+                match a.rowind[lo..hi].binary_search(&orig_row) {
+                    Ok(off) => aval_map.push(lo + off),
+                    Err(_) => {
+                        return Err(SparseError::Shape(format!(
+                            "pattern is not symmetric: entry ({orig_row}, {orig_col}) \
+                             has no transpose partner"
+                        )))
+                    }
+                }
+            }
+        }
+
+        let sym = Symbolic::analyze(&permuted);
+
+        // Replay orders: replicate the up-looking pattern computation once,
+        // recording the reach-set order of every row.
+        let none = usize::MAX;
+        let mut flag = vec![none; n];
+        let mut pattern = vec![0usize; n];
+        let mut rp_ptr = vec![0usize; n + 1];
+        let mut rp_idx = Vec::with_capacity(sym.total_lnz());
+        for j in 0..n {
+            let mut top = n;
+            flag[j] = j;
+            for p in permuted.colptr[j]..permuted.colptr[j + 1] {
+                let mut i = permuted.rowind[p];
+                if i >= j {
+                    continue;
+                }
+                let mut len = 0usize;
+                while flag[i] != j {
+                    pattern[len] = i;
+                    len += 1;
+                    flag[i] = j;
+                    i = sym.parent[i];
+                }
+                while len > 0 {
+                    top -= 1;
+                    len -= 1;
+                    pattern[top] = pattern[len];
+                }
+            }
+            rp_idx.extend_from_slice(&pattern[top..n]);
+            rp_ptr[j + 1] = rp_idx.len();
+        }
+
+        // Frozen row indices of L: appending row j to every reached column in
+        // replay order reproduces the fresh factorization's slot layout
+        // (ascending rows within each column).
+        let total = sym.total_lnz();
+        // `Symbolic::analyze` always returns `lcolptr` of length n + 1 with
+        // the total as its last entry.
+        let lcolptr = sym.lcolptr.clone();
+        let mut lrowind = vec![0usize; total];
+        let mut lnz_used = vec![0usize; n];
+        for j in 0..n {
+            for &i in &rp_idx[rp_ptr[j]..rp_ptr[j + 1]] {
+                lrowind[lcolptr[i] + lnz_used[i]] = j;
+                lnz_used[i] += 1;
+            }
+        }
+
+        // Elimination-tree levels: children carry strictly smaller indices,
+        // so one ascending pass settles every height.
+        let mut level = vec![0usize; n];
+        for i in 0..n {
+            let p = sym.parent[i];
+            if p != none {
+                level[p] = level[p].max(level[i] + 1);
+            }
+        }
+        let depth = level.iter().copied().max().map_or(0, |d| d + 1);
+        let mut level_ptr = vec![0usize; depth + 1];
+        for &l in &level {
+            level_ptr[l + 1] += 1;
+        }
+        for l in 0..depth {
+            level_ptr[l + 1] += level_ptr[l];
+        }
+        let mut next = level_ptr.clone();
+        let mut level_idx = vec![0usize; n];
+        for (j, &l) in level.iter().enumerate() {
+            level_idx[next[l]] = j;
+            next[l] += 1;
+        }
+
+        Ok(LdlSymbolic {
+            n,
+            a_colptr: a.colptr.clone(),
+            a_rowind: a.rowind.clone(),
+            ordering: Arc::new(ordering),
+            au_colptr: permuted.colptr,
+            au_rowind: permuted.rowind,
+            aval_map,
+            parent: sym.parent,
+            lcolptr: Arc::new(lcolptr),
+            lrowind: Arc::new(lrowind),
+            rp_ptr,
+            rp_idx,
+            level_ptr,
+            level_idx,
+        })
+    }
+
+    /// Analyze with a reverse Cuthill–McKee ordering computed from `a`.
+    pub fn analyze_rcm(a: &Csc) -> Result<LdlSymbolic, SparseError> {
+        let ordering = Ordering::rcm(a);
+        Self::analyze(a, ordering)
+    }
+
+    /// Dimension of the analyzed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of entries the analyzed pattern stores (the length `values`
+    /// slices passed to [`Self::refactor`] must have).
+    pub fn nnz(&self) -> usize {
+        self.a_rowind.len()
+    }
+
+    /// Number of strictly-lower-triangular nonzeros of the frozen `L`.
+    pub fn lnz(&self) -> usize {
+        self.lrowind.len()
+    }
+
+    /// Number of elimination-tree levels in the parallel schedule.
+    pub fn num_levels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// The analyzed CSC pattern as `(colptr, rowind)` — the entry order the
+    /// `values` slices of [`Self::refactor`] must follow. Callers that need
+    /// slot lookups into the frozen pattern can use this instead of keeping
+    /// their own copy.
+    pub fn pattern(&self) -> (&[usize], &[usize]) {
+        (&self.a_colptr, &self.a_rowind)
+    }
+
+    /// The ordering frozen at analysis time.
+    pub fn ordering(&self) -> &Ordering {
+        self.ordering.as_ref()
+    }
+
+    /// Elimination-tree parent pointers (`usize::MAX` for roots), in the
+    /// permuted index space.
+    pub fn etree_parent(&self) -> &[usize] {
+        &self.parent
+    }
+
+    fn permuted_signs(&self, opts: &LdlOptions) -> Result<Vec<i8>, SparseError> {
+        if opts.expected_signs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if opts.expected_signs.len() != self.n {
+            return Err(SparseError::Shape(format!(
+                "expected_signs has length {}, expected {}",
+                opts.expected_signs.len(),
+                self.n
+            )));
+        }
+        Ok(self
+            .ordering
+            .perm
+            .iter()
+            .map(|&old| opts.expected_signs[old])
+            .collect())
+    }
+
+    /// Replay the numeric factorization of row `j` against the frozen
+    /// pattern. Reads `lvalues`/`d` only at positions owned by strictly
+    /// earlier rows; emits this row's `L` entries into `writes` and returns
+    /// the raw (pre-regularization) pivot. The arithmetic sequence is
+    /// identical to [`LdlFactor::factorize_with`]'s inner loop.
+    fn replay_row(
+        &self,
+        j: usize,
+        values: &[f64],
+        lvalues: &[f64],
+        d: &[f64],
+        y: &mut [f64],
+        writes: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        for p in self.au_colptr[j]..self.au_colptr[j + 1] {
+            y[self.au_rowind[p]] += values[self.aval_map[p]];
+        }
+        let mut dj = y[j];
+        y[j] = 0.0;
+        for &i in &self.rp_idx[self.rp_ptr[j]..self.rp_ptr[j + 1]] {
+            let yi = y[i];
+            y[i] = 0.0;
+            let p_start = self.lcolptr[i];
+            let p_stop = self.lcolptr[i + 1];
+            // Entries of column i below row j: the fresh factorization has
+            // appended exactly the rows < j at this point, which is a prefix
+            // of the frozen (ascending) row list.
+            let p_end = p_start + self.lrowind[p_start..p_stop].partition_point(|&r| r < j);
+            for p in p_start..p_end {
+                y[self.lrowind[p]] -= lvalues[p] * yi;
+            }
+            let lji = yi / d[i];
+            dj -= lji * yi;
+            writes.push((p_end, lji));
+        }
+        dj
+    }
+
+    /// Numeric-only refactorization from a value slice aligned with the
+    /// analyzed pattern (entry `k` of `values` is the value of the analyzed
+    /// matrix's `k`-th stored entry). Bitwise identical to a fresh
+    /// [`LdlFactor::factorize_with`] with the same ordering and options.
+    pub fn refactor(&self, values: &[f64], opts: &LdlOptions) -> Result<LdlFactor, SparseError> {
+        self.check_values_len(values)?;
+        let signs = self.permuted_signs(opts)?;
+        let n = self.n;
+        let mut lvalues = vec![0.0f64; self.lrowind.len()];
+        let mut d = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        let mut writes = Vec::new();
+        let mut num_regularized = 0usize;
+        for j in 0..n {
+            writes.clear();
+            let dj = self.replay_row(j, values, &lvalues, &d, &mut y, &mut writes);
+            for &(slot, v) in &writes {
+                lvalues[slot] = v;
+            }
+            let expected = signs.get(j).copied().unwrap_or(0);
+            let dj_reg = crate::ldl::regularize_pivot(dj, expected, opts);
+            if dj_reg != dj {
+                num_regularized += 1;
+            }
+            if dj_reg == 0.0 {
+                return Err(SparseError::Breakdown {
+                    column: j,
+                    pivot: dj,
+                });
+            }
+            d[j] = dj_reg;
+        }
+        Ok(LdlFactor::from_parts(
+            n,
+            Arc::clone(&self.lcolptr),
+            Arc::clone(&self.lrowind),
+            lvalues,
+            d,
+            Arc::clone(&self.ordering),
+            num_regularized,
+        ))
+    }
+
+    /// Numeric-only refactorization with the per-row column updates launched
+    /// through [`Device::launch_blocks`], one elimination-tree level per
+    /// launch ("one thread block per row" — the same geometry as the batch
+    /// TRON solves). Bitwise identical to [`Self::refactor`] on every
+    /// backend: rows of one level own disjoint subtrees, so their reads all
+    /// resolve to earlier levels and their writes never alias.
+    pub fn refactor_on(
+        &self,
+        device: &Device,
+        values: &[f64],
+        opts: &LdlOptions,
+    ) -> Result<LdlFactor, SparseError> {
+        self.check_values_len(values)?;
+        let signs = self.permuted_signs(opts)?;
+        let n = self.n;
+        let mut lvalues = vec![0.0f64; self.lrowind.len()];
+        let mut d = vec![0.0f64; n];
+        let mut num_regularized = 0usize;
+        // Scratch vectors are recycled through a pool so a wide level does
+        // not allocate O(n) per row beyond its actual concurrency. Every
+        // replay consumes the entries it scatters, returning the vector to
+        // the pool all-zero.
+        let scratch: Mutex<Vec<Vec<f64>>> = Mutex::new(Vec::new());
+        for l in 0..self.num_levels() {
+            let rows = &self.level_idx[self.level_ptr[l]..self.level_ptr[l + 1]];
+            let tasks: Vec<RowTask> = rows
+                .iter()
+                .map(|&j| RowTask {
+                    j,
+                    writes: Vec::with_capacity(self.rp_ptr[j + 1] - self.rp_ptr[j]),
+                    ..RowTask::default()
+                })
+                .collect();
+            let mut buf = DeviceBuffer::from_host(Arc::clone(device.stats()), &tasks);
+            {
+                let lvalues_ref: &[f64] = &lvalues;
+                let d_ref: &[f64] = &d;
+                device.launch_blocks("ldl_refactor_level", &mut buf, |_, task: &mut RowTask| {
+                    // Drop the pool guard before the O(n) zero-fill so
+                    // first-time allocations of concurrent workers don't
+                    // serialize on the lock.
+                    let popped = scratch.lock().pop();
+                    let mut y = popped.unwrap_or_else(|| vec![0.0f64; self.n]);
+                    let dj = self.replay_row(
+                        task.j,
+                        values,
+                        lvalues_ref,
+                        d_ref,
+                        &mut y,
+                        &mut task.writes,
+                    );
+                    scratch.lock().push(y);
+                    task.raw_pivot = dj;
+                    let expected = signs.get(task.j).copied().unwrap_or(0);
+                    let dj_reg = crate::ldl::regularize_pivot(dj, expected, opts);
+                    task.regularized = dj_reg != dj;
+                    task.breakdown = dj_reg == 0.0;
+                    task.dj = dj_reg;
+                });
+            }
+            // Commit the level in ascending row order (the level schedule
+            // stores rows ascending), so regularization counts and the
+            // breakdown column are schedule-independent.
+            for task in buf.to_host() {
+                if task.breakdown {
+                    return Err(SparseError::Breakdown {
+                        column: task.j,
+                        pivot: task.raw_pivot,
+                    });
+                }
+                for (slot, v) in task.writes {
+                    lvalues[slot] = v;
+                }
+                d[task.j] = task.dj;
+                if task.regularized {
+                    num_regularized += 1;
+                }
+            }
+        }
+        Ok(LdlFactor::from_parts(
+            n,
+            Arc::clone(&self.lcolptr),
+            Arc::clone(&self.lrowind),
+            lvalues,
+            d,
+            Arc::clone(&self.ordering),
+            num_regularized,
+        ))
+    }
+
+    /// Refactorize from a whole matrix, validating that its pattern matches
+    /// the analyzed one exactly.
+    pub fn refactor_matrix(&self, a: &Csc, opts: &LdlOptions) -> Result<LdlFactor, SparseError> {
+        self.check_same_pattern(a)?;
+        self.refactor(&a.values, opts)
+    }
+
+    /// Device-launched variant of [`Self::refactor_matrix`].
+    pub fn refactor_matrix_on(
+        &self,
+        device: &Device,
+        a: &Csc,
+        opts: &LdlOptions,
+    ) -> Result<LdlFactor, SparseError> {
+        self.check_same_pattern(a)?;
+        self.refactor_on(device, &a.values, opts)
+    }
+
+    fn check_values_len(&self, values: &[f64]) -> Result<(), SparseError> {
+        if values.len() != self.a_rowind.len() {
+            return Err(SparseError::Shape(format!(
+                "value slice has length {}, analyzed pattern stores {}",
+                values.len(),
+                self.a_rowind.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// True when `a` has exactly the analyzed sparsity pattern.
+    pub fn same_pattern(&self, a: &Csc) -> bool {
+        a.nrows == self.n
+            && a.ncols == self.n
+            && a.colptr == self.a_colptr
+            && a.rowind == self.a_rowind
+    }
+
+    fn check_same_pattern(&self, a: &Csc) -> Result<(), SparseError> {
+        if !self.same_pattern(a) {
+            return Err(SparseError::Shape(
+                "matrix pattern differs from the analyzed pattern; re-analyze".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn factor_bits(f: &LdlFactor) -> (Vec<u64>, Vec<u64>, usize) {
+        (
+            f.l_values().iter().map(|v| v.to_bits()).collect(),
+            f.d_values().iter().map(|v| v.to_bits()).collect(),
+            f.num_regularized,
+        )
+    }
+
+    /// A small quasi-definite KKT-shaped matrix [H Jᵀ; J −δI].
+    fn kkt_example(h_scale: f64) -> Csc {
+        let mut coo = Coo::new(5, 5);
+        for i in 0..3 {
+            coo.push(i, i, h_scale * (2.0 + i as f64));
+        }
+        coo.push(0, 1, 0.4);
+        coo.push(1, 0, 0.4);
+        for (r, c, v) in [(3, 0, 1.0), (3, 1, 1.0), (4, 1, -2.0), (4, 2, 0.7)] {
+            coo.push(r, c, v);
+            coo.push(c, r, v);
+        }
+        coo.push(3, 3, -1e-8);
+        coo.push(4, 4, -1e-8);
+        coo.to_csc()
+    }
+
+    fn kkt_opts() -> LdlOptions {
+        LdlOptions {
+            expected_signs: vec![1, 1, 1, -1, -1],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization_bitwise() {
+        let a = kkt_example(1.0);
+        let opts = kkt_opts();
+        let ordering = Ordering::rcm(&a);
+        let sym = LdlSymbolic::analyze(&a, ordering.clone()).unwrap();
+        let fresh = LdlFactor::factorize_with(&a, ordering, &opts).unwrap();
+        let re = sym.refactor_matrix(&a, &opts).unwrap();
+        assert_eq!(factor_bits(&fresh), factor_bits(&re));
+        // New values, same pattern: still bitwise identical to a fresh run.
+        let b = kkt_example(3.5);
+        let fresh_b = LdlFactor::factorize_with(&b, sym.ordering().clone(), &opts).unwrap();
+        let re_b = sym.refactor_matrix(&b, &opts).unwrap();
+        assert_eq!(factor_bits(&fresh_b), factor_bits(&re_b));
+        let rhs = vec![1.0, -2.0, 0.5, 0.1, -0.3];
+        assert_eq!(
+            fresh_b
+                .solve(&rhs)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            re_b.solve(&rhs)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn device_refactor_matches_sequential_on_both_backends() {
+        let a = kkt_example(2.0);
+        let opts = kkt_opts();
+        let sym = LdlSymbolic::analyze_rcm(&a).unwrap();
+        let reference = sym.refactor_matrix(&a, &opts).unwrap();
+        for dev in [Device::parallel(), Device::sequential()] {
+            let f = sym.refactor_matrix_on(&dev, &a, &opts).unwrap();
+            assert_eq!(factor_bits(&reference), factor_bits(&f));
+        }
+    }
+
+    #[test]
+    fn regularized_pivots_are_replayed_identically() {
+        // Wrong-signed (2,2) pivot given the expected signs: the fresh path
+        // regularizes it, and the replay must do exactly the same.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 2, 4.0); // expected negative below
+        coo.push(0, 2, 1.0);
+        coo.push(2, 0, 1.0);
+        let a = coo.to_csc();
+        let opts = LdlOptions {
+            expected_signs: vec![1, 1, -1],
+            ..Default::default()
+        };
+        let sym = LdlSymbolic::analyze_rcm(&a).unwrap();
+        let fresh = LdlFactor::factorize_with(&a, sym.ordering().clone(), &opts).unwrap();
+        let re = sym.refactor_matrix(&a, &opts).unwrap();
+        let dev = sym
+            .refactor_matrix_on(&Device::parallel(), &a, &opts)
+            .unwrap();
+        assert!(fresh.num_regularized > 0);
+        assert_eq!(factor_bits(&fresh), factor_bits(&re));
+        assert_eq!(factor_bits(&fresh), factor_bits(&dev));
+    }
+
+    #[test]
+    fn level_schedule_covers_every_row_once() {
+        let a = kkt_example(1.0);
+        let sym = LdlSymbolic::analyze_rcm(&a).unwrap();
+        let mut seen = vec![false; sym.dim()];
+        for l in 0..sym.num_levels() {
+            for &j in &sym.level_idx[sym.level_ptr[l]..sym.level_ptr[l + 1]] {
+                assert!(!seen[j], "row {j} scheduled twice");
+                seen[j] = true;
+                // Every dependency of row j resolves to an earlier level.
+                for &i in &sym.rp_idx[sym.rp_ptr[j]..sym.rp_ptr[j + 1]] {
+                    let li = (0..sym.num_levels())
+                        .find(|&lv| {
+                            sym.level_idx[sym.level_ptr[lv]..sym.level_ptr[lv + 1]].contains(&i)
+                        })
+                        .unwrap();
+                    assert!(
+                        li < l,
+                        "row {j} (level {l}) depends on row {i} (level {li})"
+                    );
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pattern_mismatch_is_rejected() {
+        let a = kkt_example(1.0);
+        let sym = LdlSymbolic::analyze_rcm(&a).unwrap();
+        let mut coo = Coo::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 1.0);
+        }
+        let diag = coo.to_csc();
+        assert!(matches!(
+            sym.refactor_matrix(&diag, &LdlOptions::default()),
+            Err(SparseError::Shape(_))
+        ));
+        assert!(matches!(
+            sym.refactor(&[0.0; 3], &LdlOptions::default()),
+            Err(SparseError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn unpaired_entry_is_dropped_exactly_like_the_fresh_path() {
+        // An (0,1) entry with no (1,0) partner flips into the lower triangle
+        // under the reversing permutation and is dropped — by the fresh
+        // factorization and by the frozen analysis alike, so the replay must
+        // still agree bitwise.
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(0, 1, 0.5); // no (1, 0) partner
+        let a = coo.to_csc();
+        let rev = Ordering::from_perm(vec![1, 0]);
+        let sym = LdlSymbolic::analyze(&a, rev.clone()).unwrap();
+        let fresh = LdlFactor::factorize_with(&a, rev, &LdlOptions::default()).unwrap();
+        let re = sym.refactor_matrix(&a, &LdlOptions::default()).unwrap();
+        assert_eq!(factor_bits(&fresh), factor_bits(&re));
+    }
+}

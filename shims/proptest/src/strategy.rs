@@ -49,7 +49,7 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-/// Length specification for [`vec`]: a fixed size or a half-open range.
+/// Length specification for [`vec()`]: a fixed size or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,

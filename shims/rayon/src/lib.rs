@@ -3,7 +3,7 @@
 //! Implements the data-parallel iterator subset used by the workspace
 //! (`par_iter`, `par_iter_mut`, `enumerate`, `zip`, `map`, `for_each`,
 //! `reduce`, `sum`, `with_min_len`) on top of a persistent work-stealing
-//! thread pool (see [`pool`]) instead of real rayon's.
+//! thread pool (see `pool`) instead of real rayon's.
 //!
 //! Two guarantees that real rayon does **not** make:
 //!

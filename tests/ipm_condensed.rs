@@ -1,0 +1,178 @@
+//! Integration tests for the condensed-space KKT strategy of the
+//! interior-point baseline: agreement with the full augmented-KKT path on
+//! real ACOPF cases, symbolic-reuse accounting (one analysis per NLP, one
+//! per tracking horizon), and the release-gated full-vs-condensed
+//! comparison the bench records.
+
+use gridadmm::prelude::*;
+use gridsim_acopf::start::ramp_limited_bounds;
+use gridsim_bench::run_kkt_comparison;
+use gridsim_grid::cases;
+use gridsim_grid::load_profile::LoadProfile;
+use gridsim_ipm::{KktCache, KktStrategy};
+
+fn solver(strategy: KktStrategy) -> IpmSolver {
+    IpmSolver::new(IpmOptions {
+        tol: 1e-6,
+        max_iter: 300,
+        kkt_strategy: strategy,
+        ..Default::default()
+    })
+}
+
+/// The condensed step is an exact block elimination, so both strategies must
+/// find the same optimum on a real ACOPF, and the condensed path must pay
+/// O(1) symbolic analyses while refactorizing every Newton step.
+#[test]
+fn condensed_agrees_with_full_on_case9() {
+    let net = cases::case9().compile().unwrap();
+    let nlp = AcopfNlp::new(&net);
+    let full = solver(KktStrategy::Full).solve(&nlp);
+    let condensed = solver(KktStrategy::Condensed).solve(&nlp);
+    assert!(full.is_optimal(), "full status {:?}", full.status);
+    assert!(
+        condensed.is_optimal(),
+        "condensed status {:?}",
+        condensed.status
+    );
+    assert!(
+        (condensed.objective - full.objective).abs() < 1e-5 * full.objective.abs(),
+        "objectives {} vs {}",
+        condensed.objective,
+        full.objective
+    );
+    for (a, b) in condensed.x.iter().zip(&full.x) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+    // Factorization counters: the full path re-analyzes every step, the
+    // condensed path analyzes once (the probe) and only refactorizes after.
+    assert_eq!(full.symbolic_analyses, full.factorizations);
+    assert!(
+        condensed.symbolic_analyses >= 1,
+        "at least one analysis per NLP"
+    );
+    assert!(
+        condensed.symbolic_analyses <= 2,
+        "condensed re-analyzed {} times over {} factorizations",
+        condensed.symbolic_analyses,
+        condensed.factorizations
+    );
+    assert!(condensed.factorizations > condensed.symbolic_analyses);
+}
+
+#[test]
+fn condensed_agrees_with_full_on_case14() {
+    let net = cases::case14().compile().unwrap();
+    let nlp = AcopfNlp::new(&net);
+    let full = solver(KktStrategy::Full).solve(&nlp);
+    let condensed = solver(KktStrategy::Condensed).solve(&nlp);
+    assert!(full.is_optimal() && condensed.is_optimal());
+    assert!(
+        (condensed.objective - full.objective).abs() < 1e-5 * full.objective.abs(),
+        "objectives {} vs {}",
+        condensed.objective,
+        full.objective
+    );
+    assert!(condensed.symbolic_analyses <= 2);
+}
+
+/// A rolling-horizon IPM reference trajectory reuses one symbolic analysis
+/// across all periods: every period's condensed system has the same frozen
+/// pattern, and the shared cache recognizes it.
+#[test]
+fn tracking_horizon_reuses_one_symbolic_analysis() {
+    let base = cases::case9();
+    let profile = LoadProfile {
+        multipliers: vec![1.0, 1.01, 1.02, 1.015],
+        period_minutes: 1.0,
+    };
+    let mut cache = KktCache::new();
+    let mut prev: Option<(Vec<f64>, Vec<f64>)> = None;
+    let mut total_factorizations = 0usize;
+    for &mult in &profile.multipliers {
+        let case_t = base.scale_load(mult);
+        let net_t = case_t.compile().unwrap();
+        let nlp = match &prev {
+            Some((_, prev_pg)) => {
+                let (lo, hi) = ramp_limited_bounds(&net_t, prev_pg, 0.02);
+                AcopfNlp::new(&net_t).with_pg_bounds(lo, hi)
+            }
+            None => AcopfNlp::new(&net_t),
+        };
+        let report = IpmSolver::new(IpmOptions {
+            tol: 1e-6,
+            max_iter: 300,
+            initial_point: prev.as_ref().map(|(x, _)| x.clone()),
+            kkt_strategy: KktStrategy::Condensed,
+            ..Default::default()
+        })
+        .solve_with_cache(&nlp, &mut cache);
+        assert!(report.is_optimal(), "period status {:?}", report.status);
+        total_factorizations += report.factorizations;
+        let sol = nlp.to_solution(&report.x);
+        prev = Some((report.x.clone(), sol.pg.clone()));
+    }
+    assert!(
+        cache.symbolic_analyses() <= 2,
+        "horizon of {} periods paid {} symbolic analyses",
+        profile.len(),
+        cache.symbolic_analyses()
+    );
+    assert!(
+        total_factorizations > profile.len() * 3,
+        "factorizations {} should dwarf the analysis count",
+        total_factorizations
+    );
+    assert!(cache.numeric_refactorizations() >= total_factorizations);
+}
+
+/// Release guard for the recorded full-vs-condensed comparison (the
+/// `kkt_condensed` bench binary records the same rows): both strategies
+/// converge to the same objective and the counter contrast holds. Expensive
+/// in debug, so gated like the other full-tolerance sweeps.
+#[test]
+fn kkt_comparison_rows_hold_on_reference_cases() {
+    if cfg!(debug_assertions) && std::env::var("GRIDADMM_FULL_TESTS").is_err() {
+        eprintln!("skipping full-tolerance regression case (set GRIDADMM_FULL_TESTS=1)");
+        return;
+    }
+    // The full baseline itself does not converge on case30_like within the
+    // iteration budget (a pre-existing quality item), so optimality and gap
+    // are only asserted where the baseline converges; the structural and
+    // counter contrasts must hold everywhere.
+    for (name, case, expect_optimal) in [
+        ("case9", cases::case9(), true),
+        ("case14", cases::case14(), true),
+        ("case30_like", cases::case30_like(), false),
+    ] {
+        let row = run_kkt_comparison(name, &case);
+        eprintln!(
+            "{name}: full {}x{} {:.3}s / {} fact; condensed {}x{} {:.3}s / {} fact, {} symbolic",
+            row.full_dim,
+            row.full_dim,
+            row.full_time_s,
+            row.full_factorizations,
+            row.condensed_dim,
+            row.condensed_dim,
+            row.condensed_time_s,
+            row.condensed_factorizations,
+            row.condensed_symbolic_analyses,
+        );
+        if expect_optimal {
+            assert!(row.both_optimal, "{name}: a strategy failed");
+            assert!(
+                row.objective_rel_gap < 1e-5,
+                "{name}: objective gap {}",
+                row.objective_rel_gap
+            );
+        }
+        assert!(row.condensed_dim < row.full_dim, "{name}: no condensation");
+        assert_eq!(row.full_symbolic_analyses, row.full_factorizations);
+        assert!(
+            row.condensed_symbolic_analyses <= 2,
+            "{name}: {} symbolic analyses",
+            row.condensed_symbolic_analyses
+        );
+        assert!(row.condensed_factorizations > row.condensed_symbolic_analyses);
+    }
+}

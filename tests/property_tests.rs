@@ -6,10 +6,11 @@
 
 use gridadmm::prelude::*;
 use gridsim_acopf::flows::{BranchFlow, FlowKind};
+use gridsim_batch::Device;
 use gridsim_grid::branch::Branch;
 use gridsim_grid::matpower;
 use gridsim_grid::synthetic::SyntheticSpec;
-use gridsim_sparse::{Coo, LdlFactor, LdlOptions};
+use gridsim_sparse::{Coo, LdlFactor, LdlOptions, LdlSymbolic, Ordering};
 use gridsim_tron::{BoundProblem, QuadraticBox, TronOptions, TronSolver};
 use proptest::prelude::*;
 
@@ -90,6 +91,81 @@ proptest! {
         let x = f.solve(&b);
         prop_assert!(a.residual_inf_norm(&x, &b) < 1e-8);
         prop_assert_eq!(f.inertia(), (n, 0, 0));
+    }
+
+    /// Numeric-only refactorization over a frozen symbolic analysis is
+    /// bitwise identical to a fresh factorization, on random quasi-definite
+    /// KKT matrices [H Jᵀ; J −δI] — including matrices whose indefinite `H`
+    /// forces regularized pivots — on both backends of the batch device.
+    #[test]
+    fn ldl_refactorization_is_bitwise_identical_to_fresh(seed in 0u64..300) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nx = 2 + (seed as usize) % 7;
+        let m = (seed as usize) % 4;
+        let n = nx + m;
+        // Random quasi-definite KKT pattern; H diagonals may be negative so
+        // the expected-sign regularization genuinely fires on some cases.
+        let build = |rng: &mut SmallRng, scale: f64| -> gridsim_sparse::Csc {
+            let mut coo = Coo::new(n, n);
+            for i in 0..nx {
+                coo.push(i, i, scale * rng.gen_range(-1.0..4.0));
+            }
+            for i in 0..nx {
+                for j in (i + 1)..nx {
+                    if rng.gen_range(0.0..1.0) < 0.4 {
+                        let v = scale * rng.gen_range(-1.5..1.5);
+                        coo.push(i, j, v);
+                        coo.push(j, i, v);
+                    }
+                }
+            }
+            for r in 0..m {
+                for c in 0..nx {
+                    if rng.gen_range(0.0..1.0) < 0.6 {
+                        let v = scale * rng.gen_range(-2.0..2.0);
+                        coo.push(nx + r, c, v);
+                        coo.push(c, nx + r, v);
+                    }
+                }
+                coo.push(nx + r, nx + r, -1e-8);
+            }
+            coo.to_csc()
+        };
+        // Two value sets over one pattern: freeze the analysis on the first,
+        // refactorize the second (the IPM iteration shape). Re-seeding the
+        // generator keeps the sparsity decisions, hence the pattern,
+        // identical.
+        let a = build(&mut SmallRng::seed_from_u64(seed), 1.0);
+        let a2 = build(&mut SmallRng::seed_from_u64(seed), rng.gen_range(0.3..3.0));
+        let mut signs = vec![1i8; nx];
+        signs.extend(std::iter::repeat_n(-1i8, m));
+        let opts = LdlOptions { expected_signs: signs, ..Default::default() };
+        let ordering = Ordering::rcm(&a);
+        let sym = LdlSymbolic::analyze(&a, ordering.clone()).unwrap();
+        for values in [&a, &a2] {
+            let fresh = LdlFactor::factorize_with(values, ordering.clone(), &opts).unwrap();
+            let replay = sym.refactor_matrix(values, &opts).unwrap();
+            let par = sym.refactor_matrix_on(&Device::parallel(), values, &opts).unwrap();
+            let seq = sym.refactor_matrix_on(&Device::sequential(), values, &opts).unwrap();
+            for other in [&replay, &par, &seq] {
+                prop_assert_eq!(fresh.num_regularized, other.num_regularized);
+                for (x, y) in fresh.l_values().iter().zip(other.l_values()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                for (x, y) in fresh.d_values().iter().zip(other.d_values()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            // Solves agree bitwise too (same factor, same triangular sweeps).
+            let b: Vec<f64> = (0..n).map(|i| ((i * 11 + seed as usize) % 17) as f64 - 8.0).collect();
+            let xf = fresh.solve(&b);
+            let xr = par.solve(&b);
+            for (x, y) in xf.iter().zip(&xr) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     /// TRON finds the exact clamped solution of any separable box QP.

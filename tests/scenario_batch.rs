@@ -134,9 +134,11 @@ fn chained_warm_start_beats_cold_batch_on_a_load_ramp() {
 /// the per-case defaults (`AdmmParams::for_case`). The recorded value under
 /// plain defaults was ~1.06 (the old bound was 1.10); the per-case
 /// rho/beta tuning (rho_pq 10→18, beta_factor 6→7 for scaled stand-ins)
-/// improved it to ~0.87 at ~23 % fewer inner iterations, so the bound is
-/// ratcheted accordingly. Future penalty-tuning work must not regress above
-/// it — and when it improves the value, ratchet again.
+/// improved it to ~0.87 at ~23 % fewer inner iterations. The bound was
+/// first ratcheted to 0.95 and, with the value re-measured at 0.8696 on the
+/// PR-4 bench runs, tightened to 0.90 (~3.5 % headroom). Future
+/// penalty-tuning work must not regress above it — and when it improves the
+/// value, ratchet again.
 /// Full-tolerance default parameters make this expensive, so debug runs skip
 /// it unless `GRIDADMM_FULL_TESTS` is set; release runs always execute it.
 #[test]
@@ -151,8 +153,8 @@ fn pegase1354_scaled100_violation_does_not_regress() {
     let violation = result.quality.max_violation();
     eprintln!("pegase1354_scaled100 max violation: {violation}");
     assert!(
-        violation < 0.95,
-        "max violation regressed to {violation} (recorded baseline ~0.87 under per-case defaults)"
+        violation < 0.90,
+        "max violation regressed to {violation} (recorded baseline 0.8696 under per-case defaults)"
     );
     assert!(result.objective.is_finite());
 }
