@@ -11,7 +11,9 @@
 //!
 //! * [`problem::ScenarioProblem`] — shared, `Arc`-deduplicated read-only
 //!   problem data, built once per scenario set (**what**),
-//! * [`scheduler::ScenarioScheduler`] — shards scenarios across a
+//! * [`scheduler::ScenarioScheduler`] — the ADMM
+//!   [`LaneSolver`](gridsim_engine::LaneSolver) on the solver-agnostic
+//!   [`gridsim_engine::Engine`], which shards scenarios across a
 //!   [`gridsim_batch::DevicePool`] and streams pending scenarios into slots
 //!   as earlier ones converge (**where and when**),
 //! * [`ScenarioBatch`] — the K-scenarios-on-one-device, everything-admitted

@@ -1,15 +1,20 @@
-//! The multi-device scenario scheduler: sharding plus streaming admission.
+//! The ADMM scenario fleet on the solver-agnostic execution engine.
 //!
-//! [`ScenarioScheduler`] maps a scenario set onto a [`DevicePool`]:
+//! [`ScenarioScheduler`] maps a scenario set onto a [`DevicePool`] through
+//! [`gridsim_engine::Engine`]: the engine owns the round-robin sharding,
+//! the lane caps, and the streaming admission protocol
+//! ([`gridsim_engine::plan`] spells the decisions out as pure functions);
+//! this module contributes the *solver* side as the private `AdmmFleet`'s
+//! [`LaneSolver`] implementation —
 //!
-//! * **sharding** — scenarios are dealt round-robin across the pool's
-//!   logical devices; shards execute concurrently, each billing its kernel
-//!   work to its own device's statistics stream,
-//! * **streaming admission** — each device runs a fixed number of *slots*
-//!   (lanes). When a slot's scenario terminates, its result is extracted
-//!   from that slot's buffer segment and the next pending scenario of the
-//!   shard is admitted into the freed slot, so the device never idles lanes
-//!   on converged scenarios while work is still queued.
+//! * **shard state** — slot-major device buffers covering the shard's
+//!   lanes, built with one bulk upload per buffer,
+//! * **step** — one batched inner iteration over every active lane (the
+//!   eight kernel launches of Algorithm 1's lines 3–6 spanning `L × n`
+//!   elements) plus the per-lane inner/outer control that decides which
+//!   lanes finished,
+//! * **admit / extract** — ranged uploads into a freed slot's buffer
+//!   segments, ranged reads out of a finished slot's.
 //!
 //! Because every scenario's iterates depend only on its own buffer segment
 //! and control state, the per-scenario results are **bitwise identical**
@@ -25,6 +30,7 @@ use crate::params::AdmmParams;
 use crate::solver::{AdmmStatus, WarmState};
 use gridsim_acopf::violations::SolutionQuality;
 use gridsim_batch::{Device, DeviceBuffer, DevicePool};
+use gridsim_engine::{Engine, LaneSolver};
 use gridsim_grid::network::Network;
 use gridsim_tron::TronSolver;
 use std::time::Instant;
@@ -108,7 +114,7 @@ impl SegMaps {
     }
 }
 
-/// The multi-device scenario execution engine.
+/// The multi-device scenario execution front end for the ADMM fleet.
 #[derive(Debug, Clone)]
 pub struct ScenarioScheduler {
     /// Algorithm parameters (shared by every scenario).
@@ -175,7 +181,7 @@ impl ScenarioScheduler {
         pg_bounds: Option<&[(Vec<f64>, Vec<f64>)]>,
     ) -> ScenarioBatchResult {
         let start_time = Instant::now();
-        // The tick loop performs one inner iteration per round before it
+        // The step loop performs one inner iteration per round before it
         // checks the caps, so zero-iteration budgets (which the single
         // solver answers with an immediate return) cannot be honored here.
         assert!(
@@ -183,67 +189,215 @@ impl ScenarioScheduler {
             "ScenarioScheduler needs max_inner >= 1 and max_outer >= 1"
         );
         let problem = ScenarioProblem::build(nets, &self.params, pg_bounds);
-        let ndev = self.pool.len().min(nets.len());
-        // Deal scenarios round-robin across the devices.
-        let shards: Vec<Vec<usize>> = (0..ndev)
-            .map(|d| (d..nets.len()).step_by(ndev).collect())
-            .collect();
+        let fleet = AdmmFleet {
+            params: &self.params,
+            problem: &problem,
+            nets,
+            warm,
+            tron: TronSolver::new(self.params.tron.clone()),
+            alm: AlmSettings::from_params(&self.params),
+        };
+        let mut engine = Engine::with_pool(self.pool.clone());
+        if let Some(l) = self.lanes_per_device {
+            engine = engine.with_lanes(l);
+        }
+        let run = engine.run(&fleet, nets.len());
+        ScenarioBatchResult {
+            results: run.outputs,
+            solve_time: start_time.elapsed(),
+            ticks: run.ticks,
+        }
+    }
+}
 
-        let mut slots: Vec<Option<ScenarioResult>> = nets.iter().map(|_| None).collect();
-        let mut ticks = 0usize;
-        if ndev == 1 {
-            let (results, t) = run_shard(
-                &self.params,
-                self.pool.device(0),
-                &problem,
-                nets,
-                &shards[0],
-                self.lanes_per_device,
-                warm,
-            );
-            ticks = t;
-            for (idx, r) in results {
-                slots[idx] = Some(r);
+/// The ADMM scenario fleet: one borrowed problem/parameter view driving
+/// every shard the engine opens.
+struct AdmmFleet<'a> {
+    params: &'a AdmmParams,
+    problem: &'a ScenarioProblem,
+    nets: &'a [Network],
+    warm: Option<&'a WarmState>,
+    tron: TronSolver,
+    alm: AlmSettings,
+}
+
+/// One device's shard: slot-major buffers plus per-lane control state.
+struct AdmmShard {
+    device: Device,
+    st: SlotState,
+    ctl: Vec<ScenCtl>,
+    slot_data: Vec<ScenarioData>,
+    segs: SegMaps,
+    ll: usize,
+}
+
+impl LaneSolver for AdmmFleet<'_> {
+    type Shard = AdmmShard;
+    type Output = ScenarioResult;
+
+    fn open_shard(&self, device: &Device, initial: &[usize]) -> AdmmShard {
+        let problem = self.problem;
+        let (ngen, nbranch, nbus, m) = (problem.ngen, problem.nbranch, problem.nbus, problem.m);
+        let ll = initial.len();
+        let stats = device.stats().clone();
+
+        // Fill the initial lanes host-side, then create the slot-major
+        // buffers with one bulk upload each.
+        let mut gen_host: Vec<GenState> = Vec::with_capacity(ll * ngen);
+        let mut branch_host: Vec<BranchState> = Vec::with_capacity(ll * nbranch);
+        let mut bus_host: Vec<BusState> = Vec::with_capacity(ll * nbus);
+        let mut u_host = Vec::with_capacity(ll * m);
+        let mut v_host = Vec::with_capacity(ll * m);
+        let mut z_host = Vec::with_capacity(ll * m);
+        let mut y_host = Vec::with_capacity(ll * m);
+        let mut lam_host = Vec::with_capacity(ll * m);
+        let mut rho_host = Vec::with_capacity(ll * m);
+        for &idx in initial {
+            let seg = init_segment(&self.nets[idx], &problem.data[idx], problem, self.warm);
+            gen_host.extend(seg.gens);
+            branch_host.extend(seg.branches);
+            bus_host.extend(seg.buses);
+            u_host.extend(seg.u);
+            v_host.extend(seg.v);
+            z_host.extend(seg.z);
+            y_host.extend(seg.y);
+            lam_host.extend(seg.lam);
+            rho_host.extend_from_slice(&problem.rho);
+        }
+        let st = SlotState {
+            gens: DeviceBuffer::from_host(stats.clone(), &gen_host),
+            branches: DeviceBuffer::from_host(stats.clone(), &branch_host),
+            buses: DeviceBuffer::from_host(stats.clone(), &bus_host),
+            u: DeviceBuffer::from_host(stats.clone(), &u_host),
+            v: DeviceBuffer::from_host(stats.clone(), &v_host),
+            z: DeviceBuffer::from_host(stats.clone(), &z_host),
+            z_prev: DeviceBuffer::zeroed(stats.clone(), ll * m),
+            y: DeviceBuffer::from_host(stats.clone(), &y_host),
+            lam: DeviceBuffer::from_host(stats.clone(), &lam_host),
+            rho: DeviceBuffer::from_host(stats, &rho_host),
+        };
+        AdmmShard {
+            device: device.clone(),
+            st,
+            ctl: (0..ll).map(|_| ScenCtl::fresh(self.params)).collect(),
+            slot_data: initial.iter().map(|&i| problem.data[i].clone()).collect(),
+            segs: SegMaps::build(ll, problem),
+            ll,
+        }
+    }
+
+    fn step(&self, shard: &mut AdmmShard, active: &[bool]) -> Vec<bool> {
+        let params = self.params;
+        let m = self.problem.m;
+        let ll = shard.ll;
+        tick(
+            &shard.device,
+            &mut shard.st,
+            self.problem,
+            &shard.slot_data,
+            &shard.segs,
+            &self.tron,
+            &self.alm,
+            active,
+            &shard.ctl,
+        );
+        let (device, st, ctl, segs) = (&shard.device, &shard.st, &mut shard.ctl, &shard.segs);
+
+        // Residuals, per slot.
+        let prim = device.reduce_max_segments("primal_residual", &st.z, m, active, {
+            let u = st.u.as_slice();
+            let v = st.v.as_slice();
+            move |k, zk| (u[k] - v[k] + zk).abs()
+        });
+        let dual = device.reduce_max_segments("dual_residual", &st.z, m, active, {
+            let zp = st.z_prev.as_slice();
+            let rho = st.rho.as_slice();
+            move |k, zk| (rho[k] * (zk - zp[k])).abs()
+        });
+
+        // Per-slot control: inner bookkeeping, outer boundaries.
+        let mut boundary = vec![false; ll];
+        for s in 0..ll {
+            if !active[s] {
+                continue;
             }
-        } else {
-            // One host thread per device shard; each shard's kernel work is
-            // billed to its own device stream.
-            let shard_outputs = std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .enumerate()
-                    .map(|(d, shard)| {
-                        let device = self.pool.device(d);
-                        let params = &self.params;
-                        let problem = &problem;
-                        let lanes = self.lanes_per_device;
-                        scope.spawn(move || {
-                            run_shard(params, device, problem, nets, shard, lanes, warm)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("device shard thread panicked"))
-                    .collect::<Vec<_>>()
+            let c = &mut ctl[s];
+            c.total_inner += 1;
+            c.inner_in_outer += 1;
+            c.primres = prim[s];
+            let inner_converged = prim[s] <= params.eps_inner && dual[s] <= params.eps_inner;
+            if inner_converged || c.inner_in_outer >= params.max_inner {
+                boundary[s] = true;
+            }
+        }
+        let mut finished = vec![false; ll];
+        if !boundary.iter().any(|&b| b) {
+            return finished;
+        }
+
+        // Outer-level update and termination for slots at a boundary.
+        let z_inf = device.reduce_max_segments("z_norm", &st.z, m, &boundary, |_, zk| zk.abs());
+        let mut lambda_mask = vec![false; ll];
+        for s in 0..ll {
+            if !boundary[s] {
+                continue;
+            }
+            let c = &mut ctl[s];
+            c.z_inf = z_inf[s];
+            c.inner_in_outer = 0;
+            c.outer_done += 1;
+            if c.z_inf <= params.eps_outer {
+                c.status = AdmmStatus::Converged;
+                finished[s] = true;
+            } else {
+                lambda_mask[s] = true;
+            }
+        }
+        if lambda_mask.iter().any(|&b| b) {
+            let betas: Vec<f64> = ctl.iter().map(|c| c.beta).collect();
+            let bound = params.lambda_bound;
+            let z = shard.st.z.as_slice();
+            let cons = segs.cons.as_slice();
+            device.launch_map_segments("lambda_update", &mut shard.st.lam, m, &lambda_mask, {
+                move |k, lk| kernels::lambda_element(z[k], betas[cons[k] as usize], bound, lk)
             });
-            for (results, t) in shard_outputs {
-                // Shards run concurrently: the batch's tick count is the
-                // longest device's, the wall-clock analogue.
-                ticks = ticks.max(t);
-                for (idx, r) in results {
-                    slots[idx] = Some(r);
+            for s in 0..ll {
+                if !lambda_mask[s] {
+                    continue;
+                }
+                let c = &mut ctl[s];
+                if c.z_inf > params.z_decrease_factor * c.z_inf_prev {
+                    c.beta *= params.beta_factor;
+                }
+                c.z_inf_prev = c.z_inf;
+                if c.outer_done >= params.max_outer {
+                    finished[s] = true;
                 }
             }
         }
-        ScenarioBatchResult {
-            results: slots
-                .into_iter()
-                .map(|r| r.expect("every scenario produces a result"))
-                .collect(),
-            solve_time: start_time.elapsed(),
-            ticks,
-        }
+        finished
+    }
+
+    fn extract(&self, shard: &mut AdmmShard, slot: usize, scenario: usize) -> ScenarioResult {
+        extract_slot(
+            &shard.st,
+            slot,
+            &self.nets[scenario],
+            &shard.ctl[slot],
+            self.problem,
+        )
+    }
+
+    fn admit(&self, shard: &mut AdmmShard, slot: usize, scenario: usize) {
+        let seg = init_segment(
+            &self.nets[scenario],
+            &self.problem.data[scenario],
+            self.problem,
+            self.warm,
+        );
+        admit_into_slot(&mut shard.st, slot, &seg, self.problem);
+        shard.slot_data[slot] = self.problem.data[scenario].clone();
+        shard.ctl[slot] = ScenCtl::fresh(self.params);
     }
 }
 
@@ -368,172 +522,6 @@ fn extract_slot(
         primal_residual: ctl.primres,
         warm_state,
     }
-}
-
-/// Run one device's shard with streaming admission; returns the finished
-/// scenarios tagged with their input indices, plus the shard's tick count.
-fn run_shard(
-    params: &AdmmParams,
-    device: &Device,
-    problem: &ScenarioProblem,
-    nets: &[Network],
-    shard: &[usize],
-    lanes: Option<usize>,
-    warm: Option<&WarmState>,
-) -> (Vec<(usize, ScenarioResult)>, usize) {
-    let (ngen, nbranch, nbus, m) = (problem.ngen, problem.nbranch, problem.nbus, problem.m);
-    let ll = lanes.unwrap_or(shard.len()).min(shard.len());
-    let tron = TronSolver::new(params.tron.clone());
-    let alm = AlmSettings::from_params(params);
-    let stats = device.stats().clone();
-
-    // Fill the initial lanes host-side, then create the slot-major buffers
-    // with one bulk upload each.
-    let mut queue = shard.iter().copied();
-    let mut occupant: Vec<usize> = Vec::with_capacity(ll);
-    let mut gen_host: Vec<GenState> = Vec::with_capacity(ll * ngen);
-    let mut branch_host: Vec<BranchState> = Vec::with_capacity(ll * nbranch);
-    let mut bus_host: Vec<BusState> = Vec::with_capacity(ll * nbus);
-    let mut u_host = Vec::with_capacity(ll * m);
-    let mut v_host = Vec::with_capacity(ll * m);
-    let mut z_host = Vec::with_capacity(ll * m);
-    let mut y_host = Vec::with_capacity(ll * m);
-    let mut lam_host = Vec::with_capacity(ll * m);
-    let mut rho_host = Vec::with_capacity(ll * m);
-    for _ in 0..ll {
-        let idx = queue.next().expect("lanes never exceed the shard");
-        let seg = init_segment(&nets[idx], &problem.data[idx], problem, warm);
-        occupant.push(idx);
-        gen_host.extend(seg.gens);
-        branch_host.extend(seg.branches);
-        bus_host.extend(seg.buses);
-        u_host.extend(seg.u);
-        v_host.extend(seg.v);
-        z_host.extend(seg.z);
-        y_host.extend(seg.y);
-        lam_host.extend(seg.lam);
-        rho_host.extend_from_slice(&problem.rho);
-    }
-    let mut st = SlotState {
-        gens: DeviceBuffer::from_host(stats.clone(), &gen_host),
-        branches: DeviceBuffer::from_host(stats.clone(), &branch_host),
-        buses: DeviceBuffer::from_host(stats.clone(), &bus_host),
-        u: DeviceBuffer::from_host(stats.clone(), &u_host),
-        v: DeviceBuffer::from_host(stats.clone(), &v_host),
-        z: DeviceBuffer::from_host(stats.clone(), &z_host),
-        z_prev: DeviceBuffer::zeroed(stats.clone(), ll * m),
-        y: DeviceBuffer::from_host(stats.clone(), &y_host),
-        lam: DeviceBuffer::from_host(stats.clone(), &lam_host),
-        rho: DeviceBuffer::from_host(stats, &rho_host),
-    };
-
-    let mut slot_data: Vec<ScenarioData> =
-        occupant.iter().map(|&i| problem.data[i].clone()).collect();
-    let segs = SegMaps::build(ll, problem);
-    let mut ctl: Vec<ScenCtl> = (0..ll).map(|_| ScenCtl::fresh(params)).collect();
-    let mut active = vec![true; ll];
-    let mut out: Vec<(usize, ScenarioResult)> = Vec::with_capacity(shard.len());
-    let mut ticks = 0usize;
-
-    while active.iter().any(|&a| a) {
-        ticks += 1;
-        tick(
-            device, &mut st, problem, &slot_data, &segs, &tron, &alm, &active, &ctl,
-        );
-
-        // Residuals, per slot.
-        let prim = device.reduce_max_segments("primal_residual", &st.z, m, &active, {
-            let u = st.u.as_slice();
-            let v = st.v.as_slice();
-            move |k, zk| (u[k] - v[k] + zk).abs()
-        });
-        let dual = device.reduce_max_segments("dual_residual", &st.z, m, &active, {
-            let zp = st.z_prev.as_slice();
-            let rho = st.rho.as_slice();
-            move |k, zk| (rho[k] * (zk - zp[k])).abs()
-        });
-
-        // Per-slot control: inner bookkeeping, outer boundaries.
-        let mut boundary = vec![false; ll];
-        for s in 0..ll {
-            if !active[s] {
-                continue;
-            }
-            let c = &mut ctl[s];
-            c.total_inner += 1;
-            c.inner_in_outer += 1;
-            c.primres = prim[s];
-            let inner_converged = prim[s] <= params.eps_inner && dual[s] <= params.eps_inner;
-            if inner_converged || c.inner_in_outer >= params.max_inner {
-                boundary[s] = true;
-            }
-        }
-        if !boundary.iter().any(|&b| b) {
-            continue;
-        }
-
-        // Outer-level update and termination for slots at a boundary.
-        let z_inf = device.reduce_max_segments("z_norm", &st.z, m, &boundary, |_, zk| zk.abs());
-        let mut lambda_mask = vec![false; ll];
-        let mut finished = vec![false; ll];
-        for s in 0..ll {
-            if !boundary[s] {
-                continue;
-            }
-            let c = &mut ctl[s];
-            c.z_inf = z_inf[s];
-            c.inner_in_outer = 0;
-            c.outer_done += 1;
-            if c.z_inf <= params.eps_outer {
-                c.status = AdmmStatus::Converged;
-                finished[s] = true;
-            } else {
-                lambda_mask[s] = true;
-            }
-        }
-        if lambda_mask.iter().any(|&b| b) {
-            let betas: Vec<f64> = ctl.iter().map(|c| c.beta).collect();
-            let bound = params.lambda_bound;
-            let z = st.z.as_slice();
-            let cons = segs.cons.as_slice();
-            device.launch_map_segments("lambda_update", &mut st.lam, m, &lambda_mask, {
-                move |k, lk| kernels::lambda_element(z[k], betas[cons[k] as usize], bound, lk)
-            });
-            for s in 0..ll {
-                if !lambda_mask[s] {
-                    continue;
-                }
-                let c = &mut ctl[s];
-                if c.z_inf > params.z_decrease_factor * c.z_inf_prev {
-                    c.beta *= params.beta_factor;
-                }
-                c.z_inf_prev = c.z_inf;
-                if c.outer_done >= params.max_outer {
-                    finished[s] = true;
-                }
-            }
-        }
-
-        // Extract finished slots and stream the next pending scenarios in.
-        for s in 0..ll {
-            if !finished[s] {
-                continue;
-            }
-            let idx = occupant[s];
-            out.push((idx, extract_slot(&st, s, &nets[idx], &ctl[s], problem)));
-            match queue.next() {
-                Some(next) => {
-                    let seg = init_segment(&nets[next], &problem.data[next], problem, warm);
-                    admit_into_slot(&mut st, s, &seg, problem);
-                    occupant[s] = next;
-                    slot_data[s] = problem.data[next].clone();
-                    ctl[s] = ScenCtl::fresh(params);
-                }
-                None => active[s] = false,
-            }
-        }
-    }
-    (out, ticks)
 }
 
 /// One batched inner iteration over every active slot: the eight kernel

@@ -108,6 +108,18 @@ impl DevicePool {
         self.devices.iter().map(|d| d.stats().snapshot()).collect()
     }
 
+    /// Per-device statistics deltas since a `before` baseline (as returned
+    /// by [`DevicePool::snapshots`]), in device order — the counters one
+    /// engine run billed to each device.
+    pub fn snapshots_since(&self, before: &[StatsSnapshot]) -> Vec<StatsSnapshot> {
+        assert_eq!(before.len(), self.devices.len(), "one baseline per device");
+        self.devices
+            .iter()
+            .zip(before)
+            .map(|(d, b)| d.stats().snapshot().since(b))
+            .collect()
+    }
+
     /// One snapshot aggregating every device's counters (kernel timings
     /// summed per kernel name across devices).
     pub fn combined_snapshot(&self) -> StatsSnapshot {

@@ -1,0 +1,114 @@
+//! Fleet throughput on the execution engine: ADMM vs interior-point fleets.
+//!
+//! Runs a load-ramp scenario set of every registry case through the
+//! solver-agnostic engine twice — once with the ADMM scenario fleet, once
+//! with the interior-point fleet (condensed KKT, one `KktCache` and one
+//! warm-start chain per lane) — and against `K` sequential cold
+//! interior-point solves. The headline columns are the symbolic-analysis
+//! counts: the sequential baseline pays one analysis *per scenario*, the
+//! fleet one *per lane* (lanes = devices × lane cap), independent of how
+//! many scenarios stream through.
+//!
+//! ```text
+//! cargo run -p gridsim-bench --release --bin fleet_throughput \
+//!     [--scale small|medium|paper] [--scenarios K] [--devices N] \
+//!     [--lanes L|none] [--cases <substring>]
+//! ```
+//!
+//! `--cases` filters the registry by case-name substring (e.g. `--cases
+//! 1354` runs only the 1354-bus stand-in). The ADMM fleet runs under a
+//! bounded iteration budget (like the K=8 release guard): registry-scale
+//! synthetic cases do not converge under the default penalties (a known
+//! open quality item, see ROADMAP), so the column measures time per fixed
+//! work; the interior-point columns run to their usual 300-iteration cap.
+
+use gridsim_bench::experiments::{run_fleet_throughput, to_json, FleetThroughputRow};
+use gridsim_bench::{arg_value, BenchCase, Scale, TextTable};
+use gridsim_grid::scenario::ScenarioSet;
+
+fn main() {
+    let scale = Scale::from_args();
+    let scenarios: usize = arg_value("--scenarios")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let devices: usize = arg_value("--devices")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| gridsim_batch::DevicePool::env_device_count().max(2));
+    // Default: 1 lane per device (the streaming configuration the row's
+    // economics are about); `--lanes none` lifts the cap entirely.
+    let lanes: Option<usize> = match arg_value("--lanes").as_deref() {
+        None => Some(1),
+        Some("none") => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("--lanes takes a positive integer or 'none' (no cap); got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
+    let case_filter = arg_value("--cases");
+    let cases: Vec<_> = BenchCase::all(scale)
+        .into_iter()
+        .filter(|bc| {
+            case_filter.as_deref().is_none_or(|f| {
+                bc.name
+                    .to_ascii_lowercase()
+                    .contains(&f.to_ascii_lowercase())
+            })
+        })
+        .collect();
+
+    let mut table = TextTable::new(vec![
+        "Case",
+        "K",
+        "dev",
+        "lanes",
+        "ADMM t (s)",
+        "IPM fleet t (s)",
+        "IPM seq t (s)",
+        "speedup",
+        "fleet symb",
+        "seq symb",
+        "fleet iters",
+        "seq iters",
+        "optimal",
+    ]);
+    let mut rows: Vec<FleetThroughputRow> = Vec::new();
+    for bc in &cases {
+        eprintln!("fleet throughput {} ...", bc.name);
+        let set = ScenarioSet::load_ramp(bc.case.clone(), scenarios, 0.98, 1.02);
+        // Bounded ADMM budget: time per fixed work, converged or not.
+        let params = gridsim_admm::AdmmParams {
+            max_outer: 2,
+            max_inner: 120,
+            ..bc.params.clone()
+        };
+        let row = run_fleet_throughput(&bc.name, &set, &params, devices, lanes);
+        table.add_row(vec![
+            row.name.clone(),
+            row.scenarios.to_string(),
+            row.devices.to_string(),
+            row.lanes.to_string(),
+            format!("{:.3}", row.admm_time_s),
+            format!("{:.3}", row.ipm_fleet_time_s),
+            format!("{:.3}", row.ipm_sequential_time_s),
+            format!("{:.2}x", row.ipm_speedup),
+            row.ipm_fleet_symbolic_analyses.to_string(),
+            row.ipm_sequential_symbolic_analyses.to_string(),
+            row.ipm_fleet_iterations.to_string(),
+            row.ipm_sequential_iterations.to_string(),
+            if row.all_optimal { "yes" } else { "NO" }.to_string(),
+        ]);
+        rows.push(row);
+    }
+    println!("FLEET THROUGHPUT on the execution engine (scale: {scale:?})");
+    println!("{table}");
+    println!(
+        "'fleet symb' equals the lane count (devices x lane cap): every \
+         lane's admission stream shares one frozen symbolic analysis, while \
+         the sequential baseline re-analyzes per scenario ('seq symb' = K). \
+         'fleet iters' < 'seq iters' is the per-lane warm-start carry."
+    );
+    println!("\nJSON:\n{}", to_json(&rows));
+}

@@ -5,10 +5,11 @@ use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::{relative_gap, SolutionQuality};
 use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch, ScenarioScheduler};
 use gridsim_batch::DevicePool;
+use gridsim_engine::Engine;
 use gridsim_grid::load_profile::LoadProfile;
 use gridsim_grid::network::Case;
 use gridsim_grid::scenario::ScenarioSet;
-use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver, KktCache, KktStrategy, Nlp};
+use gridsim_ipm::{AcopfNlp, IpmFleetSolver, IpmOptions, IpmSolver, KktCache, KktStrategy, Nlp};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -389,7 +390,7 @@ pub fn run_device_sweep_row(
     }
     let before = scheduler.pool.snapshots();
     let sched = scheduler.solve(&nets);
-    let after = scheduler.pool.snapshots();
+    let deltas = scheduler.pool.snapshots_since(&before);
 
     let own_reference;
     let reference = match reference {
@@ -407,7 +408,6 @@ pub fn run_device_sweep_row(
             && a.inner_iterations == b.inner_iterations
     });
 
-    let deltas: Vec<_> = after.iter().zip(&before).map(|(a, b)| a.since(b)).collect();
     DeviceSweepRow {
         name: name.to_string(),
         devices,
@@ -422,6 +422,135 @@ pub fn run_device_sweep_row(
             .iter()
             .map(|d| d.kernel_elapsed().as_secs_f64())
             .collect(),
+    }
+}
+
+/// One row of the fleet-throughput experiment: the same scenario set run
+/// through the execution engine by both solver families, plus the
+/// interior-point sequential baseline the fleet's symbolic-reuse economics
+/// are measured against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetThroughputRow {
+    /// Case / scenario-set name.
+    pub name: String,
+    /// Number of scenarios `K`.
+    pub scenarios: usize,
+    /// Logical devices scenarios were sharded across.
+    pub devices: usize,
+    /// Total lanes the engine opened (warm-start chains / `KktCache`s for
+    /// the interior-point fleet).
+    pub lanes: usize,
+    /// Wall-clock of the ADMM fleet through the engine (seconds).
+    pub admm_time_s: f64,
+    /// Engine ticks of the ADMM fleet (batched inner-iteration rounds of
+    /// the longest device).
+    pub admm_ticks: usize,
+    /// Worst max-violation across the ADMM fleet's scenarios.
+    pub admm_worst_violation: f64,
+    /// Wall-clock of the interior-point fleet through the engine (seconds).
+    pub ipm_fleet_time_s: f64,
+    /// Wall-clock of `K` sequential cold interior-point solves (seconds).
+    pub ipm_sequential_time_s: f64,
+    /// `ipm_sequential_time_s / ipm_fleet_time_s`.
+    pub ipm_speedup: f64,
+    /// Symbolic analyses of the fleet (one per lane under the condensed
+    /// strategy with structurally identical scenarios).
+    pub ipm_fleet_symbolic_analyses: usize,
+    /// Symbolic analyses of the sequential baseline (one per scenario —
+    /// each cold solve re-analyzes its own pattern).
+    pub ipm_sequential_symbolic_analyses: usize,
+    /// Numeric refactorizations of the fleet.
+    pub ipm_fleet_factorizations: usize,
+    /// Interior-point iterations summed across the fleet (warm-start carry
+    /// within lanes shrinks this against the sequential baseline).
+    pub ipm_fleet_iterations: usize,
+    /// Interior-point iterations summed across the sequential solves.
+    pub ipm_sequential_iterations: usize,
+    /// Whether every interior-point solve (fleet and sequential) reached
+    /// optimality.
+    pub all_optimal: bool,
+    /// Worst relative objective gap between the fleet's and the sequential
+    /// baseline's solution of the same scenario.
+    pub max_objective_gap: f64,
+}
+
+/// Run the fleet-throughput comparison on a scenario set: the ADMM fleet
+/// and the interior-point fleet both ride the execution engine (`devices`
+/// logical devices, optional `lane_cap` per device, condensed KKT with one
+/// cache per lane on the interior-point side), against `K` sequential cold
+/// interior-point solves. The interesting columns are the
+/// symbolic-analysis counts — lanes for the fleet, scenarios for the
+/// sequential loop — and the iteration totals the per-lane warm-start
+/// chains save.
+pub fn run_fleet_throughput(
+    name: &str,
+    set: &ScenarioSet,
+    params: &AdmmParams,
+    devices: usize,
+    lane_cap: Option<usize>,
+) -> FleetThroughputRow {
+    let nets = set.networks().expect("scenario cases must compile");
+
+    let mut scheduler = ScenarioScheduler::with_pool(params.clone(), DevicePool::parallel(devices));
+    if let Some(l) = lane_cap {
+        scheduler = scheduler.with_lanes(l);
+    }
+    let admm = scheduler.solve(&nets);
+
+    let ipm_options = IpmOptions {
+        tol: 1e-6,
+        max_iter: 300,
+        kkt_strategy: KktStrategy::Condensed,
+        ..Default::default()
+    };
+    let mut engine = Engine::with_pool(DevicePool::parallel(devices));
+    if let Some(l) = lane_cap {
+        engine = engine.with_lanes(l);
+    }
+    let fleet_solver = IpmFleetSolver::with_engine(ipm_options.clone(), engine);
+    let fleet = fleet_solver.solve(&nets);
+
+    // Sequential baseline: cold condensed solves, one fresh cache (hence
+    // one symbolic analysis) per scenario.
+    let sequential_solver = IpmSolver::new(ipm_options);
+    let mut sequential_time = Duration::ZERO;
+    let mut sequential_symbolic = 0usize;
+    let mut sequential_iterations = 0usize;
+    let mut all_optimal = fleet.all_optimal();
+    let mut max_gap = 0.0f64;
+    for (net, fleet_result) in nets.iter().zip(&fleet.results) {
+        let nlp = AcopfNlp::new(net);
+        let report = sequential_solver.solve(&nlp);
+        sequential_time += report.solve_time;
+        sequential_symbolic += report.symbolic_analyses;
+        sequential_iterations += report.iterations;
+        all_optimal &= report.is_optimal();
+        max_gap = max_gap.max(relative_gap(
+            fleet_result.report.objective,
+            report.objective,
+        ));
+    }
+
+    let ipm_fleet_time_s = fleet.solve_time.as_secs_f64();
+    let ipm_sequential_time_s = sequential_time.as_secs_f64();
+    FleetThroughputRow {
+        name: name.to_string(),
+        scenarios: nets.len(),
+        devices,
+        lanes: fleet.lanes,
+        admm_time_s: admm.solve_time.as_secs_f64(),
+        admm_ticks: admm.ticks,
+        admm_worst_violation: admm.worst_violation(),
+        ipm_fleet_time_s,
+        ipm_sequential_time_s,
+        ipm_speedup: ipm_sequential_time_s / ipm_fleet_time_s.max(1e-12),
+        ipm_fleet_symbolic_analyses: fleet.symbolic_analyses(),
+        ipm_sequential_symbolic_analyses: sequential_symbolic,
+        ipm_fleet_factorizations: fleet.factorizations(),
+        ipm_fleet_iterations: fleet.total_iterations(),
+        ipm_sequential_iterations: sequential_iterations,
+        all_optimal,
+        max_objective_gap: max_gap,
     }
 }
 
@@ -517,6 +646,36 @@ mod tests {
         );
         assert!(row.batch_ticks <= row.total_inner_iterations);
         assert!(row.speedup.is_finite() && row.speedup > 0.0);
+    }
+
+    #[test]
+    fn fleet_throughput_row_counts_analyses_per_lane_on_case9() {
+        let set = ScenarioSet::load_ramp(cases::case9(), 3, 0.99, 1.01);
+        let row = run_fleet_throughput("case9", &set, &AdmmParams::test_profile(), 2, Some(1));
+        assert_eq!(row.scenarios, 3);
+        assert_eq!(row.devices, 2);
+        assert_eq!(row.lanes, 2, "2 devices x 1 lane");
+        assert!(row.all_optimal, "an interior-point solve failed");
+        // The economics the row exists to record: analyses scale with lanes
+        // for the fleet, with scenarios for the sequential baseline.
+        assert_eq!(row.ipm_fleet_symbolic_analyses, row.lanes);
+        assert_eq!(row.ipm_sequential_symbolic_analyses, row.scenarios);
+        assert!(row.ipm_fleet_factorizations > row.ipm_fleet_symbolic_analyses);
+        // Warm-start carry within lanes never costs iterations overall.
+        assert!(row.ipm_fleet_iterations <= row.ipm_sequential_iterations);
+        assert!(
+            row.max_objective_gap < 1e-5,
+            "gap {}",
+            row.max_objective_gap
+        );
+        assert!(row.admm_worst_violation < 2e-2);
+        // Round-trips through the JSON export like the other rows.
+        let back: FleetThroughputRow = serde_json::from_str(&to_json(&row)).unwrap();
+        assert_eq!(back.lanes, row.lanes);
+        assert_eq!(
+            back.ipm_fleet_symbolic_analyses,
+            row.ipm_fleet_symbolic_analyses
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | Ablation B| `penalty_sweep` | ρ sensitivity |
 //! | Ablation C| `transfer_audit` | host↔device transfer counts |
 //! | Scale     | `scenario_throughput` | batched K-scenario solve vs K sequential solves |
+//! | Fleets    | `fleet_throughput` | ADMM vs interior-point fleets on the execution engine; symbolic analyses per lane vs per scenario |
 //!
 //! The paper's full case sizes (up to 70,000 buses) are expensive for the
 //! *baseline* on a CPU-only substrate, so every binary accepts
@@ -29,9 +30,9 @@ pub mod registry;
 pub mod table;
 
 pub use experiments::{
-    run_cold_start, run_device_sweep_row, run_kkt_comparison, run_scenario_throughput,
-    run_tracking_comparison, ColdStartRow, DeviceSweepRow, KktStrategyRow, ScenarioThroughputRow,
-    TrackingRow,
+    run_cold_start, run_device_sweep_row, run_fleet_throughput, run_kkt_comparison,
+    run_scenario_throughput, run_tracking_comparison, ColdStartRow, DeviceSweepRow,
+    FleetThroughputRow, KktStrategyRow, ScenarioThroughputRow, TrackingRow,
 };
 pub use registry::{arg_value, BenchCase, Scale};
 pub use table::TextTable;

@@ -1,0 +1,337 @@
+//! The interior-point scenario fleet on the solver-agnostic execution
+//! engine.
+//!
+//! The ADMM side solves a fleet of scenarios through batched kernels; this
+//! module gives the centralized baseline the same fleet treatment by
+//! implementing [`gridsim_engine::LaneSolver`] for a set of ACOPF networks:
+//! every admitted scenario becomes an [`AcopfNlp`] solved to completion
+//! with [`IpmSolver::solve_with_cache`], and the engine streams pending
+//! scenarios through the configured lanes.
+//!
+//! Two per-lane resources make a lane more than a loop index:
+//!
+//! * **one [`KktCache`] per lane** — every scenario of a set shares the
+//!   base network's topology, so the condensed-KKT pattern of each lane's
+//!   admission stream is identical and the lane's whole stream costs **one
+//!   symbolic analysis** ([`crate::KktStrategy::Condensed`]). Fleet-wide, symbolic
+//!   analyses scale with the *lane count*, not the scenario count —
+//!   [`FleetReport::symbolic_analyses`] vs [`FleetReport::lanes`] is the
+//!   tested invariant (a scenario whose constraint *structure* differs,
+//!   e.g. an outage lifting a line limit, costs its lane one extra
+//!   analysis; load ramps and perturbations cost none),
+//! * **warm-start carry** — each admission starts from the lane's previous
+//!   primal/dual point, so a lane behaves like a tracking chain even
+//!   though the fleet as a whole runs wide.
+//!
+//! Because warm starts chain *within* a lane, per-scenario iterates depend
+//! on the device/lane configuration (unlike the ADMM fleet, whose lanes
+//! are arithmetically isolated): at one device and one lane the fleet is
+//! bitwise identical to a sequential [`IpmSolver::solve_with_cache`] loop
+//! over the scenarios, and across configurations the converged reports
+//! agree to solver tolerance. Both are asserted in `tests/ipm_fleet.rs`.
+
+use crate::acopf_nlp::AcopfNlp;
+use crate::kkt_condensed::KktCache;
+use crate::report::SolveReport;
+use crate::solver::{IpmOptions, IpmSolver};
+use gridsim_acopf::solution::OpfSolution;
+use gridsim_acopf::violations::SolutionQuality;
+use gridsim_batch::Device;
+use gridsim_engine::{Engine, LaneSolver};
+use gridsim_grid::network::Network;
+use std::time::Duration;
+
+/// One scenario's result inside a fleet solve.
+#[derive(Debug, Clone)]
+pub struct FleetScenarioResult {
+    /// Name of the scenario's network.
+    pub name: String,
+    /// The extracted operating point.
+    pub solution: OpfSolution,
+    /// Solution-quality metrics.
+    pub quality: SolutionQuality,
+    /// The full interior-point report (iterations, factorizations,
+    /// symbolic analyses billed to this solve, status, log).
+    pub report: SolveReport,
+}
+
+/// Aggregated result of an interior-point fleet solve.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-scenario results, in input order.
+    pub results: Vec<FleetScenarioResult>,
+    /// Wall-clock time of the whole fleet.
+    pub solve_time: Duration,
+    /// Engine ticks: admission rounds of the longest device (each tick
+    /// solves every active lane's current scenario to completion).
+    pub ticks: usize,
+    /// Total lanes the engine opened across devices — the number of
+    /// independent warm-start chains and [`KktCache`]s.
+    pub lanes: usize,
+}
+
+impl FleetReport {
+    /// Symbolic analyses across the fleet (each solve bills the analyses it
+    /// triggered, so the sum is the fleet total). Under
+    /// [`KktStrategy::Condensed`](crate::KktStrategy::Condensed) with
+    /// structurally identical scenarios this equals [`FleetReport::lanes`].
+    pub fn symbolic_analyses(&self) -> usize {
+        self.results
+            .iter()
+            .map(|r| r.report.symbolic_analyses)
+            .sum()
+    }
+
+    /// Total KKT factorizations across the fleet.
+    pub fn factorizations(&self) -> usize {
+        self.results.iter().map(|r| r.report.factorizations).sum()
+    }
+
+    /// Total interior-point iterations across the fleet.
+    pub fn total_iterations(&self) -> usize {
+        self.results.iter().map(|r| r.report.iterations).sum()
+    }
+
+    /// True when every scenario reached optimality.
+    pub fn all_optimal(&self) -> bool {
+        self.results.iter().all(|r| r.report.is_optimal())
+    }
+
+    /// Worst max-violation across scenarios.
+    pub fn worst_violation(&self) -> f64 {
+        self.results
+            .iter()
+            .map(|r| r.quality.max_violation())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The interior-point fleet driver: solve many scenarios of one network
+/// family through the execution engine, one warm-start chain and one
+/// [`KktCache`] per lane.
+#[derive(Debug, Clone)]
+pub struct IpmFleetSolver {
+    /// Options applied to every scenario solve. Per-lane warm starts
+    /// override `initial_point`/`initial_multipliers` from the second
+    /// admission of each lane onward; set
+    /// [`KktStrategy::Condensed`](crate::KktStrategy::Condensed) to get the
+    /// one-symbolic-analysis-per-lane economics.
+    pub options: IpmOptions,
+    /// The execution engine (device pool + lane policy).
+    pub engine: Engine,
+}
+
+impl IpmFleetSolver {
+    /// A fleet solver on the environment-selected engine (`GRIDSIM_DEVICES`
+    /// logical devices, no lane cap).
+    pub fn new(options: IpmOptions) -> Self {
+        IpmFleetSolver {
+            options,
+            engine: Engine::from_env(),
+        }
+    }
+
+    /// A fleet solver on a specific engine.
+    pub fn with_engine(options: IpmOptions, engine: Engine) -> Self {
+        IpmFleetSolver { options, engine }
+    }
+
+    /// Solve all scenarios; results come back in input order. Networks
+    /// should share one topology (a [`gridsim_grid::scenario::ScenarioSet`]
+    /// guarantees it) — structurally divergent scenarios still solve
+    /// correctly but cost their lane extra symbolic analyses.
+    pub fn solve(&self, nets: &[Network]) -> FleetReport {
+        assert!(!nets.is_empty(), "need at least one scenario");
+        let fleet = IpmFleet {
+            options: &self.options,
+            nets,
+        };
+        let run = self.engine.run(&fleet, nets.len());
+        FleetReport {
+            results: run.outputs,
+            solve_time: run.solve_time,
+            ticks: run.ticks,
+            lanes: self.engine.total_lanes(nets.len()),
+        }
+    }
+}
+
+/// The borrowed per-run view the engine drives.
+struct IpmFleet<'a> {
+    options: &'a IpmOptions,
+    nets: &'a [Network],
+}
+
+/// One lane: its symbolic-analysis cache, its warm-start carry, and the
+/// scenario currently admitted or just finished.
+struct IpmLane {
+    cache: KktCache,
+    warm_x: Option<Vec<f64>>,
+    warm_lambda: Option<Vec<f64>>,
+    admitted: Option<usize>,
+    finished: Option<SolveReport>,
+}
+
+impl IpmLane {
+    fn open(scenario: usize) -> IpmLane {
+        IpmLane {
+            cache: KktCache::new(),
+            warm_x: None,
+            warm_lambda: None,
+            admitted: Some(scenario),
+            finished: None,
+        }
+    }
+}
+
+/// One device's shard of lanes.
+struct IpmShard {
+    device: Device,
+    lanes: Vec<IpmLane>,
+}
+
+impl LaneSolver for IpmFleet<'_> {
+    type Shard = IpmShard;
+    type Output = FleetScenarioResult;
+
+    fn open_shard(&self, device: &Device, initial: &[usize]) -> IpmShard {
+        IpmShard {
+            device: device.clone(),
+            lanes: initial.iter().map(|&idx| IpmLane::open(idx)).collect(),
+        }
+    }
+
+    fn step(&self, shard: &mut IpmShard, active: &[bool]) -> Vec<bool> {
+        let mut finished = vec![false; shard.lanes.len()];
+        for (s, lane) in shard.lanes.iter_mut().enumerate() {
+            if !active[s] {
+                continue;
+            }
+            let idx = lane
+                .admitted
+                .take()
+                .expect("active lane holds an admitted scenario");
+            let nlp = AcopfNlp::new(&self.nets[idx]);
+            let mut options = self.options.clone();
+            // The lane's previous point beats any caller-supplied warm
+            // start; on the lane's first admission the caller's (or the
+            // NLP's own) initial point applies.
+            options.initial_point = lane.warm_x.take().or(options.initial_point);
+            options.initial_multipliers = lane.warm_lambda.take().or(options.initial_multipliers);
+            let solver = IpmSolver {
+                options,
+                device: shard.device.clone(),
+            };
+            let report = solver.solve_with_cache(&nlp, &mut lane.cache);
+            lane.warm_x = Some(report.x.clone());
+            lane.warm_lambda = Some(
+                report
+                    .lambda_eq
+                    .iter()
+                    .chain(report.lambda_ineq.iter())
+                    .copied()
+                    .collect(),
+            );
+            lane.finished = Some(report);
+            finished[s] = true;
+        }
+        finished
+    }
+
+    fn extract(&self, shard: &mut IpmShard, slot: usize, scenario: usize) -> FleetScenarioResult {
+        let report = shard.lanes[slot]
+            .finished
+            .take()
+            .expect("extract follows a finishing step");
+        let net = &self.nets[scenario];
+        let solution = AcopfNlp::new(net).to_solution(&report.x);
+        let quality = SolutionQuality::evaluate(net, &solution);
+        FleetScenarioResult {
+            name: net.name.clone(),
+            solution,
+            quality,
+            report,
+        }
+    }
+
+    fn admit(&self, shard: &mut IpmShard, slot: usize, scenario: usize) {
+        shard.lanes[slot].admitted = Some(scenario);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kkt_condensed::KktStrategy;
+    use gridsim_batch::DevicePool;
+    use gridsim_grid::cases;
+    use gridsim_grid::scenario::ScenarioSet;
+
+    fn condensed() -> IpmOptions {
+        IpmOptions {
+            kkt_strategy: KktStrategy::Condensed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fleet_solves_a_load_ramp_and_pays_one_analysis_per_lane() {
+        let nets = ScenarioSet::load_ramp(cases::case9(), 4, 0.98, 1.02)
+            .networks()
+            .unwrap();
+        let engine = Engine::with_pool(DevicePool::parallel(2)).with_lanes(1);
+        let fleet = IpmFleetSolver::with_engine(condensed(), engine).solve(&nets);
+        assert_eq!(fleet.results.len(), 4);
+        assert!(fleet.all_optimal(), "a scenario failed to converge");
+        assert_eq!(fleet.lanes, 2);
+        // 2 lanes for 4 scenarios: two symbolic analyses, not four.
+        assert_eq!(fleet.symbolic_analyses(), fleet.lanes);
+        assert!(fleet.factorizations() > fleet.symbolic_analyses());
+        // Input-order results: the ramp's objectives rise with load.
+        let objs: Vec<f64> = fleet.results.iter().map(|r| r.report.objective).collect();
+        assert!(objs.windows(2).all(|w| w[0] < w[1]), "objectives {objs:?}");
+        // Streaming admission: 2 rounds through 2 lanes.
+        assert_eq!(fleet.ticks, 2);
+    }
+
+    #[test]
+    fn warm_start_carry_speeds_up_the_second_admission() {
+        let nets = ScenarioSet::load_ramp(cases::case9(), 2, 1.0, 1.005)
+            .networks()
+            .unwrap();
+        let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
+        let fleet = IpmFleetSolver::with_engine(condensed(), engine).solve(&nets);
+        assert!(fleet.all_optimal());
+        // The second scenario rides the first one's primal/dual point and
+        // the lane's frozen pattern: no new analysis, no more iterations
+        // than the cold start.
+        assert_eq!(fleet.results[1].report.symbolic_analyses, 0);
+        assert!(
+            fleet.results[1].report.iterations <= fleet.results[0].report.iterations,
+            "warm {} vs cold {}",
+            fleet.results[1].report.iterations,
+            fleet.results[0].report.iterations
+        );
+    }
+
+    #[test]
+    fn full_strategy_fleet_still_solves() {
+        let nets = ScenarioSet::load_ramp(cases::case9(), 2, 0.99, 1.01)
+            .networks()
+            .unwrap();
+        let fleet = IpmFleetSolver::with_engine(
+            IpmOptions::default(),
+            Engine::with_pool(DevicePool::parallel(1)),
+        )
+        .solve(&nets);
+        assert!(fleet.all_optimal());
+        // The full path pays a symbolic analysis per factorization.
+        assert_eq!(fleet.symbolic_analyses(), fleet.factorizations());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn empty_fleet_is_rejected() {
+        let _ = IpmFleetSolver::new(condensed()).solve(&[]);
+    }
+}

@@ -30,9 +30,12 @@
 //! * [`kkt`] — assembly of the augmented KKT system,
 //! * [`kkt_condensed`] — the condensed-space step with symbolic reuse,
 //! * [`solver`] — the interior-point iteration,
+//! * [`fleet`] — the scenario fleet driver on the execution engine (one
+//!   warm-start chain and one [`KktCache`] per lane),
 //! * [`report`] — iteration log and result types.
 
 pub mod acopf_nlp;
+pub mod fleet;
 pub mod kkt;
 pub mod kkt_condensed;
 pub mod nlp;
@@ -40,6 +43,7 @@ pub mod report;
 pub mod solver;
 
 pub use acopf_nlp::AcopfNlp;
+pub use fleet::{FleetReport, FleetScenarioResult, IpmFleetSolver};
 pub use kkt_condensed::{KktCache, KktStrategy};
 pub use nlp::Nlp;
 pub use report::{IpmStatus, IterationRecord, SolveReport};

@@ -11,10 +11,13 @@
 //!   load profiles,
 //! * [`sparse`] — sparse LDLᵀ linear algebra used by the baseline,
 //! * [`batch`] — the simulated GPU batch-execution device,
+//! * [`engine`] — the solver-agnostic scenario execution engine (device
+//!   sharding, lane caps, streaming admission),
 //! * [`tron`] — the batch bound-constrained trust-region solver (ExaTron
 //!   substitute),
 //! * [`acopf`] — the shared ACOPF model (flows, violations, starts),
 //! * [`ipm`] — the centralized interior-point baseline (Ipopt substitute),
+//!   plus its scenario fleet driver on the engine,
 //! * [`admm`] — the paper's component-based two-level ADMM solver.
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end walkthrough.
@@ -22,6 +25,7 @@
 pub use gridsim_acopf as acopf;
 pub use gridsim_admm as admm;
 pub use gridsim_batch as batch;
+pub use gridsim_engine as engine;
 pub use gridsim_grid as grid;
 pub use gridsim_ipm as ipm;
 pub use gridsim_sparse as sparse;
@@ -35,8 +39,11 @@ pub mod prelude {
         ScenarioResult, ScenarioScheduler, TrackingConfig,
     };
     pub use gridsim_batch::DevicePool;
+    pub use gridsim_engine::{Engine, LaneSolver};
     pub use gridsim_grid::{
         Case, LoadProfile, Network, Scenario, ScenarioSet, SyntheticSpec, TableICase,
     };
-    pub use gridsim_ipm::{AcopfNlp, IpmOptions, IpmSolver};
+    pub use gridsim_ipm::{
+        AcopfNlp, FleetReport, IpmFleetSolver, IpmOptions, IpmSolver, KktCache, KktStrategy,
+    };
 }

@@ -53,7 +53,8 @@ fn matpower_io_core_path() {
 }
 
 /// `examples/warm_start_tracking.rs`: short tracking horizon with warm
-/// starts and ramp limits.
+/// starts and ramp limits for ADMM, plus the condensed-KKT interior-point
+/// reference sharing one horizon-wide `KktCache`.
 #[test]
 fn warm_start_tracking_core_path() {
     let case = cases::case9();
@@ -73,6 +74,47 @@ fn warm_start_tracking_core_path() {
         }
     }
     assert_eq!(last.solution.pg.len(), case.compile().unwrap().ngen);
+
+    // The interior-point side of the example: every period re-solves the
+    // same structure through one cache, so the whole horizon costs exactly
+    // one symbolic analysis while factorizations keep accruing per period.
+    let mut cache = KktCache::new();
+    let mut prev: Option<(Vec<f64>, Vec<f64>)> = None;
+    let mut factorizations = 0usize;
+    for &mult in &profile.multipliers {
+        let net_t = case.scale_load(mult).compile().unwrap();
+        let nlp = match &prev {
+            Some((_, prev_pg)) => {
+                let (lo, hi) = gridsim_acopf::start::ramp_limited_bounds(
+                    &net_t,
+                    prev_pg,
+                    config.ramp_fraction,
+                );
+                AcopfNlp::new(&net_t).with_pg_bounds(lo, hi)
+            }
+            None => AcopfNlp::new(&net_t),
+        };
+        let report = IpmSolver::new(IpmOptions {
+            kkt_strategy: KktStrategy::Condensed,
+            initial_point: prev.as_ref().map(|(x, _)| x.clone()),
+            ..Default::default()
+        })
+        .solve_with_cache(&nlp, &mut cache);
+        assert!(report.is_optimal(), "reference period failed to converge");
+        factorizations += report.factorizations;
+        let pg = nlp.to_solution(&report.x).pg;
+        prev = Some((report.x, pg));
+    }
+    assert_eq!(
+        cache.symbolic_analyses(),
+        1,
+        "horizon must share one analysis"
+    );
+    assert!(
+        factorizations > profile.len(),
+        "factorizations accrue per period"
+    );
+    assert_eq!(cache.numeric_refactorizations(), factorizations);
 }
 
 /// `examples/synthetic_scaling.rs`: a scaled Table-I-style synthetic case

@@ -1,0 +1,229 @@
+//! Integration suite for the interior-point scenario fleet on the
+//! execution engine: per-lane symbolic-analysis economics, warm-start
+//! chaining, the sequential-loop identity, and the env-driven device count
+//! the CI matrix sweeps (`GRIDSIM_DEVICES=1|2|4`).
+//!
+//! The fleet's anchor invariants, both proptest-guarded below:
+//!
+//! * at **one device and one lane** the fleet is *bitwise identical* to a
+//!   hand-written sequential `solve_with_cache` loop threading one
+//!   `KktCache` and the previous solve's primal/dual point — the engine
+//!   adds exactly nothing to the arithmetic,
+//! * across **any device/lane configuration** the per-scenario reports
+//!   stay *report-identical to solver tolerance*: every scenario optimal,
+//!   same objective to tolerance, while symbolic analyses equal the lane
+//!   count of the configuration (not the scenario count).
+
+use gridadmm::prelude::*;
+use gridsim_engine::plan;
+use proptest::prelude::*;
+
+fn condensed_options() -> IpmOptions {
+    IpmOptions {
+        kkt_strategy: KktStrategy::Condensed,
+        ..Default::default()
+    }
+}
+
+/// The fleet built from the environment honors the device count the CI
+/// matrix sets, and its report invariants hold under that pool.
+#[test]
+fn env_engine_fleet_honors_gridsim_devices() {
+    let expected = std::env::var("GRIDSIM_DEVICES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    let solver = IpmFleetSolver::new(condensed_options());
+    assert_eq!(
+        solver.engine.pool().len(),
+        expected,
+        "engine must honor GRIDSIM_DEVICES"
+    );
+    let nets = ScenarioSet::load_ramp(gridsim_grid::cases::case9(), 4, 0.98, 1.02)
+        .networks()
+        .unwrap();
+    let fleet = solver.solve(&nets);
+    assert_eq!(fleet.results.len(), 4);
+    assert!(fleet.all_optimal());
+    assert_eq!(fleet.lanes, solver.engine.total_lanes(4));
+    assert_eq!(fleet.symbolic_analyses(), fleet.lanes);
+}
+
+/// A 1-scenario fleet reproduces a plain `IpmSolver::solve` bitwise — the
+/// engine's K=1 anchor for the interior-point family.
+#[test]
+fn k1_fleet_equals_single_solve() {
+    let net = gridsim_grid::cases::case14().compile().unwrap();
+    let single = IpmSolver::new(condensed_options()).solve(&AcopfNlp::new(&net));
+    for devices in [1, 3] {
+        let engine = Engine::with_pool(DevicePool::parallel(devices));
+        let fleet = IpmFleetSolver::with_engine(condensed_options(), engine)
+            .solve(std::slice::from_ref(&net));
+        assert_eq!(fleet.results.len(), 1);
+        let r = &fleet.results[0].report;
+        assert_eq!(r.iterations, single.iterations);
+        assert_eq!(r.factorizations, single.factorizations);
+        assert_eq!(r.symbolic_analyses, single.symbolic_analyses);
+        assert_eq!(r.objective.to_bits(), single.objective.to_bits());
+        for (a, b) in r.x.iter().zip(&single.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+/// Symbolic analyses scale with the configuration's lane count — asserted
+/// against the engine's own admission-plan arithmetic, not a re-derived
+/// round-robin.
+#[test]
+fn symbolic_analyses_equal_planned_lanes_across_configs() {
+    let nets = ScenarioSet::load_ramp(gridsim_grid::cases::case9(), 5, 0.98, 1.02)
+        .networks()
+        .unwrap();
+    for devices in [1, 2, 3] {
+        for lanes in [Some(1), Some(2), None] {
+            let mut engine = Engine::with_pool(DevicePool::parallel(devices));
+            if let Some(l) = lanes {
+                engine = engine.with_lanes(l);
+            }
+            let planned = plan::total_lanes(nets.len(), devices, lanes);
+            let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+            assert!(fleet.all_optimal(), "devices={devices} lanes={lanes:?}");
+            assert_eq!(fleet.lanes, planned);
+            assert_eq!(
+                fleet.symbolic_analyses(),
+                planned,
+                "devices={devices} lanes={lanes:?}: analyses must track lanes, not scenarios"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Few cases: each one runs several full interior-point solves.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// At 1 device / 1 lane the fleet is bitwise identical to the
+    /// sequential `solve_with_cache` loop it replaces: one shared cache,
+    /// each solve warm-started from the previous primal/dual point.
+    #[test]
+    fn fleet_at_one_lane_is_bitwise_identical_to_sequential_cache_loop(
+        seed in 0u64..1000,
+        k in 1usize..4,
+        sigma in 0.005f64..0.03,
+    ) {
+        let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, sigma, seed);
+        let nets = set.networks().unwrap();
+        let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
+        let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+        prop_assert_eq!(fleet.results.len(), k);
+        prop_assert_eq!(fleet.lanes, 1);
+
+        let mut cache = KktCache::new();
+        let mut warm_x: Option<Vec<f64>> = None;
+        let mut warm_lambda: Option<Vec<f64>> = None;
+        for (i, net) in nets.iter().enumerate() {
+            let nlp = AcopfNlp::new(net);
+            let mut options = condensed_options();
+            options.initial_point = warm_x.take();
+            options.initial_multipliers = warm_lambda.take();
+            let reference = IpmSolver::new(options).solve_with_cache(&nlp, &mut cache);
+
+            let r = &fleet.results[i].report;
+            prop_assert_eq!(r.status, reference.status, "scenario {}", i);
+            prop_assert_eq!(r.iterations, reference.iterations);
+            prop_assert_eq!(r.factorizations, reference.factorizations);
+            prop_assert_eq!(r.symbolic_analyses, reference.symbolic_analyses);
+            prop_assert_eq!(r.objective.to_bits(), reference.objective.to_bits());
+            prop_assert_eq!(r.x.len(), reference.x.len());
+            for (a, b) in r.x.iter().zip(&reference.x) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in r.lambda_eq.iter().zip(&reference.lambda_eq) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+
+            warm_x = Some(reference.x.clone());
+            warm_lambda = Some(
+                reference
+                    .lambda_eq
+                    .iter()
+                    .chain(reference.lambda_ineq.iter())
+                    .copied()
+                    .collect(),
+            );
+        }
+        // One lane, one chain, one analysis.
+        prop_assert_eq!(cache.symbolic_analyses(), 1);
+        prop_assert_eq!(fleet.symbolic_analyses(), 1);
+    }
+
+    /// Across device counts and lane caps the fleet stays report-identical
+    /// to solver tolerance: which lane a scenario streams through decides
+    /// its warm start (so iterates differ bitwise), but every scenario
+    /// converges to the same optimum and the analysis count tracks the
+    /// configuration's lanes.
+    #[test]
+    fn fleet_reports_are_invariant_across_device_and_lane_choices(
+        seed in 0u64..1000,
+        k in 2usize..5,
+        devices in 1usize..4,
+        lanes in 1usize..3,
+    ) {
+        let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, 0.02, seed);
+        let nets = set.networks().unwrap();
+        let reference = IpmFleetSolver::with_engine(
+            condensed_options(),
+            Engine::with_pool(DevicePool::parallel(1)).with_lanes(1),
+        )
+        .solve(&nets);
+        prop_assert!(reference.all_optimal());
+
+        let engine = Engine::with_pool(DevicePool::parallel(devices)).with_lanes(lanes);
+        let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+        prop_assert!(fleet.all_optimal(), "devices={} lanes={}", devices, lanes);
+        prop_assert_eq!(fleet.lanes, plan::total_lanes(k, devices, Some(lanes)));
+        prop_assert_eq!(fleet.symbolic_analyses(), fleet.lanes);
+        for (a, b) in fleet.results.iter().zip(&reference.results) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.report.status, b.report.status);
+            let gap = (a.report.objective - b.report.objective).abs()
+                / b.report.objective.abs().max(1.0);
+            prop_assert!(gap < 1e-6, "{}: objective gap {}", a.name, gap);
+            prop_assert!(a.quality.max_violation() < 1e-5);
+        }
+    }
+}
+
+/// Release-gated acceptance check on a registry-scale case: an
+/// interior-point fleet over K scenarios of a ~300-bus Table-I stand-in
+/// pays `symbolic_analyses == lanes`, not one per scenario. (Interior-point
+/// solves at this size are too slow for the debug suite.)
+#[cfg(not(debug_assertions))]
+#[test]
+fn registry_small_fleet_pays_one_analysis_per_lane() {
+    use gridsim_bench::{BenchCase, Scale};
+    let bc = BenchCase::all(Scale::Small)
+        .into_iter()
+        .find(|bc| bc.source == TableICase::Pegase2869)
+        .expect("registry holds the 2869-bus stand-in");
+    let set = ScenarioSet::load_ramp(bc.case.clone(), 3, 0.99, 1.01);
+    let nets = set.networks().unwrap();
+    let engine = Engine::with_pool(DevicePool::parallel(2)).with_lanes(1);
+    let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+    assert_eq!(fleet.results.len(), 3);
+    assert_eq!(fleet.lanes, 2);
+    assert_eq!(
+        fleet.symbolic_analyses(),
+        fleet.lanes,
+        "fleet must pay per lane, not per scenario"
+    );
+    assert!(fleet.factorizations() > fleet.symbolic_analyses());
+    eprintln!(
+        "registry fleet: {} scenarios, {} lanes, {} symbolic analyses, {} factorizations, {:.2}s",
+        fleet.results.len(),
+        fleet.lanes,
+        fleet.symbolic_analyses(),
+        fleet.factorizations(),
+        fleet.solve_time.as_secs_f64()
+    );
+}

@@ -153,8 +153,9 @@ fn pegase1354_scaled100_violation_does_not_regress() {
     let violation = result.quality.max_violation();
     eprintln!("pegase1354_scaled100 max violation: {violation}");
     assert!(
-        violation < 0.90,
-        "max violation regressed to {violation} (recorded baseline 0.8696 under per-case defaults)"
+        violation < 0.88,
+        "max violation regressed to {violation} (recorded baseline 0.8696 under per-case \
+         defaults, re-measured unchanged through the PR 5 engine paths)"
     );
     assert!(result.objective.is_finite());
 }

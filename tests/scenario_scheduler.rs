@@ -8,6 +8,7 @@
 
 use gridadmm::prelude::*;
 use gridsim_batch::Device;
+use gridsim_engine::plan;
 use gridsim_grid::cases;
 
 fn mixed_set(base: &Case, k: usize) -> ScenarioSet {
@@ -127,8 +128,12 @@ fn streamed_refills_transfer_per_admission_not_per_tick() {
     let sched = scheduler.solve(&nets);
     let delta = scheduler.pool.combined_snapshot().since(&before);
     assert!(sched.ticks > 40, "want a run with many ticks");
-    // 9 bulk uploads at setup + 8 ranged uploads per refilled scenario.
-    let refills = nets.len() as u64 - 1;
+    // 9 bulk uploads at setup + 8 ranged uploads per refilled scenario —
+    // the refill count comes from the engine's own admission plan rather
+    // than re-deriving the streaming arithmetic here.
+    let shard = &plan::shard_plan(nets.len(), 1)[0];
+    let refills = plan::admission_plan(shard, Some(1)).refills.len() as u64;
+    assert_eq!(refills, nets.len() as u64 - 1);
     assert_eq!(delta.host_to_device_transfers, 9 + 8 * refills);
     // 6 ranged reads per finished scenario.
     assert_eq!(delta.device_to_host_transfers, 6 * nets.len() as u64);
@@ -151,14 +156,14 @@ fn sharded_work_is_billed_per_device() {
             "device {d} ran no branch work"
         );
     }
-    // Round-robin sharding: device 0 got scenarios {0, 2}, device 1 {1, 3}.
+    // Each device bills exactly the scenarios the engine's shard plan
+    // assigns it (round-robin), asserted against the plan itself instead of
+    // re-implementing the round-robin arithmetic here.
+    let shards = plan::shard_plan(nets.len(), snaps.len());
     for (d, snap) in snaps.iter().enumerate() {
-        let expected: u64 = sched
-            .results
+        let expected: u64 = shards[d]
             .iter()
-            .skip(d)
-            .step_by(2)
-            .map(|r| r.inner_iterations as u64 * nbranch)
+            .map(|&i| sched.results[i].inner_iterations as u64 * nbranch)
             .sum();
         assert_eq!(
             snap.kernels["branch_tron"].blocks, expected,
