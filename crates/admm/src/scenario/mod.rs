@@ -36,7 +36,7 @@
 //!   `crate::kernels`, and every scenario's iterates depend only on its
 //!   own buffer segment, so results are bit-for-bit independent of the
 //!   device count, lane count, and admission order — and a K=1 batch
-//!   reproduces a plain solve exactly on both backends.
+//!   reproduces a plain solve exactly on every launch backend.
 //!
 //! Warm starts: [`ScenarioBatch::solve_warm`] seeds every scenario from one
 //! shared [`WarmState`] (e.g. the solved nominal case) with optional
@@ -139,11 +139,13 @@ pub struct ScenarioBatch {
 }
 
 impl ScenarioBatch {
-    /// Create a batched driver on a parallel device.
+    /// Create a batched driver on an auto-resolved device
+    /// (`GRIDSIM_BACKEND` override → worker count; backends are bitwise
+    /// interchangeable, so the choice affects speed only).
     pub fn new(params: AdmmParams) -> Self {
         ScenarioBatch {
             params,
-            device: Device::parallel(),
+            device: Device::default(),
         }
     }
 

@@ -96,11 +96,13 @@ pub struct AdmmSolver {
 }
 
 impl AdmmSolver {
-    /// Create a solver with the given parameters on a parallel device.
+    /// Create a solver with the given parameters on an auto-resolved
+    /// device (`GRIDSIM_BACKEND` override → worker count; every backend is
+    /// bitwise identical, so the choice affects speed only).
     pub fn new(params: AdmmParams) -> Self {
         AdmmSolver {
             params,
-            device: Device::parallel(),
+            device: Device::default(),
         }
     }
 
@@ -447,21 +449,24 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_devices_agree() {
+    fn all_backends_agree_on_a_full_solve() {
         let net = cases::two_bus().compile().unwrap();
         let params = AdmmParams {
             max_outer: 3,
             max_inner: 50,
             ..AdmmParams::default()
         };
-        let par = AdmmSolver::with_device(params.clone(), Device::parallel()).solve(&net);
-        let seq = AdmmSolver::with_device(params, Device::sequential()).solve(&net);
-        assert_eq!(par.inner_iterations, seq.inner_iterations);
-        for (a, b) in par.solution.pg.iter().zip(&seq.solution.pg) {
-            assert!((a - b).abs() < 1e-12);
-        }
-        for (a, b) in par.solution.vm.iter().zip(&seq.solution.vm) {
-            assert!((a - b).abs() < 1e-12);
+        let seq = AdmmSolver::with_device(params.clone(), Device::sequential()).solve(&net);
+        for dev in [Device::parallel(), Device::vectorized()] {
+            let label = dev.backend();
+            let got = AdmmSolver::with_device(params.clone(), dev).solve(&net);
+            assert_eq!(got.inner_iterations, seq.inner_iterations, "{label}");
+            for (a, b) in got.solution.pg.iter().zip(&seq.solution.pg) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label} pg diverged");
+            }
+            for (a, b) in got.solution.vm.iter().zip(&seq.solution.vm) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label} vm diverged");
+            }
         }
     }
 

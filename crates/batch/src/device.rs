@@ -1,67 +1,98 @@
-//! The batch device: configuration and construction.
+//! The batch device: configuration, backend resolution, and construction.
+//!
+//! A [`Device`] pairs a statistics stream with a concrete
+//! [`LaunchBackend`] implementor, resolved from the
+//! configured [`ExecutionMode`] at construction time. `ExecutionMode::Auto`
+//! (the default) resolves with a deterministic precedence — `GRIDSIM_BACKEND`
+//! env override, then worker count, then the vectorized fallback — so
+//! `Device::default()`, [`DevicePool::from_env`](crate::DevicePool::from_env),
+//! and everything built on them honor the environment without any call-site
+//! changes. See [`crate::backend`] for the trait, the implementors, and the
+//! resolution rule.
 
+use crate::backend::{AnyBackend, ExecutionMode, LaunchBackend};
 use crate::stats::DeviceStats;
 use std::sync::Arc;
 
-/// Execution backend for kernel launches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Backend {
-    /// Run thread blocks on the Rayon thread pool (GPU block-scheduler
-    /// stand-in). Results are identical to [`Backend::Sequential`] because
-    /// blocks never share mutable state.
-    Parallel,
-    /// Run thread blocks one at a time on the calling thread. Useful for
-    /// debugging and for deterministic micro-benchmarks.
-    Sequential,
-}
+/// Deprecation shim: `Backend` was promoted from a two-variant enum to the
+/// [`ExecutionMode`] selector when kernel dispatch moved to the
+/// [`LaunchBackend`] trait. The alias keeps
+/// `Backend::Parallel` / `Backend::Sequential` call sites compiling for one
+/// release; new code should name `ExecutionMode` directly.
+#[deprecated(note = "Backend is now the ExecutionMode selector; name ExecutionMode directly")]
+pub type Backend = ExecutionMode;
 
 /// Device configuration.
 #[derive(Debug, Clone)]
 pub struct DeviceConfig {
-    /// Execution backend.
-    pub backend: Backend,
+    /// Execution mode; `Auto` (the default) resolves at device
+    /// construction via [`ExecutionMode::resolve`].
+    pub backend: ExecutionMode,
     /// Nominal threads per block (informational; mirrors the CUDA launch
     /// geometry the paper uses — 32 threads per branch block).
     pub threads_per_block: usize,
 }
 
+impl DeviceConfig {
+    /// Configuration pinned to a concrete mode.
+    pub fn with_mode(mode: ExecutionMode) -> Self {
+        DeviceConfig {
+            backend: mode,
+            ..Default::default()
+        }
+    }
+}
+
 impl Default for DeviceConfig {
     fn default() -> Self {
         DeviceConfig {
-            backend: Backend::Parallel,
+            backend: ExecutionMode::Auto,
             threads_per_block: 32,
         }
     }
 }
 
 /// A simulated batch device. Cheap to clone; all clones share the same
-/// statistics collector.
+/// statistics collector and resolved backend.
 #[derive(Debug, Clone)]
 pub struct Device {
     pub(crate) config: DeviceConfig,
+    pub(crate) exec: AnyBackend,
     pub(crate) stats: Arc<DeviceStats>,
 }
 
 impl Device {
-    /// Create a device with the given configuration.
+    /// Create a device with the given configuration, resolving `Auto` to a
+    /// concrete backend now (so every launch on this device — and every
+    /// clone — uses the same backend even if the environment changes
+    /// later).
     pub fn new(config: DeviceConfig) -> Self {
         Device {
+            exec: AnyBackend::from_mode(config.backend),
             config,
             stats: Arc::new(DeviceStats::default()),
         }
     }
 
-    /// A parallel device with default configuration.
-    pub fn parallel() -> Self {
+    /// A device with the default (auto-resolved) configuration.
+    pub fn auto() -> Self {
         Self::new(DeviceConfig::default())
     }
 
-    /// A sequential (deterministic, single-threaded) device.
+    /// A device pinned to the parallel (thread-pool) backend.
+    pub fn parallel() -> Self {
+        Self::new(DeviceConfig::with_mode(ExecutionMode::Parallel))
+    }
+
+    /// A device pinned to the sequential (deterministic, single-threaded)
+    /// backend.
     pub fn sequential() -> Self {
-        Self::new(DeviceConfig {
-            backend: Backend::Sequential,
-            ..Default::default()
-        })
+        Self::new(DeviceConfig::with_mode(ExecutionMode::Sequential))
+    }
+
+    /// A device pinned to the vectorized (chunked, branch-free) backend.
+    pub fn vectorized() -> Self {
+        Self::new(DeviceConfig::with_mode(ExecutionMode::Vectorized))
     }
 
     /// The device's statistics collector.
@@ -69,8 +100,17 @@ impl Device {
         &self.stats
     }
 
-    /// The configured backend.
-    pub fn backend(&self) -> Backend {
+    /// The *resolved* execution mode — never [`ExecutionMode::Auto`]. For
+    /// explicitly-pinned devices this equals the configured mode, so
+    /// existing `device.backend() == ExecutionMode::Parallel` comparisons
+    /// keep their meaning.
+    pub fn backend(&self) -> ExecutionMode {
+        self.exec.mode()
+    }
+
+    /// The *configured* execution mode, which may be
+    /// [`ExecutionMode::Auto`]; see [`Self::backend`] for the resolution.
+    pub fn mode(&self) -> ExecutionMode {
         self.config.backend
     }
 
@@ -82,7 +122,7 @@ impl Device {
 
 impl Default for Device {
     fn default() -> Self {
-        Self::parallel()
+        Self::auto()
     }
 }
 
@@ -91,22 +131,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_device_is_parallel() {
+    fn default_device_resolves_auto() {
         let d = Device::default();
-        assert_eq!(d.backend(), Backend::Parallel);
+        assert_eq!(d.mode(), ExecutionMode::Auto);
+        // The resolved backend is concrete and matches the documented rule
+        // for whatever environment this test runs under.
+        assert_eq!(d.backend(), ExecutionMode::Auto.resolve());
+        assert_ne!(d.backend(), ExecutionMode::Auto);
         assert_eq!(d.threads_per_block(), 32);
     }
 
     #[test]
-    fn sequential_constructor() {
-        assert_eq!(Device::sequential().backend(), Backend::Sequential);
+    fn pinned_constructors_resolve_to_themselves() {
+        assert_eq!(Device::parallel().backend(), ExecutionMode::Parallel);
+        assert_eq!(Device::sequential().backend(), ExecutionMode::Sequential);
+        assert_eq!(Device::vectorized().backend(), ExecutionMode::Vectorized);
+    }
+
+    /// The deprecation shim: `Backend::<Variant>` call sites still compile
+    /// and mean the same thing.
+    #[test]
+    #[allow(deprecated)]
+    fn backend_alias_still_works() {
+        let d = Device::new(DeviceConfig {
+            backend: Backend::Sequential,
+            ..Default::default()
+        });
+        assert_eq!(d.backend(), Backend::Sequential);
     }
 
     #[test]
-    fn clones_share_stats() {
+    fn clones_share_stats_and_backend() {
         let d = Device::parallel();
         let d2 = d.clone();
         d.stats().record_h2d(8);
         assert_eq!(d2.stats().snapshot().host_to_device_transfers, 1);
+        assert_eq!(d2.backend(), d.backend());
     }
 }

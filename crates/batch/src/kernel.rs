@@ -13,10 +13,16 @@
 //! Reductions ([`Device::reduce_max`], [`Device::reduce_sum`]) cover the
 //! residual-norm computations that decide convergence without copying data
 //! back to the host.
+//!
+//! Every method here is backend-agnostic: the iteration scheme lives behind
+//! the [`LaunchBackend`] trait the device resolved at
+//! construction, and this layer only owns the buffer bookkeeping — length
+//! assertions, live-element accounting for masked launches, and the
+//! empty-reduction convention (`max` over nothing is `0.0`).
 
+use crate::backend::LaunchBackend;
 use crate::buffer::DeviceBuffer;
-use crate::device::{Backend, Device};
-use rayon::prelude::*;
+use crate::device::Device;
 use std::time::Instant;
 
 impl Device {
@@ -41,32 +47,17 @@ impl Device {
     {
         let start = Instant::now();
         let n = buf.len() as u64;
-        match self.config.backend {
-            Backend::Parallel => {
-                let it = buf.as_mut_slice().par_iter_mut();
-                let it = if min_len == usize::MAX {
-                    it
-                } else {
-                    it.with_min_len(min_len)
-                };
-                it.enumerate().for_each(|(i, x)| f(i, x));
-            }
-            Backend::Sequential => {
-                for (i, x) in buf.as_mut_slice().iter_mut().enumerate() {
-                    f(i, x);
-                }
-            }
-        }
-        self.stats.record_launch(name, n, start.elapsed());
+        self.exec.launch(buf.as_mut_slice(), min_len, f);
+        self.exec.bill(&self.stats, name, n, start);
     }
 
     /// Launch a kernel with one thread block per element of `states`, under
     /// the mental model "one block per subproblem" (the paper's ExaTron
     /// launch geometry). Unlike [`Self::launch_map`], the closure is expected
-    /// to do substantial per-element work, so the parallel backend schedules
-    /// at single-element granularity: even a handful of blocks fans out
-    /// across the worker pool instead of falling below the cheap-kernel
-    /// sequential threshold.
+    /// to do substantial per-element work, so scheduling backends fan out at
+    /// single-element granularity: even a handful of blocks spreads across
+    /// the worker pool instead of falling below the cheap-kernel sequential
+    /// threshold.
     pub fn launch_blocks<T, F>(&self, name: &str, states: &mut DeviceBuffer<T>, f: F)
     where
         T: Send,
@@ -93,26 +84,8 @@ impl Device {
         assert_eq!(a.len(), b.len(), "launch_zip requires equal lengths");
         let start = Instant::now();
         let n = a.len() as u64;
-        match self.config.backend {
-            Backend::Parallel => {
-                a.as_mut_slice()
-                    .par_iter_mut()
-                    .zip(b.as_mut_slice().par_iter_mut())
-                    .enumerate()
-                    .for_each(|(i, (x, y))| f(i, x, y));
-            }
-            Backend::Sequential => {
-                for (i, (x, y)) in a
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(b.as_mut_slice().iter_mut())
-                    .enumerate()
-                {
-                    f(i, x, y);
-                }
-            }
-        }
-        self.stats.record_launch(name, n, start.elapsed());
+        self.exec.launch_zip(a.as_mut_slice(), b.as_mut_slice(), f);
+        self.exec.bill(&self.stats, name, n, start);
     }
 
     /// Launch a kernel over a scenario-major buffer holding `active.len()`
@@ -160,41 +133,9 @@ impl Device {
         let start = Instant::now();
         let live_segments = active.iter().filter(|&&a| a).count();
         let live = live_segments as u64 * seg_len as u64;
-        match self.config.backend {
-            Backend::Parallel => {
-                let it = buf.as_mut_slice().par_iter_mut();
-                let it = if min_len == usize::MAX {
-                    it
-                } else {
-                    it.with_min_len(min_len)
-                };
-                if live_segments == active.len() {
-                    // Fast path for the common all-active case: no per-element
-                    // mask check. (Skipping whole inactive chunks in parallel
-                    // would need chunked parallel iteration the rayon shim
-                    // does not provide; the masked path below pays one cheap
-                    // check per element instead.)
-                    it.enumerate().for_each(|(i, x)| f(i, x));
-                } else {
-                    it.enumerate().for_each(|(i, x)| {
-                        if active[i / seg_len] {
-                            f(i, x)
-                        }
-                    });
-                }
-            }
-            Backend::Sequential => {
-                for (s, chunk) in buf.as_mut_slice().chunks_mut(seg_len).enumerate() {
-                    if !active[s] {
-                        continue;
-                    }
-                    for (j, x) in chunk.iter_mut().enumerate() {
-                        f(s * seg_len + j, x);
-                    }
-                }
-            }
-        }
-        self.stats.record_launch(name, live, start.elapsed());
+        self.exec
+            .launch_segments(buf.as_mut_slice(), seg_len, active, min_len, f);
+        self.exec.bill(&self.stats, name, live, start);
     }
 
     /// One thread *block* per element of the active segments; the segmented
@@ -218,9 +159,9 @@ impl Device {
     /// Per-segment max-reduction over a scenario-major buffer: returns one
     /// value per segment, `f64::NAN` for segments whose mask entry is
     /// `false` (their elements are not even visited). Each segment is folded
-    /// in index order, so the result is bitwise identical between the
-    /// parallel and sequential backends and equal to [`Self::reduce_max`]
-    /// run on the segment alone.
+    /// in index order, so the result is bitwise identical across every
+    /// conforming backend and equal to [`Self::reduce_max`] run on the
+    /// segment alone.
     pub fn reduce_max_segments<T, F>(
         &self,
         name: &str,
@@ -240,68 +181,27 @@ impl Device {
             "buffer length must equal seg_len * segments"
         );
         let start = Instant::now();
-        let data = buf.as_slice();
-        let fold_segment = |s: usize| -> f64 {
-            if !active[s] {
-                return f64::NAN;
-            }
-            let base = s * seg_len;
-            let m = data[base..base + seg_len]
-                .iter()
-                .enumerate()
-                .map(|(j, x)| f(base + j, x))
-                .fold(f64::NEG_INFINITY, f64::max);
-            if m == f64::NEG_INFINITY {
-                0.0
-            } else {
-                m
-            }
-        };
-        let result = match self.config.backend {
-            Backend::Parallel => active
-                .par_iter()
-                .enumerate()
-                .map(|(s, _)| fold_segment(s))
-                .collect::<Vec<f64>>(),
-            Backend::Sequential => (0..active.len()).map(fold_segment).collect(),
-        };
+        let result = self
+            .exec
+            .reduce_max_segments(buf.as_slice(), seg_len, active, f);
         let live = active.iter().filter(|&&a| a).count() as u64 * seg_len as u64;
-        self.stats.record_launch(name, live, start.elapsed());
+        self.exec.bill(&self.stats, name, live, start);
         result
     }
 
     /// Device-side max-reduction of a per-element score. No host transfer is
     /// recorded: the reduction result is a scalar produced on the device,
-    /// mirroring a `cub::DeviceReduce` call.
+    /// mirroring a `cub::DeviceReduce` call. Backends may evaluate scores in
+    /// any order but combine them in index order (the determinism contract
+    /// in [`crate::backend`]); an empty buffer reduces to `0.0`.
     pub fn reduce_max<T, F>(&self, name: &str, buf: &DeviceBuffer<T>, f: F) -> f64
     where
         T: Sync,
         F: Fn(usize, &T) -> f64 + Sync,
     {
         let start = Instant::now();
-        // The parallel arm evaluates the per-element scores in parallel but
-        // combines them in index order: reduction order must not depend on
-        // thread scheduling, or Parallel and Sequential runs of the same
-        // solve diverge bitwise (max is scheduling-sensitive through NaN and
-        // signed-zero handling; sum through non-associativity).
-        let result = match self.config.backend {
-            Backend::Parallel => buf
-                .as_slice()
-                .par_iter()
-                .enumerate()
-                .map(|(i, x)| f(i, x))
-                .collect::<Vec<f64>>()
-                .into_iter()
-                .fold(f64::NEG_INFINITY, f64::max),
-            Backend::Sequential => buf
-                .as_slice()
-                .iter()
-                .enumerate()
-                .map(|(i, x)| f(i, x))
-                .fold(f64::NEG_INFINITY, f64::max),
-        };
-        self.stats
-            .record_launch(name, buf.len() as u64, start.elapsed());
+        let result = self.exec.reduce_max(buf.as_slice(), f);
+        self.exec.bill(&self.stats, name, buf.len() as u64, start);
         if result == f64::NEG_INFINITY {
             0.0
         } else {
@@ -309,33 +209,16 @@ impl Device {
         }
     }
 
-    /// Device-side sum-reduction of a per-element score.
+    /// Device-side sum-reduction of a per-element score. Same determinism
+    /// contract as [`Self::reduce_max`]: index-ordered summation.
     pub fn reduce_sum<T, F>(&self, name: &str, buf: &DeviceBuffer<T>, f: F) -> f64
     where
         T: Sync,
         F: Fn(usize, &T) -> f64 + Sync,
     {
         let start = Instant::now();
-        // Same determinism contract as `reduce_max`: parallel evaluation,
-        // index-ordered summation.
-        let result = match self.config.backend {
-            Backend::Parallel => buf
-                .as_slice()
-                .par_iter()
-                .enumerate()
-                .map(|(i, x)| f(i, x))
-                .collect::<Vec<f64>>()
-                .iter()
-                .sum(),
-            Backend::Sequential => buf
-                .as_slice()
-                .iter()
-                .enumerate()
-                .map(|(i, x)| f(i, x))
-                .sum(),
-        };
-        self.stats
-            .record_launch(name, buf.len() as u64, start.elapsed());
+        let result = self.exec.reduce_sum(buf.as_slice(), f);
+        self.exec.bill(&self.stats, name, buf.len() as u64, start);
         result
     }
 }
@@ -347,7 +230,11 @@ mod tests {
     use std::sync::Arc;
 
     fn devices() -> Vec<Device> {
-        vec![Device::parallel(), Device::sequential()]
+        vec![
+            Device::parallel(),
+            Device::sequential(),
+            Device::vectorized(),
+        ]
     }
 
     #[test]
@@ -371,7 +258,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_agree() {
+    fn all_backends_agree_on_maps() {
         let host: Vec<f64> = (0..512).map(|i| i as f64 * 0.25).collect();
         let mut results = Vec::new();
         for dev in devices() {
@@ -380,21 +267,23 @@ mod tests {
             results.push(buf.to_host());
         }
         assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
     }
 
     #[test]
     fn launch_zip_updates_both_buffers() {
-        let dev = Device::parallel();
-        let stats = Arc::clone(dev.stats());
-        let mut a = DeviceBuffer::from_host(stats.clone(), &vec![1.0f64; 64]);
-        let mut b = DeviceBuffer::from_host(stats, &vec![2.0f64; 64]);
-        dev.launch_zip("swap_add", &mut a, &mut b, |_, x, y| {
-            let t = *x;
-            *x = *y;
-            *y += t;
-        });
-        assert!(a.as_slice().iter().all(|&x| x == 2.0));
-        assert!(b.as_slice().iter().all(|&y| y == 3.0));
+        for dev in devices() {
+            let stats = Arc::clone(dev.stats());
+            let mut a = DeviceBuffer::from_host(stats.clone(), &vec![1.0f64; 100]);
+            let mut b = DeviceBuffer::from_host(stats, &vec![2.0f64; 100]);
+            dev.launch_zip("swap_add", &mut a, &mut b, |_, x, y| {
+                let t = *x;
+                *x = *y;
+                *y += t;
+            });
+            assert!(a.as_slice().iter().all(|&x| x == 2.0));
+            assert!(b.as_slice().iter().all(|&y| y == 3.0));
+        }
     }
 
     #[test]
@@ -422,26 +311,28 @@ mod tests {
     }
 
     #[test]
-    fn parallel_reductions_are_bitwise_deterministic() {
+    fn reductions_are_bitwise_deterministic_across_backends() {
         // Large enough that the parallel backend genuinely fans out across
-        // threads; the reductions must still agree with the sequential
-        // backend bit-for-bit, and with themselves across repeated runs.
+        // threads and the vectorized backend runs many full chunks; the
+        // reductions must still agree with the sequential backend
+        // bit-for-bit, and with themselves across repeated runs.
         let host: Vec<f64> = (0..50_000)
             .map(|i| (i as f64 * 0.37).sin() * 1e-3)
             .collect();
-        let par = Device::parallel();
         let seq = Device::sequential();
-        let buf_par = DeviceBuffer::from_host(Arc::clone(par.stats()), &host);
         let buf_seq = DeviceBuffer::from_host(Arc::clone(seq.stats()), &host);
         let score = |_: usize, x: &f64| x * 1.000_001 + 0.5;
-        let sum_par = par.reduce_sum("sum", &buf_par, score);
         let sum_seq = seq.reduce_sum("sum", &buf_seq, score);
-        assert_eq!(sum_par.to_bits(), sum_seq.to_bits());
-        let sum_par_again = par.reduce_sum("sum", &buf_par, score);
-        assert_eq!(sum_par.to_bits(), sum_par_again.to_bits());
-        let max_par = par.reduce_max("max", &buf_par, |_, x| x.abs());
         let max_seq = seq.reduce_max("max", &buf_seq, |_, x| x.abs());
-        assert_eq!(max_par.to_bits(), max_seq.to_bits());
+        for dev in [Device::parallel(), Device::vectorized()] {
+            let buf = DeviceBuffer::from_host(Arc::clone(dev.stats()), &host);
+            let sum = dev.reduce_sum("sum", &buf, score);
+            assert_eq!(sum.to_bits(), sum_seq.to_bits());
+            let again = dev.reduce_sum("sum", &buf, score);
+            assert_eq!(sum.to_bits(), again.to_bits());
+            let max = dev.reduce_max("max", &buf, |_, x| x.abs());
+            assert_eq!(max.to_bits(), max_seq.to_bits());
+        }
     }
 
     #[test]
@@ -492,18 +383,19 @@ mod tests {
     fn segmented_ops_agree_across_backends_bitwise() {
         let host: Vec<f64> = (0..4 * 1024).map(|i| (i as f64 * 0.11).sin()).collect();
         let active = [true, true, false, true];
-        let par = Device::parallel();
         let seq = Device::sequential();
-        let mut buf_par = DeviceBuffer::from_host(Arc::clone(par.stats()), &host);
         let mut buf_seq = DeviceBuffer::from_host(Arc::clone(seq.stats()), &host);
         let kernel = |_: usize, x: &mut f64| *x = x.cos() * 1.7 - 0.3;
-        par.launch_map_segments("k", &mut buf_par, 1024, &active, kernel);
         seq.launch_map_segments("k", &mut buf_seq, 1024, &active, kernel);
-        assert_eq!(buf_par.as_slice(), buf_seq.as_slice());
-        let mp = par.reduce_max_segments("m", &buf_par, 1024, &active, |_, x| *x);
         let ms = seq.reduce_max_segments("m", &buf_seq, 1024, &active, |_, x| *x);
-        for (a, b) in mp.iter().zip(&ms) {
-            assert_eq!(a.to_bits(), b.to_bits());
+        for dev in [Device::parallel(), Device::vectorized()] {
+            let mut buf = DeviceBuffer::from_host(Arc::clone(dev.stats()), &host);
+            dev.launch_map_segments("k", &mut buf, 1024, &active, kernel);
+            assert_eq!(buf.as_slice(), buf_seq.as_slice());
+            let m = dev.reduce_max_segments("m", &buf, 1024, &active, |_, x| *x);
+            for (a, b) in m.iter().zip(&ms) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 
@@ -517,10 +409,11 @@ mod tests {
 
     #[test]
     fn reduce_on_empty_buffer_is_zero() {
-        let dev = Device::sequential();
-        let buf: DeviceBuffer<f64> = DeviceBuffer::zeroed(Arc::clone(dev.stats()), 0);
-        assert_eq!(dev.reduce_max("m", &buf, |_, x| *x), 0.0);
-        assert_eq!(dev.reduce_sum("s", &buf, |_, x| *x), 0.0);
+        for dev in devices() {
+            let buf: DeviceBuffer<f64> = DeviceBuffer::zeroed(Arc::clone(dev.stats()), 0);
+            assert_eq!(dev.reduce_max("m", &buf, |_, x| *x), 0.0);
+            assert_eq!(dev.reduce_sum("s", &buf, |_, x| *x), 0.0);
+        }
     }
 
     #[test]

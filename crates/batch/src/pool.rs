@@ -14,7 +14,8 @@
 //! per-device accounting, and a device-count axis (`GRIDSIM_DEVICES`) that
 //! CI sweeps so multi-device paths cannot silently rot.
 
-use crate::device::{Backend, Device, DeviceConfig};
+use crate::backend::ExecutionMode;
+use crate::device::{Device, DeviceConfig};
 use crate::stats::StatsSnapshot;
 
 /// Environment variable selecting the logical device count for
@@ -37,20 +38,28 @@ impl DevicePool {
         }
     }
 
-    /// A pool of `n` parallel devices with default configuration.
-    pub fn parallel(n: usize) -> Self {
+    /// A pool of `n` devices with the default (auto-resolved) mode; see
+    /// [`ExecutionMode::resolve`] for the `GRIDSIM_BACKEND` → worker-count
+    /// precedence.
+    pub fn auto(n: usize) -> Self {
         Self::new(n, DeviceConfig::default())
     }
 
-    /// A pool of `n` sequential (deterministic, single-threaded) devices.
+    /// A pool of `n` devices pinned to the parallel (thread-pool) backend.
+    pub fn parallel(n: usize) -> Self {
+        Self::new(n, DeviceConfig::with_mode(ExecutionMode::Parallel))
+    }
+
+    /// A pool of `n` devices pinned to the sequential (deterministic,
+    /// single-threaded) backend.
     pub fn sequential(n: usize) -> Self {
-        Self::new(
-            n,
-            DeviceConfig {
-                backend: Backend::Sequential,
-                ..Default::default()
-            },
-        )
+        Self::new(n, DeviceConfig::with_mode(ExecutionMode::Sequential))
+    }
+
+    /// A pool of `n` devices pinned to the vectorized (chunked,
+    /// branch-free) backend.
+    pub fn vectorized(n: usize) -> Self {
+        Self::new(n, DeviceConfig::with_mode(ExecutionMode::Vectorized))
     }
 
     /// Wrap one existing device as a single-device pool (shares its
@@ -61,10 +70,12 @@ impl DevicePool {
         }
     }
 
-    /// A parallel pool sized from the `GRIDSIM_DEVICES` environment
-    /// variable (default 1).
+    /// A pool built from the environment: `GRIDSIM_DEVICES` sizes it
+    /// (default 1) and the devices auto-resolve their backend, so
+    /// `GRIDSIM_BACKEND` selects the execution scheme — the two axes the
+    /// CI matrix sweeps.
     pub fn from_env() -> Self {
-        Self::parallel(Self::env_device_count())
+        Self::auto(Self::env_device_count())
     }
 
     /// The device count `GRIDSIM_DEVICES` requests (default 1; zero and
@@ -98,8 +109,8 @@ impl DevicePool {
         &self.devices
     }
 
-    /// The pool's backend (shared by every device).
-    pub fn backend(&self) -> Backend {
+    /// The pool's resolved execution mode (shared by every device).
+    pub fn backend(&self) -> ExecutionMode {
         self.devices[0].backend()
     }
 
@@ -200,6 +211,30 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_pool_is_rejected() {
         let _ = DevicePool::parallel(0);
+    }
+
+    #[test]
+    fn pool_constructors_pin_their_modes() {
+        assert_eq!(DevicePool::parallel(2).backend(), ExecutionMode::Parallel);
+        assert_eq!(
+            DevicePool::sequential(1).backend(),
+            ExecutionMode::Sequential
+        );
+        assert_eq!(
+            DevicePool::vectorized(1).backend(),
+            ExecutionMode::Vectorized
+        );
+    }
+
+    /// `from_env` pools resolve their backend exactly as a bare `Auto`
+    /// device would — this is how `GRIDSIM_BACKEND` reaches every solver
+    /// built on `from_env` without call-site changes.
+    #[test]
+    fn env_pool_backend_follows_auto_resolution() {
+        assert_eq!(
+            DevicePool::from_env().backend(),
+            ExecutionMode::Auto.resolve()
+        );
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //!
 //! Section III-A argues that the closed-form component updates are trivially
 //! parallel and that the only non-closed-form work is the batch of branch
-//! TRON solves. This benchmark times a full cold-start solve on parallel vs
-//! sequential devices (showing the thread-block parallelism pay-off that
-//! stands in for the GPU speed-up) — the per-kernel breakdown is printed by
-//! the `transfer_audit` binary.
+//! TRON solves. This benchmark times a full cold-start solve on each launch
+//! backend (the parallel one's thread-block scheduling stands in for the
+//! GPU speed-up) — the per-kernel breakdown is printed by the
+//! `transfer_audit` binary and, per backend, by the `backend_sweep` one.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsim_admm::{AdmmParams, AdmmSolver};
@@ -27,6 +27,7 @@ fn bench_device_backends(c: &mut Criterion) {
     for (name, device) in [
         ("parallel", Device::parallel()),
         ("sequential", Device::sequential()),
+        ("vectorized", Device::vectorized()),
     ] {
         group.bench_with_input(BenchmarkId::new(name, net.nbranch), &net, |b, net| {
             let solver = AdmmSolver::with_device(params.clone(), device.clone());

@@ -1,0 +1,105 @@
+//! Backend-sweep experiment: the same bounded K-scenario ADMM batch solved
+//! once per launch backend (sequential / parallel / vectorized), with the
+//! per-kernel wall-clock split from the device statistics. The conformance
+//! suite guarantees the three backends are bitwise identical, so the only
+//! thing allowed to differ between rows is time — this binary records how
+//! much.
+//!
+//! ```text
+//! cargo run -p gridsim-bench --release --bin backend_sweep \
+//!     [--scale small|medium|paper] [--k K] [--nbus N]
+//! ```
+//!
+//! By default this runs a K = 4 load-ramp set on a 300-bus proportional
+//! stand-in of the 1354pegase case with a bounded iteration budget (time
+//! per fixed work, not time-to-convergence). Note the machine shape decides
+//! the ordering: the parallel backend needs cores to beat sequential, and
+//! the vectorized backend needs wide SIMD units to show its margin — on a
+//! single hardware thread expect parallel to trail under pool overhead.
+
+use gridsim_admm::AdmmParams;
+use gridsim_bench::experiments::{run_backend_sweep, to_json, BackendSweepRow};
+use gridsim_bench::{arg_value, Scale, TextTable};
+use gridsim_grid::scenario::ScenarioSet;
+use gridsim_grid::synthetic::TableICase;
+
+fn main() {
+    let scale = Scale::from_args();
+    let k: usize = arg_value("--k").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let nbus: usize = arg_value("--nbus")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(match scale {
+            Scale::Small => 300,
+            Scale::Medium => 1354,
+            Scale::Paper => 1354,
+        });
+
+    let tc = TableICase::Pegase1354;
+    let case = if scale == Scale::Paper {
+        tc.generate()
+    } else {
+        tc.scaled(nbus)
+    };
+    let set = ScenarioSet::load_ramp(case.clone(), k, 0.97, 1.03);
+    // Bounded budget: each backend runs the same fixed kernel schedule.
+    let params = AdmmParams {
+        max_outer: 2,
+        max_inner: 120,
+        ..AdmmParams::default()
+    };
+
+    println!(
+        "Backend sweep on {} ({} buses), K = {k} load-ramp scenarios",
+        case.name,
+        case.buses.len()
+    );
+    let rows: Vec<BackendSweepRow> = run_backend_sweep(&case.name, &set, &params);
+
+    let mut summary = TextTable::new(vec![
+        "Backend",
+        "Solve t (s)",
+        "Busy t (s)",
+        "Ticks",
+        "Launches",
+        "Blocks",
+        "Bitwise",
+    ]);
+    for r in &rows {
+        summary.add_row(vec![
+            r.backend.clone(),
+            format!("{:.3}", r.solve_time_s),
+            format!("{:.3}", r.busy_s),
+            r.ticks.to_string(),
+            r.kernel_launches.iter().sum::<u64>().to_string(),
+            r.kernel_blocks.iter().sum::<u64>().to_string(),
+            r.bitwise_identical_to_sequential.to_string(),
+        ]);
+    }
+    println!("{summary}");
+
+    // Per-kernel wall-clock, one column per backend. Kernel sets are
+    // identical across rows (same schedule, asserted bitwise), so the
+    // sequential row's ordering — descending by its own elapsed — indexes
+    // them all.
+    println!("Per-kernel wall-clock (s):");
+    let mut kernels = TextTable::new(vec![
+        "Kernel".to_string(),
+        format!("{} (s)", rows[0].backend),
+        format!("{} (s)", rows[1].backend),
+        format!("{} (s)", rows[2].backend),
+    ]);
+    for (i, name) in rows[0].kernel_names.iter().enumerate() {
+        let col = |r: &BackendSweepRow| {
+            let j = r.kernel_names.iter().position(|n| n == name).unwrap_or(i);
+            format!("{:.4}", r.kernel_elapsed_s[j])
+        };
+        kernels.add_row(vec![
+            name.clone(),
+            col(&rows[0]),
+            col(&rows[1]),
+            col(&rows[2]),
+        ]);
+    }
+    println!("{kernels}");
+    println!("{}", to_json(&rows));
+}

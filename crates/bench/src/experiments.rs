@@ -4,7 +4,7 @@
 use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::{relative_gap, SolutionQuality};
 use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch, ScenarioScheduler};
-use gridsim_batch::DevicePool;
+use gridsim_batch::{Device, DevicePool, ExecutionMode};
 use gridsim_engine::Engine;
 use gridsim_grid::load_profile::LoadProfile;
 use gridsim_grid::network::Case;
@@ -425,6 +425,99 @@ pub fn run_device_sweep_row(
     }
 }
 
+/// One row of the backend-sweep experiment: the same bounded K-scenario
+/// ADMM batch solved with one launch backend pinned, with the per-kernel
+/// wall-clock split from the device statistics. Kernel columns are parallel
+/// vectors sorted by descending elapsed time (ties by name), so the rows
+/// stay flat for the JSON export.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackendSweepRow {
+    /// Case / scenario-set name.
+    pub name: String,
+    /// Launch-backend label (`sequential` | `parallel` | `vectorized`).
+    pub backend: String,
+    /// Number of scenarios `K`.
+    pub scenarios: usize,
+    /// Wall-clock of the batched solve (seconds).
+    pub solve_time_s: f64,
+    /// Batched inner-iteration ticks.
+    pub ticks: usize,
+    /// Summed kernel wall-clock (the device's busy time, seconds).
+    pub busy_s: f64,
+    /// Kernel names, descending by elapsed time.
+    pub kernel_names: Vec<String>,
+    /// Launches per kernel, aligned with `kernel_names`.
+    pub kernel_launches: Vec<u64>,
+    /// Thread blocks per kernel, aligned with `kernel_names`.
+    pub kernel_blocks: Vec<u64>,
+    /// Wall-clock per kernel in seconds, aligned with `kernel_names`.
+    pub kernel_elapsed_s: Vec<f64>,
+    /// Whether this backend's results are bitwise identical to the
+    /// sequential-backend run of the same set (trivially `true` for the
+    /// sequential row itself).
+    pub bitwise_identical_to_sequential: bool,
+}
+
+/// Solve the same scenario set once per shipped launch backend and record
+/// per-kernel wall-clock for each — the experiment behind the
+/// `backend_sweep` binary. The sequential backend runs first and serves as
+/// the bitwise reference for the other rows; identical numerics are the
+/// conformance contract, so the only thing allowed to differ between rows
+/// is time.
+pub fn run_backend_sweep(
+    name: &str,
+    set: &ScenarioSet,
+    params: &AdmmParams,
+) -> Vec<BackendSweepRow> {
+    let nets = set.networks().expect("scenario cases must compile");
+    let mut rows: Vec<BackendSweepRow> = Vec::new();
+    let mut reference: Option<gridsim_admm::ScenarioBatchResult> = None;
+    for mode in [
+        ExecutionMode::Sequential,
+        ExecutionMode::Parallel,
+        ExecutionMode::Vectorized,
+    ] {
+        let device = Device::new(gridsim_batch::DeviceConfig::with_mode(mode));
+        let batcher = ScenarioBatch::with_device(params.clone(), device);
+        let before = batcher.device.stats().snapshot();
+        let batch = batcher.solve(&nets);
+        let delta = batcher.device.stats().snapshot().since(&before);
+
+        let bitwise = reference.as_ref().is_none_or(|seq| {
+            batch.results.iter().zip(&seq.results).all(|(a, b)| {
+                a.solution.pg == b.solution.pg
+                    && a.solution.qg == b.solution.qg
+                    && a.solution.vm == b.solution.vm
+                    && a.solution.va == b.solution.va
+                    && a.inner_iterations == b.inner_iterations
+            })
+        });
+
+        let mut kernels: Vec<_> = delta.kernels.iter().collect();
+        kernels.sort_by(|a, b| b.1.elapsed.cmp(&a.1.elapsed).then_with(|| a.0.cmp(b.0)));
+        rows.push(BackendSweepRow {
+            name: name.to_string(),
+            backend: mode.to_string(),
+            scenarios: nets.len(),
+            solve_time_s: batch.solve_time.as_secs_f64(),
+            ticks: batch.ticks,
+            busy_s: delta.kernel_elapsed().as_secs_f64(),
+            kernel_names: kernels.iter().map(|(n, _)| n.to_string()).collect(),
+            kernel_launches: kernels.iter().map(|(_, k)| k.launches).collect(),
+            kernel_blocks: kernels.iter().map(|(_, k)| k.blocks).collect(),
+            kernel_elapsed_s: kernels
+                .iter()
+                .map(|(_, k)| k.elapsed.as_secs_f64())
+                .collect(),
+            bitwise_identical_to_sequential: bitwise,
+        });
+        if reference.is_none() {
+            reference = Some(batch);
+        }
+    }
+    rows
+}
+
 /// One row of the fleet-throughput experiment: the same scenario set run
 /// through the execution engine by both solver families, plus the
 /// interior-point sequential baseline the fleet's symbolic-reuse economics
@@ -695,6 +788,45 @@ mod tests {
         let back: ColdStartRow = serde_json::from_str(&json).unwrap();
         assert_eq!(back.name, "x");
         assert_eq!(back.admm_iterations, 10);
+    }
+
+    #[test]
+    fn backend_sweep_rows_are_bitwise_and_bill_every_kernel() {
+        let set = ScenarioSet::load_ramp(cases::case9(), 3, 0.99, 1.01);
+        let rows = run_backend_sweep("case9", &set, &AdmmParams::test_profile());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].backend, "sequential");
+        assert_eq!(rows[1].backend, "parallel");
+        assert_eq!(rows[2].backend, "vectorized");
+        let seq = &rows[0];
+        for row in &rows {
+            assert!(
+                row.bitwise_identical_to_sequential,
+                "{} diverged from sequential",
+                row.backend
+            );
+            // Identical numerics mean identical work: same ticks, same
+            // kernels, same launch and block counts — only time may differ
+            // (and with it the elapsed-sorted row order, so compare by
+            // kernel name, not by position).
+            assert_eq!(row.ticks, seq.ticks, "{}", row.backend);
+            assert!(!row.kernel_names.is_empty());
+            assert_eq!(row.kernel_names.len(), seq.kernel_names.len());
+            for (i, kernel) in row.kernel_names.iter().enumerate() {
+                let j = seq
+                    .kernel_names
+                    .iter()
+                    .position(|n| n == kernel)
+                    .unwrap_or_else(|| panic!("{}: unknown kernel {kernel}", row.backend));
+                assert_eq!(row.kernel_launches[i], seq.kernel_launches[j], "{kernel}");
+                assert_eq!(row.kernel_blocks[i], seq.kernel_blocks[j], "{kernel}");
+                assert!(row.kernel_launches[i] > 0);
+            }
+        }
+        // Round-trips through the JSON export like the other rows.
+        let back: BackendSweepRow = serde_json::from_str(&to_json(seq)).unwrap();
+        assert_eq!(back.backend, "sequential");
+        assert_eq!(back.kernel_names, seq.kernel_names);
     }
 
     #[test]

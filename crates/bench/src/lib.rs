@@ -19,6 +19,7 @@
 //! | Ablation C| `transfer_audit` | host↔device transfer counts |
 //! | Scale     | `scenario_throughput` | batched K-scenario solve vs K sequential solves |
 //! | Fleets    | `fleet_throughput` | ADMM vs interior-point fleets on the execution engine; symbolic analyses per lane vs per scenario |
+//! | Backends  | `backend_sweep` | per-kernel wall-clock under each launch backend (sequential / parallel / vectorized) at bitwise-identical numerics |
 //!
 //! The paper's full case sizes (up to 70,000 buses) are expensive for the
 //! *baseline* on a CPU-only substrate, so every binary accepts
@@ -30,9 +31,10 @@ pub mod registry;
 pub mod table;
 
 pub use experiments::{
-    run_cold_start, run_device_sweep_row, run_fleet_throughput, run_kkt_comparison,
-    run_scenario_throughput, run_tracking_comparison, ColdStartRow, DeviceSweepRow,
-    FleetThroughputRow, KktStrategyRow, ScenarioThroughputRow, TrackingRow,
+    run_backend_sweep, run_cold_start, run_device_sweep_row, run_fleet_throughput,
+    run_kkt_comparison, run_scenario_throughput, run_tracking_comparison, BackendSweepRow,
+    ColdStartRow, DeviceSweepRow, FleetThroughputRow, KktStrategyRow, ScenarioThroughputRow,
+    TrackingRow,
 };
 pub use registry::{arg_value, BenchCase, Scale};
 pub use table::TextTable;

@@ -105,8 +105,10 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine on the environment-selected pool (`GRIDSIM_DEVICES`
-    /// logical parallel devices, default 1).
+    /// An engine on the environment-selected pool: `GRIDSIM_DEVICES`
+    /// logical devices (default 1), each on the launch backend
+    /// `GRIDSIM_BACKEND` selects (default: `ExecutionMode::Auto`
+    /// resolution).
     pub fn from_env() -> Engine {
         Engine::with_pool(DevicePool::from_env())
     }

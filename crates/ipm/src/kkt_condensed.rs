@@ -570,6 +570,44 @@ mod tests {
         assert_eq!(cache.numeric_refactorizations(), 1);
     }
 
+    /// The condensed path is bitwise identical across every launch
+    /// backend: the device-side product assembly and level-scheduled
+    /// refactorization must not depend on the iteration scheme.
+    #[test]
+    fn condensed_step_is_bitwise_identical_across_backends() {
+        let dims = small_dims();
+        let (hess, sigma, jac_eq, jac_ineq) = small_problem();
+        let rhs: Vec<f64> = (0..dims.dim()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut cache = KktCache::new();
+        let reference = cache
+            .solve_condensed(
+                &Device::sequential(),
+                &dims,
+                &hess,
+                &sigma,
+                &jac_eq,
+                &jac_ineq,
+                1e-6,
+                1e-8,
+                &rhs,
+                1e-13,
+                1e-9,
+            )
+            .unwrap();
+        for dev in [Device::parallel(), Device::vectorized()] {
+            let mut cache = KktCache::new();
+            let cond = cache
+                .solve_condensed(
+                    &dev, &dims, &hess, &sigma, &jac_eq, &jac_ineq, 1e-6, 1e-8, &rhs, 1e-13, 1e-9,
+                )
+                .unwrap();
+            for (a, b) in reference.step.iter().zip(&cond.step) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} diverged", dev.backend());
+            }
+            assert_eq!(cond.inertia, reference.inertia);
+        }
+    }
+
     #[test]
     fn repeated_solves_reuse_one_symbolic_analysis() {
         let dims = small_dims();

@@ -569,12 +569,16 @@ mod tests {
     }
 
     #[test]
-    fn device_refactor_matches_sequential_on_both_backends() {
+    fn device_refactor_matches_host_on_every_backend() {
         let a = kkt_example(2.0);
         let opts = kkt_opts();
         let sym = LdlSymbolic::analyze_rcm(&a).unwrap();
         let reference = sym.refactor_matrix(&a, &opts).unwrap();
-        for dev in [Device::parallel(), Device::sequential()] {
+        for dev in [
+            Device::parallel(),
+            Device::sequential(),
+            Device::vectorized(),
+        ] {
             let f = sym.refactor_matrix_on(&dev, &a, &opts).unwrap();
             assert_eq!(factor_bits(&reference), factor_bits(&f));
         }

@@ -159,12 +159,14 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_devices_agree() {
+    fn all_backends_agree_on_blocked_solves() {
         let solver = TronSolver::default();
         let (problems, starts) = make_batch(64);
-        let (xs_par, _) = solve_batch_from_host(&Device::parallel(), &solver, &problems, &starts);
         let (xs_seq, _) = solve_batch_from_host(&Device::sequential(), &solver, &problems, &starts);
-        assert_eq!(xs_par, xs_seq);
+        for dev in [Device::parallel(), Device::vectorized()] {
+            let (xs, _) = solve_batch_from_host(&dev, &solver, &problems, &starts);
+            assert_eq!(xs, xs_seq, "{} diverged", dev.backend());
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod prelude {
         AdmmParams, AdmmResult, AdmmSolver, ScenarioBatch, ScenarioBatchResult, ScenarioProblem,
         ScenarioResult, ScenarioScheduler, TrackingConfig,
     };
-    pub use gridsim_batch::DevicePool;
+    pub use gridsim_batch::{Device, DevicePool, ExecutionMode};
     pub use gridsim_engine::{Engine, LaneSolver};
     pub use gridsim_grid::{
         Case, LoadProfile, Network, Scenario, ScenarioSet, SyntheticSpec, TableICase,

@@ -25,8 +25,9 @@ fn condensed_options() -> IpmOptions {
     }
 }
 
-/// The fleet built from the environment honors the device count the CI
-/// matrix sets, and its report invariants hold under that pool.
+/// The fleet built from the environment honors the device count and the
+/// resolved launch backend the CI matrix sets, and its report invariants
+/// hold under that pool.
 #[test]
 fn env_engine_fleet_honors_gridsim_devices() {
     let expected = std::env::var("GRIDSIM_DEVICES")
@@ -38,6 +39,11 @@ fn env_engine_fleet_honors_gridsim_devices() {
         solver.engine.pool().len(),
         expected,
         "engine must honor GRIDSIM_DEVICES"
+    );
+    assert_eq!(
+        solver.engine.pool().backend(),
+        ExecutionMode::Auto.resolve(),
+        "engine must honor GRIDSIM_BACKEND"
     );
     let nets = ScenarioSet::load_ramp(gridsim_grid::cases::case9(), 4, 0.98, 1.02)
         .networks()

@@ -96,7 +96,7 @@ proptest! {
     /// Numeric-only refactorization over a frozen symbolic analysis is
     /// bitwise identical to a fresh factorization, on random quasi-definite
     /// KKT matrices [H Jᵀ; J −δI] — including matrices whose indefinite `H`
-    /// forces regularized pivots — on both backends of the batch device.
+    /// forces regularized pivots — on every backend of the batch device.
     #[test]
     fn ldl_refactorization_is_bitwise_identical_to_fresh(seed in 0u64..300) {
         use rand::rngs::SmallRng;
@@ -149,7 +149,8 @@ proptest! {
             let replay = sym.refactor_matrix(values, &opts).unwrap();
             let par = sym.refactor_matrix_on(&Device::parallel(), values, &opts).unwrap();
             let seq = sym.refactor_matrix_on(&Device::sequential(), values, &opts).unwrap();
-            for other in [&replay, &par, &seq] {
+            let vec = sym.refactor_matrix_on(&Device::vectorized(), values, &opts).unwrap();
+            for other in [&replay, &par, &seq, &vec] {
                 prop_assert_eq!(fresh.num_regularized, other.num_regularized);
                 for (x, y) in fresh.l_values().iter().zip(other.l_values()) {
                     prop_assert_eq!(x.to_bits(), y.to_bits());
@@ -258,8 +259,9 @@ proptest! {
     // case cheap; bitwise identity holds converged or not.
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// The scenario batcher is bitwise identical between `Backend::Parallel`
-    /// and `Backend::Sequential` for arbitrary perturbed-load scenario sets.
+    /// The scenario batcher is bitwise identical across every launch
+    /// backend (`Parallel`, `Sequential`, `Vectorized`) for arbitrary
+    /// perturbed-load scenario sets.
     #[test]
     fn scenario_batch_is_bitwise_identical_across_backends(
         seed in 0u64..1000,
@@ -270,22 +272,24 @@ proptest! {
         let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, sigma, seed);
         let nets = set.networks().unwrap();
         let params = AdmmParams { max_outer: 2, max_inner: 25, ..AdmmParams::default() };
-        let par = ScenarioBatch::with_device(params.clone(), Device::parallel()).solve(&nets);
-        let seq = ScenarioBatch::with_device(params, Device::sequential()).solve(&nets);
-        prop_assert_eq!(par.ticks, seq.ticks);
-        for (a, b) in par.results.iter().zip(&seq.results) {
-            prop_assert_eq!(a.inner_iterations, b.inner_iterations);
-            prop_assert_eq!(&a.solution.pg, &b.solution.pg);
-            prop_assert_eq!(&a.solution.qg, &b.solution.qg);
-            prop_assert_eq!(&a.solution.vm, &b.solution.vm);
-            prop_assert_eq!(&a.solution.va, &b.solution.va);
-            prop_assert_eq!(a.z_inf.to_bits(), b.z_inf.to_bits());
+        let seq = ScenarioBatch::with_device(params.clone(), Device::sequential()).solve(&nets);
+        for dev in [Device::parallel(), Device::vectorized()] {
+            let got = ScenarioBatch::with_device(params.clone(), dev).solve(&nets);
+            prop_assert_eq!(got.ticks, seq.ticks);
+            for (a, b) in got.results.iter().zip(&seq.results) {
+                prop_assert_eq!(a.inner_iterations, b.inner_iterations);
+                prop_assert_eq!(&a.solution.pg, &b.solution.pg);
+                prop_assert_eq!(&a.solution.qg, &b.solution.qg);
+                prop_assert_eq!(&a.solution.vm, &b.solution.vm);
+                prop_assert_eq!(&a.solution.va, &b.solution.va);
+                prop_assert_eq!(a.z_inf.to_bits(), b.z_inf.to_bits());
+            }
         }
     }
 
     /// Sharded + streamed execution through the `ScenarioScheduler` is
     /// bitwise identical to the single-device `ScenarioBatch` for arbitrary
-    /// device counts, lane caps, and admission orders, on both backends.
+    /// device counts, lane caps, and admission orders, on every backend.
     /// (Admission order is varied by rotating the input list: the scheduler
     /// admits in input order, so a rotation is a different admission order;
     /// results are compared scenario-by-scenario through the rotation.)
@@ -296,10 +300,9 @@ proptest! {
         devices in 1usize..4,
         lanes in 1usize..3,
         rotate in 0usize..4,
-        backend_sel in 0usize..2,
+        backend_sel in 0usize..3,
     ) {
         use gridsim_batch::DevicePool;
-        let sequential_backend = backend_sel == 1;
         let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, 0.03, seed);
         let nets = set.networks().unwrap();
         let params = AdmmParams { max_outer: 2, max_inner: 25, ..AdmmParams::default() };
@@ -307,10 +310,10 @@ proptest! {
 
         let mut rotated = nets.clone();
         rotated.rotate_left(rotate % k);
-        let pool = if sequential_backend {
-            DevicePool::sequential(devices)
-        } else {
-            DevicePool::parallel(devices)
+        let pool = match backend_sel {
+            0 => DevicePool::parallel(devices),
+            1 => DevicePool::sequential(devices),
+            _ => DevicePool::vectorized(devices),
         };
         let scheduler = ScenarioScheduler::with_pool(params, pool).with_lanes(lanes);
         let sched = scheduler.solve(&rotated);

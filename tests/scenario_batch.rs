@@ -32,19 +32,21 @@ fn batch_is_bitwise_identical_across_backends() {
         max_inner: 40,
         ..AdmmParams::test_profile()
     };
-    let par = ScenarioBatch::with_device(params.clone(), Device::parallel()).solve(&nets);
-    let seq = ScenarioBatch::with_device(params, Device::sequential()).solve(&nets);
-    assert_eq!(par.ticks, seq.ticks);
-    for (a, b) in par.results.iter().zip(&seq.results) {
-        assert_eq!(a.status, b.status);
-        assert_eq!(a.inner_iterations, b.inner_iterations);
-        assert_eq!(a.outer_iterations, b.outer_iterations);
-        assert_eq!(a.solution.pg, b.solution.pg);
-        assert_eq!(a.solution.qg, b.solution.qg);
-        assert_eq!(a.solution.vm, b.solution.vm);
-        assert_eq!(a.solution.va, b.solution.va);
-        assert_eq!(a.z_inf.to_bits(), b.z_inf.to_bits());
-        assert_eq!(a.primal_residual.to_bits(), b.primal_residual.to_bits());
+    let seq = ScenarioBatch::with_device(params.clone(), Device::sequential()).solve(&nets);
+    for dev in [Device::parallel(), Device::vectorized()] {
+        let got = ScenarioBatch::with_device(params.clone(), dev).solve(&nets);
+        assert_eq!(got.ticks, seq.ticks);
+        for (a, b) in got.results.iter().zip(&seq.results) {
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.inner_iterations, b.inner_iterations);
+            assert_eq!(a.outer_iterations, b.outer_iterations);
+            assert_eq!(a.solution.pg, b.solution.pg);
+            assert_eq!(a.solution.qg, b.solution.qg);
+            assert_eq!(a.solution.vm, b.solution.vm);
+            assert_eq!(a.solution.va, b.solution.va);
+            assert_eq!(a.z_inf.to_bits(), b.z_inf.to_bits());
+            assert_eq!(a.primal_residual.to_bits(), b.primal_residual.to_bits());
+        }
     }
 }
 
@@ -136,7 +138,9 @@ fn chained_warm_start_beats_cold_batch_on_a_load_ramp() {
 /// rho/beta tuning (rho_pq 10→18, beta_factor 6→7 for scaled stand-ins)
 /// improved it to ~0.87 at ~23 % fewer inner iterations. The bound was
 /// first ratcheted to 0.95 and, with the value re-measured at 0.8696 on the
-/// PR-4 bench runs, tightened to 0.90 (~3.5 % headroom). Future
+/// PR-4 bench runs, tightened to 0.90, then 0.88, and — the value now
+/// being asserted bitwise-identical across all three launch backends, so
+/// scheduler noise cannot move it — to 0.875 (~0.6 % headroom). Future
 /// penalty-tuning work must not regress above it — and when it improves the
 /// value, ratchet again.
 /// Full-tolerance default parameters make this expensive, so debug runs skip
@@ -149,15 +153,29 @@ fn pegase1354_scaled100_violation_does_not_regress() {
     }
     let net = TableICase::Pegase1354.scaled(100).compile().unwrap();
     let params = AdmmParams::for_case(TableICase::Pegase1354, 100);
-    let result = AdmmSolver::new(params).solve(&net);
+    let result = AdmmSolver::with_device(params.clone(), Device::sequential()).solve(&net);
     let violation = result.quality.max_violation();
     eprintln!("pegase1354_scaled100 max violation: {violation}");
     assert!(
-        violation < 0.88,
-        "max violation regressed to {violation} (recorded baseline 0.8696 under per-case \
-         defaults, re-measured unchanged through the PR 5 engine paths)"
+        violation < 0.875,
+        "max violation regressed to {violation} (recorded baseline 0.86956 under per-case \
+         defaults, re-measured unchanged through the PR 5 engine paths and the PR 6 \
+         backend-dispatch refactor)"
     );
     assert!(result.objective.is_finite());
+    // The bound holds *identically* under every backend: not merely below
+    // the same threshold, but the same violation bits — the quality pin and
+    // the backend-conformance contract are one statement here.
+    for dev in [Device::parallel(), Device::vectorized()] {
+        let label = dev.backend();
+        let r = AdmmSolver::with_device(params.clone(), dev).solve(&net);
+        assert_eq!(
+            r.quality.max_violation().to_bits(),
+            violation.to_bits(),
+            "{label} backend changed the violation: {} vs {violation}",
+            r.quality.max_violation()
+        );
+    }
 }
 
 /// The acceptance benchmark: a K=8 batch of a mid-size case vs 8 sequential

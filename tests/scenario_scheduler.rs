@@ -1,10 +1,11 @@
 //! Integration suite for the multi-device execution engine: sharding,
-//! streaming admission, per-device accounting, and the env-driven device
-//! count the CI matrix sweeps (`GRIDSIM_DEVICES=1|2|4`).
+//! streaming admission, per-device accounting, and the two env axes the CI
+//! matrix sweeps — device count (`GRIDSIM_DEVICES=1|2|4`) and launch
+//! backend (`GRIDSIM_BACKEND=sequential|parallel|vectorized`).
 //!
-//! Every test here runs under whatever device count the environment selects
-//! *plus* explicit pool sizes, so the sharded paths are exercised even when
-//! the env var is unset.
+//! Every test here runs under whatever device count and backend the
+//! environment selects *plus* explicit pool sizes and pinned backends, so
+//! the sharded paths are exercised even when the env vars are unset.
 
 use gridadmm::prelude::*;
 use gridsim_batch::Device;
@@ -64,6 +65,27 @@ fn env_pool_matches_single_device_batch_bitwise() {
     let nets = mixed_set(&cases::case9(), 5).networks().unwrap();
     let sched = scheduler.solve(&nets);
     let batch = ScenarioBatch::new(params).solve(&nets);
+    assert_bitwise(&sched, &batch);
+}
+
+/// The scheduler built from the environment resolves the backend the CI
+/// matrix sets through `GRIDSIM_BACKEND` (exactly as a bare `Auto` device
+/// would), and its results stay bitwise identical to a pinned sequential
+/// single-device batch — the backend axis changes speed, never bits.
+#[test]
+fn env_pool_backend_matches_resolution_bitwise() {
+    use gridsim_batch::ExecutionMode;
+    let params = short_params();
+    let scheduler = ScenarioScheduler::new(params.clone());
+    assert_eq!(
+        scheduler.pool.backend(),
+        ExecutionMode::Auto.resolve(),
+        "pool must honor GRIDSIM_BACKEND"
+    );
+    assert_ne!(scheduler.pool.backend(), ExecutionMode::Auto);
+    let nets = mixed_set(&cases::case9(), 4).networks().unwrap();
+    let sched = scheduler.solve(&nets);
+    let batch = ScenarioBatch::with_device(params, Device::sequential()).solve(&nets);
     assert_bitwise(&sched, &batch);
 }
 
@@ -220,19 +242,22 @@ fn warm_started_scheduling_matches_batch() {
     assert_bitwise(&sched, &batch);
 }
 
-/// The sequential backend takes the same scheduler paths (CI's device
-/// matrix runs this suite, so both backends stay covered under sharding).
+/// Every pinned backend takes the same scheduler paths and produces the
+/// same bits under sharding (CI's matrix also sweeps the env-resolved
+/// backend over this suite, so the combinations stay covered).
 #[test]
-fn sequential_backend_scheduler_agrees_with_parallel() {
+fn all_backends_agree_through_the_scheduler() {
     let params = short_params();
     let nets = mixed_set(&cases::case9(), 4).networks().unwrap();
-    let par = ScenarioScheduler::with_pool(params.clone(), DevicePool::parallel(2))
-        .with_lanes(1)
-        .solve(&nets);
     let seq = ScenarioScheduler::with_pool(params.clone(), DevicePool::sequential(2))
         .with_lanes(1)
         .solve(&nets);
-    assert_bitwise(&par, &seq);
+    for pool in [DevicePool::parallel(2), DevicePool::vectorized(2)] {
+        let got = ScenarioScheduler::with_pool(params.clone(), pool)
+            .with_lanes(1)
+            .solve(&nets);
+        assert_bitwise(&got, &seq);
+    }
     // And the single-device sequential batch agrees too.
     let batch = ScenarioBatch::with_device(params, Device::sequential()).solve(&nets);
     assert_bitwise(&seq, &batch);
