@@ -14,14 +14,6 @@ use crate::backend::{AnyBackend, ExecutionMode, LaunchBackend};
 use crate::stats::DeviceStats;
 use std::sync::Arc;
 
-/// Deprecation shim: `Backend` was promoted from a two-variant enum to the
-/// [`ExecutionMode`] selector when kernel dispatch moved to the
-/// [`LaunchBackend`] trait. The alias keeps
-/// `Backend::Parallel` / `Backend::Sequential` call sites compiling for one
-/// release; new code should name `ExecutionMode` directly.
-#[deprecated(note = "Backend is now the ExecutionMode selector; name ExecutionMode directly")]
-pub type Backend = ExecutionMode;
-
 /// Device configuration.
 #[derive(Debug, Clone)]
 pub struct DeviceConfig {
@@ -146,18 +138,6 @@ mod tests {
         assert_eq!(Device::parallel().backend(), ExecutionMode::Parallel);
         assert_eq!(Device::sequential().backend(), ExecutionMode::Sequential);
         assert_eq!(Device::vectorized().backend(), ExecutionMode::Vectorized);
-    }
-
-    /// The deprecation shim: `Backend::<Variant>` call sites still compile
-    /// and mean the same thing.
-    #[test]
-    #[allow(deprecated)]
-    fn backend_alias_still_works() {
-        let d = Device::new(DeviceConfig {
-            backend: Backend::Sequential,
-            ..Default::default()
-        });
-        assert_eq!(d.backend(), Backend::Sequential);
     }
 
     #[test]

@@ -48,8 +48,6 @@ pub use backend::{
     VectorizedBackend, BACKEND_ENV,
 };
 pub use buffer::DeviceBuffer;
-#[allow(deprecated)]
-pub use device::Backend;
 pub use device::{Device, DeviceConfig};
 pub use pool::{DevicePool, DEVICE_COUNT_ENV};
 pub use stats::{DeviceStats, KernelStats, StatsSnapshot};

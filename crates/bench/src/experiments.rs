@@ -205,13 +205,31 @@ pub struct KktStrategyRow {
     pub objective_rel_gap: f64,
     /// Whether both strategies reported optimality.
     pub both_optimal: bool,
+    /// Supernodes the condensed system's frozen `L` partitions into
+    /// (`condensed_dim` when no adjacent columns share a pattern).
+    pub condensed_supernodes: usize,
+    /// Width of the widest supernode of the condensed factor.
+    pub condensed_max_supernode_width: usize,
+    /// Wall-clock of the scalar numeric replays in the refactorization
+    /// micro-benchmark (seconds, summed over its repeats).
+    pub refactor_scalar_s: f64,
+    /// Wall-clock of the supernodal numeric replays over the same repeats.
+    pub refactor_supernodal_s: f64,
+    /// `refactor_scalar_s / refactor_supernodal_s` — the recorded supernodal
+    /// refactorization speedup on this case's production condensed matrix.
+    pub refactor_speedup: f64,
+    /// Whether the scalar and supernodal replays produced bit-identical
+    /// factors (the invariant the speedup is only valid under).
+    pub refactor_bitwise_identical: bool,
 }
 
 /// Solve `case` with the interior-point baseline under both KKT strategies
 /// and record the comparison (factorization counts, symbolic-analysis
 /// counts, wall-clock, agreement). The condensed solve runs on the parallel
 /// batch device — its numeric refactorization fans the per-row column
-/// updates out as thread blocks.
+/// updates out as thread blocks, each replaying its row supernodally — and
+/// the row records the scalar-vs-supernodal replay delta measured on the
+/// last condensed matrix the solve actually factorized.
 pub fn run_kkt_comparison(name: &str, case: &Case) -> KktStrategyRow {
     let net = case.compile().expect("case must compile");
     let nlp = AcopfNlp::new(&net);
@@ -225,11 +243,15 @@ pub fn run_kkt_comparison(name: &str, case: &Case) -> KktStrategyRow {
         ..base_opts.clone()
     })
     .solve(&nlp);
+    let mut cache = KktCache::new();
     let condensed = IpmSolver::new(IpmOptions {
         kkt_strategy: KktStrategy::Condensed,
         ..base_opts
     })
-    .solve(&nlp);
+    .solve_with_cache(&nlp, &mut cache);
+    let micro = cache
+        .refactor_microbench(20)
+        .expect("condensed solve factorized at least once");
 
     let nx = nlp.num_vars();
     let m_eq = nlp.num_eq();
@@ -249,6 +271,12 @@ pub fn run_kkt_comparison(name: &str, case: &Case) -> KktStrategyRow {
         condensed_symbolic_analyses: condensed.symbolic_analyses,
         objective_rel_gap: relative_gap(condensed.objective, full.objective),
         both_optimal: full.is_optimal() && condensed.is_optimal(),
+        condensed_supernodes: micro.supernodes,
+        condensed_max_supernode_width: micro.max_supernode_width,
+        refactor_scalar_s: micro.scalar_time_s,
+        refactor_supernodal_s: micro.supernodal_time_s,
+        refactor_speedup: micro.speedup(),
+        refactor_bitwise_identical: micro.bitwise_identical,
     }
 }
 
@@ -717,6 +745,13 @@ mod tests {
             row.condensed_symbolic_analyses
         );
         assert!(row.condensed_factorizations > row.condensed_symbolic_analyses);
+        // The supernodal micro-benchmark ran on the production matrix and its
+        // replay agreed with the scalar one bit for bit.
+        assert!(row.refactor_bitwise_identical);
+        assert!(row.condensed_supernodes >= 1);
+        assert!(row.condensed_supernodes <= row.condensed_dim);
+        assert!(row.condensed_max_supernode_width >= 1);
+        assert!(row.refactor_scalar_s > 0.0 && row.refactor_supernodal_s > 0.0);
     }
 
     #[test]

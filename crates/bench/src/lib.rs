@@ -24,7 +24,7 @@
 //! The paper's full case sizes (up to 70,000 buses) are expensive for the
 //! *baseline* on a CPU-only substrate, so every binary accepts
 //! `--scale small|medium|paper` (default `small`) selecting proportionally
-//! scaled synthetic cases with the same structure; see EXPERIMENTS.md.
+//! scaled synthetic cases with the same structure.
 
 pub mod experiments;
 pub mod registry;

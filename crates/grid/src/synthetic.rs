@@ -284,7 +284,7 @@ impl SyntheticSpec {
             edge_set.insert((best.min(i), best.max(i)));
             degree[best] += 1;
             degree[i] += 1;
-            branches.push(self.random_branch(&mut rng, best + 1, i + 1, total_load));
+            branches.push(self.random_branch(&mut rng, best + 1, i + 1, total_load, true));
         }
         let mut attempts = 0usize;
         while branches.len() < self.nbranch && attempts < 50 * self.nbranch {
@@ -304,7 +304,7 @@ impl SyntheticSpec {
             edge_set.insert(key);
             degree[a] += 1;
             degree[b] += 1;
-            branches.push(self.random_branch(&mut rng, a + 1, b + 1, total_load));
+            branches.push(self.random_branch(&mut rng, a + 1, b + 1, total_load, false));
         }
         // If the locality sampler could not place enough unique edges (tiny
         // dense cases), add parallel circuits which MATPOWER permits.
@@ -314,7 +314,7 @@ impl SyntheticSpec {
             if a == b {
                 continue;
             }
-            branches.push(self.random_branch(&mut rng, a + 1, b + 1, total_load));
+            branches.push(self.random_branch(&mut rng, a + 1, b + 1, total_load, false));
         }
 
         Case {
@@ -326,19 +326,33 @@ impl SyntheticSpec {
         }
     }
 
-    fn random_branch(&self, rng: &mut SmallRng, from: usize, to: usize, total_load: f64) -> Branch {
-        let x = rng.gen_range(0.01..0.25);
-        let r = x * rng.gen_range(0.08..0.35);
-        let b = rng.gen_range(0.0..0.06);
+    fn random_branch(
+        &self,
+        rng: &mut SmallRng,
+        from: usize,
+        to: usize,
+        total_load: f64,
+        is_tree: bool,
+    ) -> Branch {
         // Expected loading if flow spread uniformly; most ratings are generous
-        // multiples of it, a few are tight.
+        // multiples of it, a few are tight. Spanning-tree branches never get
+        // tight ratings: a tree edge can be a bridge whose flow is forced by
+        // the downstream load, so a rating near the *average* flow would make
+        // the case structurally infeasible rather than merely binding.
         let expected = (total_load / self.nbranch as f64).max(10.0);
-        let rate = if rng.gen::<f64>() < self.tight_rating_fraction {
+        let rate = if !is_tree && rng.gen::<f64>() < self.tight_rating_fraction {
             expected * rng.gen_range(1.5..3.0)
         } else {
             expected * rng.gen_range(6.0..20.0)
         };
-        Branch::line(from, to, r, x, b, rate.max(20.0))
+        let rate = rate.max(20.0);
+        // Per-unit impedance scales inversely with thermal capacity (a line
+        // built to carry more power is electrically stiffer), so the voltage
+        // drop at rated flow stays bounded regardless of loading.
+        let x = rng.gen_range(2.0..5.0) / rate;
+        let r = x * rng.gen_range(0.08..0.35);
+        let b = rng.gen_range(0.0..0.06);
+        Branch::line(from, to, r, x, b, rate)
     }
 }
 

@@ -92,6 +92,32 @@ impl FleetReport {
         self.results.iter().map(|r| r.report.iterations).sum()
     }
 
+    /// Total filter line-search rejections across the fleet — trial steps
+    /// the globalization refused (and re-tried shorter or via second-order
+    /// correction). A benign-case fleet reports 0; nonzero totals flag which
+    /// scenario sets actually exercise the filter.
+    pub fn filter_rejections(&self) -> usize {
+        self.results
+            .iter()
+            .map(|r| r.report.filter_rejections)
+            .sum()
+    }
+
+    /// Total accepted second-order correction steps across the fleet.
+    pub fn soc_steps(&self) -> usize {
+        self.results.iter().map(|r| r.report.soc_steps).sum()
+    }
+
+    /// Total watchdog (non-monotone) acceptances across the fleet.
+    pub fn watchdog_steps(&self) -> usize {
+        self.results.iter().map(|r| r.report.watchdog_steps).sum()
+    }
+
+    /// Total feasibility-restoration phases entered across the fleet.
+    pub fn restorations(&self) -> usize {
+        self.results.iter().map(|r| r.report.restorations).sum()
+    }
+
     /// True when every scenario reached optimality.
     pub fn all_optimal(&self) -> bool {
         self.results.iter().all(|r| r.report.is_optimal())
@@ -292,6 +318,17 @@ mod tests {
         assert!(objs.windows(2).all(|w| w[0] < w[1]), "objectives {objs:?}");
         // Streaming admission: 2 rounds through 2 lanes.
         assert_eq!(fleet.ticks, 2);
+        // A benign load ramp never trips the globalization safeguards; the
+        // aggregated counters exist to flag scenario sets that do.
+        assert_eq!(fleet.restorations(), 0);
+        assert_eq!(
+            fleet.filter_rejections(),
+            fleet
+                .results
+                .iter()
+                .map(|r| r.report.filter_rejections)
+                .sum::<usize>()
+        );
     }
 
     #[test]

@@ -170,6 +170,40 @@ pub struct KktCache {
     structure: Option<CondensedStructure>,
     symbolic_analyses: usize,
     numeric_refactorizations: usize,
+    /// The value slice and options of the most recent numeric
+    /// refactorization, retained so [`Self::refactor_microbench`] can time
+    /// the scalar-vs-supernodal replay on a genuine production matrix (the
+    /// assembled values are owned here anyway once the factorization is
+    /// done, so retention costs no copy).
+    last_numeric: Option<(Vec<f64>, LdlOptions)>,
+}
+
+/// Scalar-vs-supernodal replay timing on the last condensed system a
+/// [`KktCache`] factorized — the measured delta the `kkt_condensed` bench
+/// records for the supernodal refactorization.
+#[derive(Debug, Clone)]
+pub struct RefactorMicrobench {
+    /// Dimension of the condensed system.
+    pub dim: usize,
+    /// Supernodes the frozen `L` partitions into (equals `dim` when no
+    /// columns group).
+    pub supernodes: usize,
+    /// Width of the widest supernode.
+    pub max_supernode_width: usize,
+    /// Total wall-clock of the timed scalar replays.
+    pub scalar_time_s: f64,
+    /// Total wall-clock of the timed supernodal replays (same repeat count).
+    pub supernodal_time_s: f64,
+    /// Whether the two replays produced bit-identical factors (they must).
+    pub bitwise_identical: bool,
+}
+
+impl RefactorMicrobench {
+    /// Scalar time over supernodal time (> 1 means the supernodal replay is
+    /// faster).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_time_s / self.supernodal_time_s
+    }
 }
 
 impl KktCache {
@@ -331,6 +365,7 @@ impl KktCache {
         };
         let factor = s.ldl.refactor_on(device, &vals, &opts)?;
         self.numeric_refactorizations += 1;
+        self.last_numeric = Some((vals, opts));
         let inertia = factor.inertia();
         let num_regularized = factor.num_regularized;
         Ok(CondensedFactor {
@@ -422,6 +457,45 @@ impl KktCache {
             }
         }
         Some(vals)
+    }
+
+    /// Time the scalar vs supernodal numeric replay on the most recently
+    /// factorized condensed system, `repeats` refactorizations each, and
+    /// verify the two produce bit-identical factors. Returns `None` before
+    /// the first factorization. Host-side timing by design: it isolates the
+    /// replay kernels from the launch fan-out so the recorded delta is the
+    /// supernodal grouping itself.
+    pub fn refactor_microbench(&self, repeats: usize) -> Option<RefactorMicrobench> {
+        let s = self.structure.as_ref()?;
+        let (vals, opts) = self.last_numeric.as_ref()?;
+        let scalar = s.ldl.refactor(vals, opts).ok()?;
+        let supernodal = s.ldl.refactor_supernodal(vals, opts).ok()?;
+        let bits = |f: &LdlFactor| {
+            f.l_values()
+                .iter()
+                .chain(f.d_values())
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let bitwise_identical = bits(&scalar) == bits(&supernodal);
+        let start = std::time::Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(s.ldl.refactor(vals, opts).ok()?);
+        }
+        let scalar_time_s = start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(s.ldl.refactor_supernodal(vals, opts).ok()?);
+        }
+        let supernodal_time_s = start.elapsed().as_secs_f64();
+        Some(RefactorMicrobench {
+            dim: s.ncond,
+            supernodes: s.ldl.num_supernodes(),
+            max_supernode_width: s.ldl.max_supernode_width(),
+            scalar_time_s,
+            supernodal_time_s,
+            bitwise_identical,
+        })
     }
 }
 

@@ -44,7 +44,7 @@ pub mod solver;
 
 pub use acopf_nlp::AcopfNlp;
 pub use fleet::{FleetReport, FleetScenarioResult, IpmFleetSolver};
-pub use kkt_condensed::{KktCache, KktStrategy};
+pub use kkt_condensed::{KktCache, KktStrategy, RefactorMicrobench};
 pub use nlp::Nlp;
 pub use report::{IpmStatus, IterationRecord, SolveReport};
 pub use solver::{IpmOptions, IpmSolver};

@@ -12,6 +12,10 @@ pub enum IpmStatus {
     /// The linear algebra failed irrecoverably (singular KKT even after the
     /// maximum regularization).
     NumericalError,
+    /// The feasibility-restoration phase could not produce a filter-acceptable
+    /// point: the iterate is stuck at a (possibly locally infeasible)
+    /// stationary point of the constraint violation.
+    RestorationFailure,
 }
 
 /// One row of the iteration log (what Ipopt prints per iteration).
@@ -63,6 +67,18 @@ pub struct SolveReport {
     /// frozen pattern once per NLP (plus rare structural-growth rebuilds)
     /// and runs numeric-only refactorizations afterwards.
     pub symbolic_analyses: usize,
+    /// Trial steps rejected by the (φ, θ) filter line search (each rejection
+    /// halves the step length or triggers a second-order correction).
+    pub filter_rejections: usize,
+    /// Second-order correction steps computed (extra triangular solves on an
+    /// already-available factorization after a rejected full step).
+    pub soc_steps: usize,
+    /// Steps accepted on trust by the watchdog (non-monotone full steps taken
+    /// while a relaxed-acceptance run is active).
+    pub watchdog_steps: usize,
+    /// Feasibility-restoration phases entered (last-resort minimization of
+    /// the constraint violation when no acceptable step length remains).
+    pub restorations: usize,
     /// Per-iteration log.
     pub log: Vec<IterationRecord>,
 }
@@ -92,6 +108,10 @@ mod tests {
             solve_time: Duration::ZERO,
             factorizations: 3,
             symbolic_analyses: 3,
+            filter_rejections: 0,
+            soc_steps: 0,
+            watchdog_steps: 0,
+            restorations: 0,
             log: vec![],
         };
         assert!(report.is_optimal());

@@ -4,18 +4,45 @@
 //! with logarithmic barriers, and each Newton step solves the augmented KKT
 //! system assembled by [`crate::kkt`] with the sparse LDLᵀ of
 //! [`gridsim_sparse`]. Inertia is corrected by increasing primal
-//! regularization, steps respect the fraction-to-boundary rule, and a simple
-//! ℓ1-merit backtracking line search guards against divergence. The barrier
-//! parameter decreases monotonically once the barrier subproblem is solved to
-//! a multiple of μ (Fiacco–McCormick), as in Ipopt's monotone mode.
+//! regularization (and, on singular pivots, barrier-scaled dual
+//! regularization), and steps respect the fraction-to-boundary rule.
+//!
+//! Globalization follows Wächter & Biegler's filter line search (the IPOPT
+//! scheme): a trial step must either make an f-type Armijo decrease of the
+//! barrier objective φ, or land outside the (θ, φ) filter of dominated
+//! infeasibility/objective pairs. A rejected full step first gets
+//! second-order correction steps (extra triangular solves on the same
+//! factorization against the corrected constraint residual); if the line
+//! search still finds no acceptable step length, a watchdog takes a bounded
+//! run of full steps on trust, and when that trust runs out the iterate is
+//! restored and a feasibility-restoration phase (projected gradient on the
+//! squared constraint violation) re-centers the solve. The barrier parameter
+//! decreases monotonically once the barrier subproblem is solved to a
+//! multiple of μ (Fiacco–McCormick), as in Ipopt's monotone mode, and the
+//! filter resets on every μ decrease.
 
 use crate::kkt::{assemble_kkt, KktDims};
 use crate::kkt_condensed::{KktCache, KktStrategy};
 use crate::nlp::Nlp;
 use crate::report::{IpmStatus, IterationRecord, SolveReport};
 use gridsim_batch::Device;
-use gridsim_sparse::{LdlFactor, LdlOptions, Ordering};
+use gridsim_sparse::{Coo, LdlFactor, LdlOptions, Ordering};
 use std::time::Instant;
+
+// Wächter–Biegler filter line-search constants (their Table 1 defaults).
+const GAMMA_THETA: f64 = 1e-5;
+const GAMMA_PHI: f64 = 1e-5;
+const GAMMA_ALPHA: f64 = 0.05;
+const S_THETA: f64 = 1.1;
+const S_PHI: f64 = 2.3;
+const DELTA_SWITCH: f64 = 1.0;
+const ETA_PHI: f64 = 1e-4;
+const KAPPA_SOC: f64 = 0.99;
+/// Gradient-based objective scaling cap: `s_f = min(1, 100 / ‖∇f(x0)‖∞)`.
+const GRAD_SCALE_MAX: f64 = 100.0;
+const KAPPA_SIGMA: f64 = 1e10;
+/// Hard cap on step halvings per line search (α_min can be 0 when θ = 0).
+const MAX_HALVINGS: usize = 60;
 
 /// Options for the interior-point solver.
 #[derive(Debug, Clone)]
@@ -32,8 +59,14 @@ pub struct IpmOptions {
     pub bound_push: f64,
     /// Maximum number of inertia-correction refactorizations per step.
     pub max_refactorizations: usize,
-    /// Maximum backtracking steps in the merit line search.
-    pub max_backtracks: usize,
+    /// Maximum second-order correction steps after a rejected full step.
+    pub max_soc: usize,
+    /// Non-monotone full steps the watchdog may take on trust after the
+    /// filter line search fails, before restoring the saved iterate and
+    /// entering feasibility restoration. `0` disables the watchdog.
+    pub watchdog_budget: usize,
+    /// Iteration budget of the feasibility-restoration phase.
+    pub max_restoration_iters: usize,
     /// Dual regularization added to the constraint block of the KKT system.
     pub delta_c: f64,
     /// Optional primal warm start overriding [`Nlp::initial_point`].
@@ -56,13 +89,326 @@ impl Default for IpmOptions {
             tau_min: 0.99,
             bound_push: 1e-2,
             max_refactorizations: 40,
-            max_backtracks: 12,
+            max_soc: 4,
+            watchdog_budget: 3,
+            max_restoration_iters: 100,
             delta_c: 1e-8,
             initial_point: None,
             initial_multipliers: None,
             kkt_strategy: KktStrategy::default(),
         }
     }
+}
+
+/// The (θ, φ) filter of the line search: the envelope of
+/// infeasibility/barrier-objective pairs no trial point may dominate.
+/// Entries are stored with the Wächter–Biegler margins already applied, so
+/// acceptability is a plain componentwise comparison.
+#[derive(Debug, Clone)]
+struct Filter {
+    /// `(θ̄, φ̄)` pairs; a trial is rejected when `θ ≥ θ̄ && φ ≥ φ̄` for any
+    /// entry.
+    entries: Vec<(f64, f64)>,
+    /// Absolute infeasibility cap, kept as the permanent `(θ_max, −∞)` entry.
+    theta_max: f64,
+}
+
+impl Filter {
+    fn new(theta_max: f64) -> Filter {
+        Filter {
+            entries: vec![(theta_max, f64::NEG_INFINITY)],
+            theta_max,
+        }
+    }
+
+    /// True when `(θ, φ)` is acceptable to every filter entry.
+    fn acceptable(&self, theta: f64, phi: f64) -> bool {
+        self.entries.iter().all(|&(t, p)| theta < t || phi < p)
+    }
+
+    /// Augment with the current iterate (margins applied here), pruning
+    /// entries the new one dominates.
+    fn add(&mut self, theta: f64, phi: f64) {
+        let t = (1.0 - GAMMA_THETA) * theta;
+        let p = phi - GAMMA_PHI * theta;
+        self.entries.retain(|&(te, pe)| te < t || pe < p);
+        self.entries.push((t, p));
+    }
+
+    /// Drop all history (on barrier-parameter decreases: φ changes meaning).
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.entries.push((self.theta_max, f64::NEG_INFINITY));
+    }
+}
+
+/// A trial point's line-search measures.
+struct TrialPoint {
+    /// ℓ1 constraint violation `‖c_E‖₁ + ‖c_I + s‖₁`.
+    theta: f64,
+    /// Barrier objective `s_f·f − μ Σ ln(slack)`.
+    phi: f64,
+    /// Stacked constraint values `[c_E; c_I + s]` (reused by the SOC
+    /// residual recursion).
+    c: Vec<f64>,
+}
+
+/// Evaluate a trial point for the filter line search. Returns `None` when
+/// the trial violates a bound (non-positive slack) or produces a non-finite
+/// measure — such trials are rejected outright rather than clamped into the
+/// barrier (the pre-filter solver clamped slacks at `1e-300`, which let
+/// boundary-violating steps masquerade as enormous merit improvements).
+#[allow(clippy::too_many_arguments)]
+fn eval_trial<N: Nlp>(
+    nlp: &N,
+    v_t: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    nx: usize,
+    m_eq: usize,
+    m_ineq: usize,
+    mu: f64,
+    s_f: f64,
+) -> Option<TrialPoint> {
+    let nv = v_t.len();
+    let mut barrier = 0.0;
+    for i in 0..nv {
+        if lower[i].is_finite() {
+            let d = v_t[i] - lower[i];
+            if d <= 0.0 {
+                return None;
+            }
+            barrier -= mu * d.ln();
+        }
+        if upper[i].is_finite() {
+            let d = upper[i] - v_t[i];
+            if d <= 0.0 {
+                return None;
+            }
+            barrier -= mu * d.ln();
+        }
+    }
+    let x_t = &v_t[..nx];
+    let phi = s_f * nlp.objective(x_t) + barrier;
+    if !phi.is_finite() {
+        return None;
+    }
+    let mut ce_t = vec![0.0; m_eq];
+    let mut ci_t = vec![0.0; m_ineq];
+    nlp.eq_constraints(x_t, &mut ce_t);
+    nlp.ineq_constraints(x_t, &mut ci_t);
+    let mut c = Vec::with_capacity(m_eq + m_ineq);
+    let mut theta = 0.0;
+    for &cj in &ce_t {
+        c.push(cj);
+        theta += cj.abs();
+    }
+    for k in 0..m_ineq {
+        let r = ci_t[k] + v_t[nx + k];
+        c.push(r);
+        theta += r.abs();
+    }
+    if !theta.is_finite() {
+        return None;
+    }
+    Some(TrialPoint { theta, phi, c })
+}
+
+/// Largest primal step keeping `v + α dv` a fraction τ inside its bounds.
+fn max_primal_step(v: &[f64], dv: &[f64], lower: &[f64], upper: &[f64], tau: f64) -> f64 {
+    let mut alpha: f64 = 1.0;
+    for i in 0..v.len() {
+        if dv[i] < 0.0 && lower[i].is_finite() {
+            alpha = alpha.min(tau * (v[i] - lower[i]) / (-dv[i]));
+        }
+        if dv[i] > 0.0 && upper[i].is_finite() {
+            alpha = alpha.min(tau * (upper[i] - v[i]) / dv[i]);
+        }
+    }
+    alpha
+}
+
+/// Largest dual step keeping the bound multipliers a fraction τ positive.
+fn max_dual_step(zl: &[f64], zu: &[f64], dzl: &[f64], dzu: &[f64], tau: f64) -> f64 {
+    let mut alpha: f64 = 1.0;
+    for i in 0..zl.len() {
+        if dzl[i] < 0.0 && zl[i] > 0.0 {
+            alpha = alpha.min(tau * zl[i] / (-dzl[i]));
+        }
+        if dzu[i] < 0.0 && zu[i] > 0.0 {
+            alpha = alpha.min(tau * zu[i] / (-dzu[i]));
+        }
+    }
+    alpha
+}
+
+/// Bound-multiplier Newton steps recovered from a primal direction.
+fn bound_dual_steps(
+    v: &[f64],
+    dv: &[f64],
+    zl: &[f64],
+    zu: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    mu: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let nv = v.len();
+    let mut dzl = vec![0.0; nv];
+    let mut dzu = vec![0.0; nv];
+    for i in 0..nv {
+        if lower[i].is_finite() {
+            let d = v[i] - lower[i];
+            dzl[i] = -((d * zl[i] - mu) / d) - zl[i] / d * dv[i];
+        }
+        if upper[i].is_finite() {
+            let d = upper[i] - v[i];
+            dzu[i] = -((d * zu[i] - mu) / d) + zu[i] / d * dv[i];
+        }
+    }
+    (dzl, dzu)
+}
+
+/// Last-resort feasibility restoration: projected-gradient descent on
+/// `½‖c_E‖² + ½‖c_I + s‖²` over the box, run until the ℓ1 violation drops
+/// below `target` (or the budget/stationarity ends it). Returns whether the
+/// target was reached; `v` holds the final (strictly interior) point either
+/// way.
+#[allow(clippy::too_many_arguments)]
+fn restore_feasibility<N: Nlp>(
+    nlp: &N,
+    v: &mut [f64],
+    lower: &[f64],
+    upper: &[f64],
+    nx: usize,
+    m_eq: usize,
+    m_ineq: usize,
+    max_iters: usize,
+    target: f64,
+) -> bool {
+    let nv = v.len();
+    let clamp_interior = |vi: f64, l: f64, u: f64| -> f64 {
+        let lo = if l.is_finite() {
+            l + 1e-9 * (1.0 + l.abs())
+        } else {
+            f64::NEG_INFINITY
+        };
+        let hi = if u.is_finite() {
+            u - 1e-9 * (1.0 + u.abs())
+        } else {
+            f64::INFINITY
+        };
+        if lo > hi {
+            0.5 * (l + u)
+        } else {
+            vi.clamp(lo, hi)
+        }
+    };
+    let mut ce = vec![0.0; m_eq];
+    let mut ci = vec![0.0; m_ineq];
+    let residual = |x: &[f64], s: &[f64], ce: &mut [f64], ci: &mut [f64]| -> (f64, f64) {
+        nlp.eq_constraints(x, ce);
+        nlp.ineq_constraints(x, ci);
+        let mut sq = 0.0;
+        let mut l1 = 0.0;
+        for c in ce.iter() {
+            sq += 0.5 * c * c;
+            l1 += c.abs();
+        }
+        for (k, c) in ci.iter().enumerate() {
+            let w = c + s[k];
+            sq += 0.5 * w * w;
+            l1 += w.abs();
+        }
+        (sq, l1)
+    };
+    let (mut r, mut theta) = residual(&v[..nx], &v[nx..], &mut ce, &mut ci);
+    for _ in 0..max_iters {
+        if theta <= target {
+            return true;
+        }
+        // Gradient of the squared violation over v = [x; s].
+        let mut grad = vec![0.0; nv];
+        let jac_eq = nlp.eq_jacobian(&v[..nx]);
+        let jac_ineq = nlp.ineq_jacobian(&v[..nx]);
+        for k in 0..jac_eq.nnz() {
+            grad[jac_eq.cols[k]] += jac_eq.vals[k] * ce[jac_eq.rows[k]];
+        }
+        for k in 0..jac_ineq.nnz() {
+            let row = jac_ineq.rows[k];
+            grad[jac_ineq.cols[k]] += jac_ineq.vals[k] * (ci[row] + v[nx + row]);
+        }
+        for k in 0..m_ineq {
+            grad[nx + k] = ci[k] + v[nx + k];
+        }
+        let gnorm = grad.iter().map(|g| g.abs()).fold(0.0, f64::max);
+        if gnorm < 1e-14 || !gnorm.is_finite() {
+            // Stationary point of the violation (or numerical junk): the
+            // restoration cannot make further progress.
+            return theta <= target;
+        }
+        let mut t = 1.0 / gnorm.max(1.0);
+        let mut moved = false;
+        for _ in 0..40 {
+            let v_t: Vec<f64> = (0..nv)
+                .map(|i| clamp_interior(v[i] - t * grad[i], lower[i], upper[i]))
+                .collect();
+            let (r_t, theta_t) = residual(&v_t[..nx], &v_t[nx..], &mut ce, &mut ci);
+            if r_t < r {
+                v.copy_from_slice(&v_t);
+                r = r_t;
+                theta = theta_t;
+                moved = true;
+                break;
+            }
+            t *= 0.5;
+        }
+        if !moved {
+            // Re-evaluate the violation at the unmoved point (the trial
+            // loop overwrote the scratch buffers).
+            let (_, theta_now) = residual(&v[..nx], &v[nx..], &mut ce, &mut ci);
+            return theta_now <= target;
+        }
+    }
+    theta <= target
+}
+
+/// A saved iterate the watchdog can fall back to.
+struct SavedIterate {
+    v: Vec<f64>,
+    lambda: Vec<f64>,
+    zl: Vec<f64>,
+    zu: Vec<f64>,
+    /// Forced steps left before the trust expires.
+    left: usize,
+}
+
+/// A successful factorization before its (deferred) triangular solve: the
+/// full strategy carries the factor so inertia-rejected attempts never pay
+/// the solve, and the filter line search re-solves it for second-order
+/// corrections.
+enum Factorized {
+    Full(LdlFactor),
+    Condensed(crate::kkt_condensed::CondensedFactor),
+}
+
+impl Factorized {
+    fn solve(&self, jac_ineq: &Coo, rhs: &[f64]) -> Vec<f64> {
+        match self {
+            Factorized::Full(fac) => fac.solve(rhs),
+            Factorized::Condensed(cond) => cond.solve(jac_ineq, rhs),
+        }
+    }
+}
+
+/// The step the line search (or the watchdog) decided to take.
+struct AcceptedStep {
+    v_new: Vec<f64>,
+    /// Direction actually taken — the Newton step or an SOC correction.
+    dv: Vec<f64>,
+    dlambda: Vec<f64>,
+    alpha: f64,
+    /// h-type steps augment the filter with the departed iterate.
+    augment: bool,
 }
 
 /// The interior-point solver.
@@ -143,10 +489,24 @@ impl IpmSolver {
         }
         push_into_interior(&mut v, &lower, &upper, opts.bound_push);
 
+        // --- gradient-based objective scaling (Ipopt §3.8) ---
+        // Internally the solver minimizes s_f·f; multipliers scale with s_f
+        // and are unscaled again in the report.
+        let mut grad_f = vec![0.0; nx];
+        nlp.objective_grad(&v[..nx], &mut grad_f);
+        let g0 = inf_norm(&grad_f);
+        let s_f = if g0 > GRAD_SCALE_MAX {
+            GRAD_SCALE_MAX / g0
+        } else {
+            1.0
+        };
+
         let mut lambda = vec![0.0; mc];
         if let Some(l0) = &opts.initial_multipliers {
             if l0.len() == mc {
-                lambda.copy_from_slice(l0);
+                for (l, &l0) in lambda.iter_mut().zip(l0) {
+                    *l = s_f * l0;
+                }
             }
         }
         let mut mu = opts.mu_init;
@@ -161,6 +521,16 @@ impl IpmSolver {
             }
         }
 
+        // --- filter bounds from the initial violation ---
+        let mut ce = vec![0.0; m_eq];
+        nlp.eq_constraints(&v[..nx], &mut ce);
+        nlp.ineq_constraints(&v[..nx], &mut ci);
+        let theta0 = ce.iter().map(|c| c.abs()).sum::<f64>()
+            + (0..m_ineq).map(|k| (ci[k] + v[nx + k]).abs()).sum::<f64>();
+        let theta_min = 1e-4 * theta0.max(1.0);
+        let theta_max = 1e4 * theta0.max(1.0);
+        let mut filter = Filter::new(theta_max);
+
         // Probe the model pattern once with unit multipliers so the
         // condensed structure covers every coordinate the callbacks can emit
         // (they prune value-zero triplets, and cold starts carry λ = 0);
@@ -169,15 +539,13 @@ impl IpmSolver {
             let x0 = &v[..nx];
             let ones_eq = vec![1.0; m_eq];
             let ones_ineq = vec![1.0; m_ineq];
-            let probe_hess = nlp.lagrangian_hessian(x0, 1.0, &ones_eq, &ones_ineq);
+            let probe_hess = nlp.lagrangian_hessian(x0, s_f, &ones_eq, &ones_ineq);
             let probe_jac_eq = nlp.eq_jacobian(x0);
             let probe_jac_ineq = nlp.ineq_jacobian(x0);
             cache.ensure_structure(&dims, &probe_hess, &probe_jac_eq, &probe_jac_ineq);
         }
 
         // Workspace.
-        let mut grad_f = vec![0.0; nx];
-        let mut ce = vec![0.0; m_eq];
         let mut log = Vec::new();
         let mut factorizations = 0usize;
         let mut symbolic_full = 0usize;
@@ -187,6 +555,11 @@ impl IpmSolver {
         let mut iterations = 0usize;
         let mut kkt_error = f64::INFINITY;
         let mut primal_inf = f64::INFINITY;
+        let mut watchdog: Option<SavedIterate> = None;
+        let mut filter_rejections = 0usize;
+        let mut soc_steps = 0usize;
+        let mut watchdog_steps = 0usize;
+        let mut restorations = 0usize;
 
         'outer: for iter in 0..opts.max_iter {
             iterations = iter;
@@ -195,6 +568,9 @@ impl IpmSolver {
             // --- evaluations ---
             let f = nlp.objective(x);
             nlp.objective_grad(x, &mut grad_f);
+            for g in grad_f.iter_mut() {
+                *g *= s_f;
+            }
             nlp.eq_constraints(x, &mut ce);
             nlp.ineq_constraints(x, &mut ci);
             let jac_eq = nlp.eq_jacobian(x);
@@ -259,14 +635,32 @@ impl IpmSolver {
 
             // --- barrier update (monotone) ---
             let kappa_eps = 10.0;
+            let mu_before = mu;
             while dual_inf.max(primal_inf).max(comp_error_mu(mu)) <= kappa_eps * mu
                 && mu > opts.tol / 10.0
             {
                 mu = (opts.tol / 10.0).max((0.2 * mu).min(mu.powf(1.5)));
             }
+            if mu < mu_before {
+                // φ changes meaning with μ: stale pairs must not block the
+                // new barrier subproblem.
+                filter.reset();
+            }
+
+            // --- line-search measures at the current iterate ---
+            let theta_k: f64 = r_c.iter().map(|c| c.abs()).sum();
+            let mut phi_k = s_f * f;
+            for i in 0..nv {
+                if lower[i].is_finite() {
+                    phi_k -= mu * (v[i] - lower[i]).ln();
+                }
+                if upper[i].is_finite() {
+                    phi_k -= mu * (upper[i] - v[i]).ln();
+                }
+            }
 
             // --- Newton system ---
-            let hess = nlp.lagrangian_hessian(x, 1.0, &lambda[..m_eq], &lambda[m_eq..]);
+            let hess = nlp.lagrangian_hessian(x, s_f, &lambda[..m_eq], &lambda[m_eq..]);
             let mut sigma = vec![0.0; nv];
             for i in 0..nv {
                 if lower[i].is_finite() {
@@ -294,31 +688,23 @@ impl IpmSolver {
                 rhs[nv + j] = -r_c[j];
             }
 
-            // Factorize with inertia correction.
+            // Factorize with inertia correction: wrong inertia escalates the
+            // primal regularization δ_w; singular pivots additionally raise
+            // the dual regularization with the barrier (δ_c ~ μ^¼, Ipopt's
+            // κ_c rule) so near-rank-deficient constraint blocks stop
+            // amplifying the multiplier step.
             let mut delta_w = 0.0f64;
+            let mut delta_c = opts.delta_c;
             let mut attempt = 0usize;
-            // A successful factorization before its (deferred) triangular
-            // solve: the full strategy carries the factor so inertia-rejected
-            // attempts never pay the solve.
-            enum Factorized {
-                Full(LdlFactor),
-                Condensed(crate::kkt_condensed::CondensedFactor),
-            }
-            let solution = loop {
+            let factorized = loop {
                 factorizations += 1;
-                // `Some((factorized, inertia_ok))` on a successful
+                // `Some((factorized, inertia_ok, singular))` on a successful
                 // factorization, `None` on breakdown; both strategies share
                 // the retry loop.
                 let attempt_result = match opts.kkt_strategy {
                     KktStrategy::Full => {
                         let kkt = assemble_kkt(
-                            &dims,
-                            &hess,
-                            &sigma,
-                            &jac_eq,
-                            &jac_ineq,
-                            delta_w,
-                            opts.delta_c,
+                            &dims, &hess, &sigma, &jac_eq, &jac_ineq, delta_w, delta_c,
                         );
                         if ordering.is_none() {
                             ordering = Some(Ordering::rcm(&kkt));
@@ -339,7 +725,8 @@ impl IpmSolver {
                             let (pos, neg, zero) = fac.inertia();
                             let inertia_ok =
                                 pos == nv && neg == mc && zero == 0 && fac.num_regularized == 0;
-                            (Factorized::Full(fac), inertia_ok)
+                            let singular = zero > 0 || fac.num_regularized > 0;
+                            (Factorized::Full(fac), inertia_ok, singular)
                         })
                     }
                     KktStrategy::Condensed => cache
@@ -351,7 +738,7 @@ impl IpmSolver {
                             &jac_eq,
                             &jac_ineq,
                             delta_w,
-                            opts.delta_c,
+                            delta_c,
                             1e-13,
                             1e-9,
                         )
@@ -359,22 +746,24 @@ impl IpmSolver {
                         .map(|cond| {
                             let inertia_ok =
                                 cond.inertia == (nx, m_eq, 0) && cond.num_regularized == 0;
-                            (Factorized::Condensed(cond), inertia_ok)
+                            let singular = cond.inertia.2 > 0 || cond.num_regularized > 0;
+                            (Factorized::Condensed(cond), inertia_ok, singular)
                         }),
                 };
                 match attempt_result {
-                    Some((factorized, inertia_ok)) => {
+                    Some((factorized, inertia_ok, singular)) => {
                         if inertia_ok || attempt >= opts.max_refactorizations {
-                            break Some(match factorized {
-                                Factorized::Full(fac) => fac.solve(&rhs),
-                                Factorized::Condensed(cond) => cond.solve(&jac_ineq, &rhs),
-                            });
+                            break Some(factorized);
+                        }
+                        if singular {
+                            delta_c = delta_c.max(1e-8 * mu.powf(0.25));
                         }
                     }
                     None => {
                         if attempt >= opts.max_refactorizations {
                             break None;
                         }
+                        delta_c = delta_c.max(1e-8 * mu.powf(0.25));
                     }
                 }
                 attempt += 1;
@@ -391,119 +780,281 @@ impl IpmSolver {
                     break None;
                 }
             };
-            let step = match solution {
-                Some(s) => s,
+            let factorized = match factorized {
+                Some(fac) => fac,
                 None => {
                     status = IpmStatus::NumericalError;
                     break 'outer;
                 }
             };
             delta_w_last = delta_w;
+            let step = factorized.solve(&jac_ineq, &rhs);
 
             let dv = &step[..nv];
             let dlambda = &step[nv..];
 
-            // Bound-multiplier steps.
-            let mut dzl = vec![0.0; nv];
-            let mut dzu = vec![0.0; nv];
-            for i in 0..nv {
-                if lower[i].is_finite() {
-                    let d = v[i] - lower[i];
-                    dzl[i] = -((d * zl[i] - mu) / d) - zl[i] / d * dv[i];
-                }
-                if upper[i].is_finite() {
-                    let d = upper[i] - v[i];
-                    dzu[i] = -((d * zu[i] - mu) / d) + zu[i] / d * dv[i];
-                }
-            }
-
             // --- fraction to boundary ---
             let tau = opts.tau_min.max(1.0 - mu);
-            let mut alpha_pri_max: f64 = 1.0;
-            for i in 0..nv {
-                if dv[i] < 0.0 && lower[i].is_finite() {
-                    alpha_pri_max = alpha_pri_max.min(tau * (v[i] - lower[i]) / (-dv[i]));
-                }
-                if dv[i] > 0.0 && upper[i].is_finite() {
-                    alpha_pri_max = alpha_pri_max.min(tau * (upper[i] - v[i]) / dv[i]);
-                }
+            let alpha_pri_max = max_primal_step(&v, dv, &lower, &upper, tau);
+
+            // Directional derivative of φ along dv.
+            let mut m_slope = 0.0;
+            for i in 0..nx {
+                m_slope += grad_f[i] * dv[i];
             }
-            let mut alpha_dual: f64 = 1.0;
             for i in 0..nv {
-                if dzl[i] < 0.0 && zl[i] > 0.0 {
-                    alpha_dual = alpha_dual.min(tau * zl[i] / (-dzl[i]));
+                if lower[i].is_finite() {
+                    m_slope -= mu * dv[i] / (v[i] - lower[i]);
                 }
-                if dzu[i] < 0.0 && zu[i] > 0.0 {
-                    alpha_dual = alpha_dual.min(tau * zu[i] / (-dzu[i]));
+                if upper[i].is_finite() {
+                    m_slope += mu * dv[i] / (upper[i] - v[i]);
                 }
             }
 
-            // --- merit line search ---
-            let nu = 1.0_f64
-                .max(2.0 * lambda.iter().map(|l| l.abs()).fold(0.0, f64::max))
-                .max(2.0 * dlambda.iter().map(|l| l.abs()).fold(0.0, f64::max));
-            let merit = |v_trial: &[f64]| -> f64 {
-                let x_t = &v_trial[..nx];
-                let mut phi = nlp.objective(x_t);
-                for i in 0..nv {
-                    if lower[i].is_finite() {
-                        phi -= mu * (v_trial[i] - lower[i]).max(1e-300).ln();
-                    }
-                    if upper[i].is_finite() {
-                        phi -= mu * (upper[i] - v_trial[i]).max(1e-300).ln();
-                    }
+            // Minimum step length the filter search will try before handing
+            // over to the watchdog/restoration (Wächter–Biegler eq. 23).
+            let alpha_min = GAMMA_ALPHA
+                * if m_slope < 0.0 && theta_k <= theta_min {
+                    GAMMA_THETA
+                        .min(GAMMA_PHI * theta_k / (-m_slope))
+                        .min(DELTA_SWITCH * theta_k.powf(S_THETA) / (-m_slope).powf(S_PHI))
+                } else if m_slope < 0.0 {
+                    GAMMA_THETA.min(GAMMA_PHI * theta_k / (-m_slope))
+                } else {
+                    GAMMA_THETA
+                };
+
+            // --- filter line search with second-order corrections ---
+            let check_acceptance = |alpha: f64, tp: &TrialPoint| -> Option<bool> {
+                // `Some(augment_filter)` when acceptable, `None` otherwise.
+                let ftype = theta_k <= theta_min
+                    && m_slope < 0.0
+                    && alpha * (-m_slope).powf(S_PHI) > DELTA_SWITCH * theta_k.powf(S_THETA);
+                let armijo = tp.phi <= phi_k + ETA_PHI * alpha * m_slope;
+                if !filter.acceptable(tp.theta, tp.phi) {
+                    return None;
                 }
-                let mut ce_t = vec![0.0; m_eq];
-                let mut ci_t = vec![0.0; m_ineq];
-                nlp.eq_constraints(x_t, &mut ce_t);
-                nlp.ineq_constraints(x_t, &mut ci_t);
-                let mut viol = ce_t.iter().map(|c| c.abs()).sum::<f64>();
-                for k in 0..m_ineq {
-                    viol += (ci_t[k] + v_trial[nx + k]).abs();
+                let ok = if ftype {
+                    armijo
+                } else {
+                    tp.theta <= (1.0 - GAMMA_THETA) * theta_k
+                        || tp.phi <= phi_k - GAMMA_PHI * theta_k
+                };
+                if ok {
+                    Some(!(ftype && armijo))
+                } else {
+                    None
                 }
-                phi + nu * viol
             };
-            let merit_0 = merit(&v);
+
+            let mut accepted: Option<AcceptedStep> = None;
             let mut alpha = alpha_pri_max;
-            let mut v_new = v.clone();
-            for bt in 0..=opts.max_backtracks {
+            let mut first_trial = true;
+            for _halvings in 0..=MAX_HALVINGS {
+                let mut v_t = v.clone();
                 for i in 0..nv {
-                    v_new[i] = v[i] + alpha * dv[i];
+                    v_t[i] = v[i] + alpha * dv[i];
                 }
-                let m_new = merit(&v_new);
-                if m_new <= merit_0 - 1e-8 * alpha * merit_0.abs().max(1.0)
-                    || m_new <= merit_0 + 1e-12
-                    || bt == opts.max_backtracks
-                {
+                let trial = eval_trial(nlp, &v_t, &lower, &upper, nx, m_eq, m_ineq, mu, s_f);
+                if let Some(tp) = &trial {
+                    if let Some(augment) = check_acceptance(alpha, tp) {
+                        accepted = Some(AcceptedStep {
+                            v_new: v_t,
+                            dv: dv.to_vec(),
+                            dlambda: dlambda.to_vec(),
+                            alpha,
+                            augment,
+                        });
+                        break;
+                    }
+                }
+                filter_rejections += 1;
+
+                // Second-order corrections: only off the maximal trial, and
+                // only when its infeasibility did not improve (an α-halving
+                // would fix a φ overshoot but not a constraint overshoot).
+                if first_trial && trial.as_ref().is_some_and(|tp| tp.theta >= theta_k) {
+                    let tp = trial.as_ref().expect("checked is_some above");
+                    let mut c_soc = vec![0.0; mc];
+                    for j in 0..mc {
+                        c_soc[j] = alpha * r_c[j] + tp.c[j];
+                    }
+                    let mut theta_soc_prev = tp.theta;
+                    for _ in 0..opts.max_soc {
+                        soc_steps += 1;
+                        let mut rhs_soc = rhs.clone();
+                        for j in 0..mc {
+                            rhs_soc[nv + j] = -c_soc[j];
+                        }
+                        let step_soc = factorized.solve(&jac_ineq, &rhs_soc);
+                        let alpha_soc = max_primal_step(&v, &step_soc[..nv], &lower, &upper, tau);
+                        let mut v_soc = v.clone();
+                        for i in 0..nv {
+                            v_soc[i] = v[i] + alpha_soc * step_soc[i];
+                        }
+                        let Some(tps) =
+                            eval_trial(nlp, &v_soc, &lower, &upper, nx, m_eq, m_ineq, mu, s_f)
+                        else {
+                            break;
+                        };
+                        if let Some(augment) = check_acceptance(alpha_soc, &tps) {
+                            accepted = Some(AcceptedStep {
+                                v_new: v_soc,
+                                dlambda: step_soc[nv..].to_vec(),
+                                dv: step_soc[..nv].to_vec(),
+                                alpha: alpha_soc,
+                                augment,
+                            });
+                            break;
+                        }
+                        filter_rejections += 1;
+                        if tps.theta > KAPPA_SOC * theta_soc_prev {
+                            break;
+                        }
+                        theta_soc_prev = tps.theta;
+                        for (cs, &tc) in c_soc.iter_mut().zip(&tps.c) {
+                            *cs = alpha_soc * *cs + tc;
+                        }
+                    }
+                    if accepted.is_some() {
+                        break;
+                    }
+                }
+                first_trial = false;
+                alpha *= 0.5;
+                if alpha < alpha_min {
                     break;
                 }
-                alpha *= 0.5;
+            }
+
+            let taken = match accepted {
+                Some(acc) => {
+                    // An acceptable step vindicates any pending watchdog
+                    // trust run.
+                    watchdog = None;
+                    acc
+                }
+                None => {
+                    // --- watchdog: a bounded run of full steps on trust ---
+                    let force = match &mut watchdog {
+                        None if opts.watchdog_budget > 0 => {
+                            watchdog = Some(SavedIterate {
+                                v: v.clone(),
+                                lambda: lambda.clone(),
+                                zl: zl.clone(),
+                                zu: zu.clone(),
+                                left: opts.watchdog_budget,
+                            });
+                            true
+                        }
+                        Some(w) if w.left > 0 => {
+                            w.left -= 1;
+                            true
+                        }
+                        _ => false,
+                    };
+                    if force {
+                        watchdog_steps += 1;
+                        let mut v_new = v.clone();
+                        for i in 0..nv {
+                            v_new[i] = v[i] + alpha_pri_max * dv[i];
+                        }
+                        AcceptedStep {
+                            v_new,
+                            dv: dv.to_vec(),
+                            dlambda: dlambda.to_vec(),
+                            alpha: alpha_pri_max,
+                            augment: false,
+                        }
+                    } else {
+                        // --- restore + feasibility restoration ---
+                        if let Some(w) = watchdog.take() {
+                            v = w.v;
+                            lambda = w.lambda;
+                            zl = w.zl;
+                            zu = w.zu;
+                        }
+                        let entry = eval_trial(nlp, &v, &lower, &upper, nx, m_eq, m_ineq, mu, s_f);
+                        let Some(entry) = entry else {
+                            status = IpmStatus::NumericalError;
+                            break 'outer;
+                        };
+                        if entry.theta <= theta_min {
+                            // Already (nearly) feasible: restoration has
+                            // nothing to restore — the step computation
+                            // itself is stuck.
+                            status = IpmStatus::NumericalError;
+                            break 'outer;
+                        }
+                        restorations += 1;
+                        // Block re-entry at this pair before leaving it.
+                        filter.add(entry.theta, entry.phi);
+                        let target = (1e-2 * entry.theta).max(0.1 * theta_min);
+                        if !restore_feasibility(
+                            nlp,
+                            &mut v,
+                            &lower,
+                            &upper,
+                            nx,
+                            m_eq,
+                            m_ineq,
+                            opts.max_restoration_iters,
+                            target,
+                        ) {
+                            status = IpmStatus::RestorationFailure;
+                            break 'outer;
+                        }
+                        // Fresh multipliers at the restored point.
+                        lambda.iter_mut().for_each(|l| *l = 0.0);
+                        for i in 0..nv {
+                            zl[i] = if lower[i].is_finite() {
+                                mu / (v[i] - lower[i])
+                            } else {
+                                0.0
+                            };
+                            zu[i] = if upper[i].is_finite() {
+                                mu / (upper[i] - v[i])
+                            } else {
+                                0.0
+                            };
+                        }
+                        delta_w_last = 0.0;
+                        continue 'outer;
+                    }
+                }
+            };
+
+            if taken.augment {
+                filter.add(theta_k, phi_k);
             }
 
             // --- updates ---
-            v.copy_from_slice(&v_new);
-            for j in 0..mc {
-                lambda[j] += alpha * dlambda[j];
+            let (dzl, dzu) = bound_dual_steps(&v, &taken.dv, &zl, &zu, &lower, &upper, mu);
+            let alpha_dual = max_dual_step(&zl, &zu, &dzl, &dzu, tau);
+            v.copy_from_slice(&taken.v_new);
+            for (lam, &dl) in lambda.iter_mut().zip(taken.dlambda.iter().take(mc)) {
+                *lam += taken.alpha * dl;
             }
             for i in 0..nv {
                 zl[i] += alpha_dual * dzl[i];
                 zu[i] += alpha_dual * dzu[i];
             }
             // Keep bound multipliers within a large multiple of the primal
-            // estimates (Ipopt's kappa_Sigma safeguard).
-            let kappa_sigma = 1e10;
+            // estimates (Ipopt's kappa_Sigma safeguard). Accepted iterates
+            // are strictly interior — the fraction-to-boundary rule and the
+            // trial rejection both guarantee positive slacks here.
             for i in 0..nv {
                 if lower[i].is_finite() {
-                    let p = mu / (v[i] - lower[i]).max(1e-300);
-                    zl[i] = zl[i].clamp(p / kappa_sigma, p * kappa_sigma);
+                    let p = mu / (v[i] - lower[i]);
+                    zl[i] = zl[i].clamp(p / KAPPA_SIGMA, p * KAPPA_SIGMA);
                 }
                 if upper[i].is_finite() {
-                    let p = mu / (upper[i] - v[i]).max(1e-300);
-                    zu[i] = zu[i].clamp(p / kappa_sigma, p * kappa_sigma);
+                    let p = mu / (upper[i] - v[i]);
+                    zu[i] = zu[i].clamp(p / KAPPA_SIGMA, p * KAPPA_SIGMA);
                 }
             }
             if let Some(last) = log.last_mut() {
-                last.alpha_primal = alpha;
+                last.alpha_primal = taken.alpha;
                 last.delta_w = delta_w;
             }
         }
@@ -517,8 +1068,8 @@ impl IpmSolver {
         SolveReport {
             x: x_final,
             objective,
-            lambda_eq: lambda[..m_eq].to_vec(),
-            lambda_ineq: lambda[m_eq..].to_vec(),
+            lambda_eq: lambda[..m_eq].iter().map(|l| l / s_f).collect(),
+            lambda_ineq: lambda[m_eq..].iter().map(|l| l / s_f).collect(),
             status,
             iterations,
             kkt_error,
@@ -526,6 +1077,10 @@ impl IpmSolver {
             solve_time: start_time.elapsed(),
             factorizations,
             symbolic_analyses,
+            filter_rejections,
+            soc_steps,
+            watchdog_steps,
+            restorations,
             log,
         }
     }
@@ -649,6 +1204,94 @@ mod tests {
         assert!(report.is_optimal());
         assert!((report.x[0] - 1.0).abs() < 1e-5, "x = {}", report.x[0]);
         assert!((report.objective - 1.0).abs() < 1e-4);
+        // The barrier keeps every iterate strictly interior even though the
+        // solution is on the bound.
+        assert!(report.x[0] < 1.0);
+    }
+
+    /// A boundary-violating trial is rejected outright by the line search's
+    /// trial evaluation — not clamped into `ln(1e-300)` and compared on
+    /// merit, which is how the pre-filter solver accepted bound-crashing
+    /// steps. Covers at-bound, past-bound, and past-upper trials, plus the
+    /// slack block of an inequality problem.
+    #[test]
+    fn boundary_violating_trial_is_rejected() {
+        let (lower, upper) = (vec![0.0], vec![1.0]);
+        // Strictly interior: evaluates.
+        assert!(eval_trial(&BoundOnly, &[0.5], &lower, &upper, 1, 0, 0, 0.1, 1.0).is_some());
+        // At either bound or beyond: rejected (the barrier is infinite).
+        for v in [0.0, -0.3, 1.0, 1.7] {
+            assert!(
+                eval_trial(&BoundOnly, &[v], &lower, &upper, 1, 0, 0, 0.1, 1.0).is_none(),
+                "trial at v = {v} must be rejected"
+            );
+        }
+        // Slack block: v = [x0, x1, s]; s <= 0 violates the slack bound.
+        let (lower, upper) = (
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, 0.0],
+            vec![f64::INFINITY; 3],
+        );
+        assert!(eval_trial(
+            &InequalityQp,
+            &[0.2, 0.2, 0.6],
+            &lower,
+            &upper,
+            2,
+            0,
+            1,
+            0.1,
+            1.0
+        )
+        .is_some());
+        assert!(
+            eval_trial(
+                &InequalityQp,
+                &[0.2, 0.2, 0.0],
+                &lower,
+                &upper,
+                2,
+                0,
+                1,
+                0.1,
+                1.0
+            )
+            .is_none(),
+            "zero slack must be rejected"
+        );
+        assert!(
+            eval_trial(
+                &InequalityQp,
+                &[0.2, 0.2, -0.4],
+                &lower,
+                &upper,
+                2,
+                0,
+                1,
+                0.1,
+                1.0
+            )
+            .is_none(),
+            "negative slack must be rejected"
+        );
+    }
+
+    #[test]
+    fn filter_margins_dominate_and_prune() {
+        let mut filter = Filter::new(1e4);
+        // The θ_max cap rejects wildly infeasible pairs no matter how good φ.
+        assert!(!filter.acceptable(2e4, -1e9));
+        filter.add(1.0, 10.0);
+        // Dominated pair (no margin of improvement in either measure).
+        assert!(!filter.acceptable(1.0, 10.0));
+        // Enough θ improvement or enough φ improvement is acceptable.
+        assert!(filter.acceptable(0.5, 11.0));
+        assert!(filter.acceptable(1.0, 9.0));
+        // A dominating new entry prunes the old one.
+        filter.add(0.5, 5.0);
+        assert_eq!(filter.entries.len(), 2, "entries {:?}", filter.entries);
+        filter.reset();
+        assert_eq!(filter.entries.len(), 1);
+        assert!(filter.acceptable(1.0, 10.0));
     }
 
     /// Inequality-constrained QP: `min x² + y² s.t. x + y >= 1`
@@ -746,6 +1389,21 @@ mod tests {
         assert_eq!(report.symbolic_analyses, report.factorizations);
     }
 
+    #[test]
+    fn easy_problems_need_no_globalization_fallbacks() {
+        // On well-scaled convex problems every full step is acceptable: the
+        // watchdog and restoration must stay cold, and the counters say so.
+        for report in [
+            IpmSolver::default().solve(&EqualityQp),
+            IpmSolver::default().solve(&InequalityQp),
+            IpmSolver::default().solve(&BoundOnly),
+        ] {
+            assert!(report.is_optimal());
+            assert_eq!(report.watchdog_steps, 0);
+            assert_eq!(report.restorations, 0);
+        }
+    }
+
     fn condensed_solver(tol: f64) -> IpmSolver {
         IpmSolver::new(IpmOptions {
             tol,
@@ -827,6 +1485,71 @@ mod tests {
         assert_eq!(cache.symbolic_analyses(), after_cold);
         assert_eq!(warm.symbolic_analyses, 0);
         assert!(warm.factorizations > 0);
+    }
+
+    /// A badly scaled objective (gradient ~1e4 at the start) exercises the
+    /// gradient-based scaling: without it the multiplier steps integrate to
+    /// the gradient's magnitude and the merit/filter has no chance; with
+    /// `s_f = 100/‖∇f‖∞` the internal problem is tame while the report
+    /// carries unscaled values.
+    #[test]
+    fn badly_scaled_objective_converges_with_correct_report() {
+        struct ScaledQp;
+        impl Nlp for ScaledQp {
+            fn num_vars(&self) -> usize {
+                2
+            }
+            fn num_eq(&self) -> usize {
+                1
+            }
+            fn num_ineq(&self) -> usize {
+                0
+            }
+            fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+                (vec![f64::NEG_INFINITY; 2], vec![f64::INFINITY; 2])
+            }
+            fn initial_point(&self) -> Vec<f64> {
+                vec![2.0, -1.0]
+            }
+            fn objective(&self, x: &[f64]) -> f64 {
+                1e4 * (x[0] * x[0] + x[1] * x[1])
+            }
+            fn objective_grad(&self, x: &[f64], g: &mut [f64]) {
+                g[0] = 2e4 * x[0];
+                g[1] = 2e4 * x[1];
+            }
+            fn eq_constraints(&self, x: &[f64], c: &mut [f64]) {
+                c[0] = x[0] + x[1] - 1.0;
+            }
+            fn ineq_constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+            fn eq_jacobian(&self, _x: &[f64]) -> Coo {
+                let mut j = Coo::new(1, 2);
+                j.push(0, 0, 1.0);
+                j.push(0, 1, 1.0);
+                j
+            }
+            fn ineq_jacobian(&self, _x: &[f64]) -> Coo {
+                Coo::new(0, 2)
+            }
+            fn lagrangian_hessian(&self, _x: &[f64], s: f64, _le: &[f64], _li: &[f64]) -> Coo {
+                let mut h = Coo::new(2, 2);
+                h.push(0, 0, 2e4 * s);
+                h.push(1, 1, 2e4 * s);
+                h
+            }
+        }
+        let report = IpmSolver::default().solve(&ScaledQp);
+        assert!(report.is_optimal(), "status {:?}", report.status);
+        assert!((report.x[0] - 0.5).abs() < 1e-4, "x0 = {}", report.x[0]);
+        assert!((report.x[1] - 0.5).abs() < 1e-4);
+        // Objective reported unscaled, multiplier unscaled: at the optimum
+        // ∇f + λ ∇c = 0 → λ = −2e4·0.5 = −1e4.
+        assert!((report.objective - 5e3).abs() < 1.0);
+        assert!(
+            (report.lambda_eq[0] + 1e4).abs() < 1.0,
+            "lambda = {}",
+            report.lambda_eq[0]
+        );
     }
 
     #[test]

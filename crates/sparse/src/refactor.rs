@@ -20,7 +20,21 @@
 //!   column updates fanned out through [`gridsim_batch::Device::launch_blocks`],
 //!   one elimination-tree level at a time. Rows on the same level own
 //!   disjoint subtrees, hence disjoint reads and writes, so the parallel
-//!   backend produces the same bits as the sequential one.
+//!   backend produces the same bits as the sequential one;
+//! * the analysis additionally groups columns of the frozen `L` into
+//!   **supernodes** (maximal runs of consecutive columns whose patterns
+//!   below the diagonal block are identical — the structure dense BLAS3
+//!   factorization kernels exploit, cf. Świrydowicz et al. §III) and
+//!   rewrites every row's replay list into *segments*. A segment covering a
+//!   `w`-column supernode is replayed as a small dense triangular solve on
+//!   the diagonal block followed by a rank-`w` update of the shared
+//!   subdiagonal pattern: one pattern lookup and one `y` load/store per
+//!   target row instead of `w`, with the per-row accumulation kept in the
+//!   exact column order of the scalar replay so the result is **bitwise
+//!   identical** to it ([`LdlSymbolic::refactor_supernodal`], and the replay
+//!   [`LdlSymbolic::refactor_on`] launches per thread block). The scalar
+//!   path is kept callable so the `kkt_condensed` bench can record the
+//!   supernodal speedup at asserted-bitwise-equal factors.
 //!
 //! The error-column reported on a [`SparseError::Breakdown`] may differ
 //! between the level-parallel and sequential schedules when several columns
@@ -36,6 +50,13 @@ use crate::SparseError;
 use gridsim_batch::{Device, DeviceBuffer};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Upper bound on supernode width. Wider runs of identical-pattern columns
+/// are split into consecutive supernodes of this width, which keeps the
+/// per-row replay's column-value buffer on the stack (no per-row allocation,
+/// mirroring the scalar path) while still capturing essentially all of the
+/// grouping win — rank-32 updates already amortize the pattern lookups.
+const SUPERNODE_MAX_WIDTH: usize = 32;
 
 /// Frozen symbolic analysis of a symmetric matrix, reusable across any
 /// number of numeric refactorizations with the same sparsity pattern.
@@ -69,6 +90,21 @@ pub struct LdlSymbolic {
     /// levels `< l` and touch pairwise-disjoint columns of `L`.
     level_ptr: Vec<usize>,
     level_idx: Vec<usize>,
+    /// Supernode partition of the frozen `L`: `sn_end_of_col[c]` is the
+    /// exclusive end column of the supernode containing column `c` (maximal
+    /// run of consecutive columns whose patterns below the shared diagonal
+    /// block are identical, width-capped at [`SUPERNODE_MAX_WIDTH`]).
+    sn_end_of_col: Vec<usize>,
+    num_supernodes: usize,
+    max_supernode_width: usize,
+    /// Segmented replay lists: `seg_ptr[j]..seg_ptr[j+1]` indexes the
+    /// segments of row `j`'s reach set, each a run of `seg_len[s]`
+    /// consecutive columns starting at `seg_col[s]` that live in one
+    /// supernode and appear consecutively in the scalar replay order
+    /// (`rp_idx`). Concatenating the segments reproduces `rp_idx` exactly.
+    seg_ptr: Vec<usize>,
+    seg_col: Vec<usize>,
+    seg_len: Vec<usize>,
 }
 
 /// One row's pending output inside a level-parallel launch: the pivot, the
@@ -202,6 +238,63 @@ impl LdlSymbolic {
             next[l] += 1;
         }
 
+        // Supernode partition: columns c and c+1 merge when column c's
+        // pattern is exactly {c+1} ∪ pattern(c+1) — first subdiagonal entry
+        // is the next column and the remaining rows coincide. Within such a
+        // run every column shares one below-block row set, so a numeric
+        // replay can update those rows once per run instead of once per
+        // column.
+        let mut sn_end_of_col = vec![0usize; n];
+        let mut num_supernodes = 0usize;
+        let mut max_supernode_width = 0usize;
+        let mut c = 0usize;
+        while c < n {
+            let mut end = c + 1;
+            while end < n && end - c < SUPERNODE_MAX_WIDTH {
+                let prev = end - 1;
+                let mergeable = lcolptr[prev + 1] - lcolptr[prev]
+                    == lcolptr[end + 1] - lcolptr[end] + 1
+                    && lrowind[lcolptr[prev]] == end
+                    && lrowind[lcolptr[prev] + 1..lcolptr[prev + 1]]
+                        == lrowind[lcolptr[end]..lcolptr[end + 1]];
+                if !mergeable {
+                    break;
+                }
+                end += 1;
+            }
+            for e in &mut sn_end_of_col[c..end] {
+                *e = end;
+            }
+            num_supernodes += 1;
+            max_supernode_width = max_supernode_width.max(end - c);
+            c = end;
+        }
+
+        // Segmented replay lists: greedily group runs of consecutive columns
+        // of one supernode that the scalar replay visits back to back. The
+        // grouping is opportunistic — a supernode entered mid-chain by the
+        // elimination-tree walk simply yields narrower segments (width 1 in
+        // the worst case, which degenerates to the scalar replay).
+        let mut seg_ptr = vec![0usize; n + 1];
+        let mut seg_col = Vec::new();
+        let mut seg_len = Vec::new();
+        for j in 0..n {
+            let reach = &rp_idx[rp_ptr[j]..rp_ptr[j + 1]];
+            let mut k = 0usize;
+            while k < reach.len() {
+                let start = reach[k];
+                let s_end = sn_end_of_col[start];
+                let mut w = 1usize;
+                while k + w < reach.len() && reach[k + w] == start + w && start + w < s_end {
+                    w += 1;
+                }
+                seg_col.push(start);
+                seg_len.push(w);
+                k += w;
+            }
+            seg_ptr[j + 1] = seg_col.len();
+        }
+
         Ok(LdlSymbolic {
             n,
             a_colptr: a.colptr.clone(),
@@ -217,6 +310,12 @@ impl LdlSymbolic {
             rp_idx,
             level_ptr,
             level_idx,
+            sn_end_of_col,
+            num_supernodes,
+            max_supernode_width,
+            seg_ptr,
+            seg_col,
+            seg_len,
         })
     }
 
@@ -245,6 +344,19 @@ impl LdlSymbolic {
     /// Number of elimination-tree levels in the parallel schedule.
     pub fn num_levels(&self) -> usize {
         self.level_ptr.len() - 1
+    }
+
+    /// Number of supernodes the frozen `L` pattern partitions into. Equal to
+    /// [`Self::dim`] when no adjacent columns share a pattern; smaller values
+    /// mean the supernodal replay gets to batch its updates.
+    pub fn num_supernodes(&self) -> usize {
+        self.num_supernodes
+    }
+
+    /// Width of the widest supernode (1 for a pattern with no groupable
+    /// columns; capped at `SUPERNODE_MAX_WIDTH` = 32).
+    pub fn max_supernode_width(&self) -> usize {
+        self.max_supernode_width
     }
 
     /// The analyzed CSC pattern as `(colptr, rowind)` — the entry order the
@@ -323,6 +435,85 @@ impl LdlSymbolic {
         dj
     }
 
+    /// Supernodal replay of row `j`: same arithmetic as [`Self::replay_row`],
+    /// but the reach set is walked segment-by-segment and each segment's
+    /// updates to the supernode's shared below-block rows run as one dense
+    /// rank-`w` update. Bitwise identical to the scalar replay because every
+    /// memory location still receives its updates in ascending column order
+    /// (phase 1 preserves the scalar order for intra-supernode rows and the
+    /// pivot; phase 2 preserves it per shared row, fusing only the
+    /// intermediate load/stores of `y[r]`, which IEEE-754 addition does not
+    /// observe), and the shared rows (≥ supernode end) are disjoint from the
+    /// intra-supernode rows phase 1 reads.
+    fn replay_row_supernodal(
+        &self,
+        j: usize,
+        values: &[f64],
+        lvalues: &[f64],
+        d: &[f64],
+        y: &mut [f64],
+        writes: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        for p in self.au_colptr[j]..self.au_colptr[j + 1] {
+            y[self.au_rowind[p]] += values[self.aval_map[p]];
+        }
+        let mut dj = y[j];
+        y[j] = 0.0;
+        let lcolptr: &[usize] = &self.lcolptr;
+        let lrowind: &[usize] = &self.lrowind;
+        let mut yc = [0.0f64; SUPERNODE_MAX_WIDTH];
+        for s in self.seg_ptr[j]..self.seg_ptr[j + 1] {
+            let c = self.seg_col[s];
+            let w = self.seg_len[s];
+            let s_end = self.sn_end_of_col[c];
+            // Shared below-block rows of this supernode that precede row j:
+            // the row set is identical for every column of the supernode, so
+            // one partition_point (on the segment's first column) serves all
+            // `w` columns — the scalar replay pays one per column.
+            let t = if j >= s_end {
+                let com0 = lcolptr[c] + (s_end - 1 - c);
+                lrowind[com0..lcolptr[c + 1]].partition_point(|&r| r < j)
+            } else {
+                0
+            };
+            // Phase 1: per-column intra-supernode updates, pivot contribution
+            // and the L write — in scalar column order, so a later segment
+            // column's `y` sees the earlier columns' updates exactly as the
+            // scalar replay computes them.
+            for (q, yq) in yc[..w].iter_mut().enumerate() {
+                let i = c + q;
+                let yi = y[i];
+                y[i] = 0.0;
+                *yq = yi;
+                let p_start = lcolptr[i];
+                let lead = s_end.min(j) - i - 1;
+                for p in p_start..p_start + lead {
+                    y[lrowind[p]] -= lvalues[p] * yi;
+                }
+                let lji = yi / d[i];
+                dj -= lji * yi;
+                writes.push((p_start + lead + t, lji));
+            }
+            // Phase 2: dense rank-`w` update of the shared rows. One pattern
+            // lookup and one `y[r]` load/store per target row for the whole
+            // segment; the inner subtraction order is column-ascending,
+            // matching the scalar replay bit for bit.
+            if t > 0 {
+                let com0 = lcolptr[c] + (s_end - 1 - c);
+                for idx in 0..t {
+                    let r = lrowind[com0 + idx];
+                    let mut v = y[r];
+                    for (q, &yq) in yc[..w].iter().enumerate() {
+                        let i = c + q;
+                        v -= lvalues[lcolptr[i] + (s_end - 1 - i) + idx] * yq;
+                    }
+                    y[r] = v;
+                }
+            }
+        }
+        dj
+    }
+
     /// Numeric-only refactorization from a value slice aligned with the
     /// analyzed pattern (entry `k` of `values` is the value of the analyzed
     /// matrix's `k`-th stored entry). Bitwise identical to a fresh
@@ -366,12 +557,66 @@ impl LdlSymbolic {
         ))
     }
 
+    /// Supernodal numeric refactorization on the host: the same frozen
+    /// pattern as [`Self::refactor`], replayed segment-wise with dense
+    /// rank-`w` updates per supernode (`replay_row_supernodal`).
+    /// Bitwise identical to [`Self::refactor`] and to a fresh
+    /// [`LdlFactor::factorize_with`]; faster on patterns with non-trivial
+    /// supernodes (the `kkt_condensed` bench records the delta). The scalar
+    /// [`Self::refactor`] stays callable as the measured baseline.
+    pub fn refactor_supernodal(
+        &self,
+        values: &[f64],
+        opts: &LdlOptions,
+    ) -> Result<LdlFactor, SparseError> {
+        self.check_values_len(values)?;
+        let signs = self.permuted_signs(opts)?;
+        let n = self.n;
+        let mut lvalues = vec![0.0f64; self.lrowind.len()];
+        let mut d = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        let mut writes = Vec::new();
+        let mut num_regularized = 0usize;
+        for j in 0..n {
+            writes.clear();
+            let dj = self.replay_row_supernodal(j, values, &lvalues, &d, &mut y, &mut writes);
+            for &(slot, v) in &writes {
+                lvalues[slot] = v;
+            }
+            let expected = signs.get(j).copied().unwrap_or(0);
+            let dj_reg = crate::ldl::regularize_pivot(dj, expected, opts);
+            if dj_reg != dj {
+                num_regularized += 1;
+            }
+            if dj_reg == 0.0 {
+                return Err(SparseError::Breakdown {
+                    column: j,
+                    pivot: dj,
+                });
+            }
+            d[j] = dj_reg;
+        }
+        Ok(LdlFactor::from_parts(
+            n,
+            Arc::clone(&self.lcolptr),
+            Arc::clone(&self.lrowind),
+            lvalues,
+            d,
+            Arc::clone(&self.ordering),
+            num_regularized,
+        ))
+    }
+
     /// Numeric-only refactorization with the per-row column updates launched
     /// through [`Device::launch_blocks`], one elimination-tree level per
     /// launch ("one thread block per row" — the same geometry as the batch
-    /// TRON solves). Bitwise identical to [`Self::refactor`] on every
-    /// backend: rows of one level own disjoint subtrees, so their reads all
-    /// resolve to earlier levels and their writes never alias.
+    /// TRON solves). Each block runs the supernodal segmented replay, so the
+    /// production path (the IPM's condensed-KKT cache refactorizes through
+    /// here every Newton step) gets the dense rank-`w` updates. Bitwise
+    /// identical to [`Self::refactor`] on every backend: rows of one level
+    /// own disjoint subtrees, so their reads all resolve to earlier levels
+    /// and their writes never alias, and the supernodal replay itself is
+    /// bitwise identical to the scalar one.
     pub fn refactor_on(
         &self,
         device: &Device,
@@ -409,7 +654,7 @@ impl LdlSymbolic {
                     // serialize on the lock.
                     let popped = scratch.lock().pop();
                     let mut y = popped.unwrap_or_else(|| vec![0.0f64; self.n]);
-                    let dj = self.replay_row(
+                    let dj = self.replay_row_supernodal(
                         task.j,
                         values,
                         lvalues_ref,
@@ -634,6 +879,87 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn supernodal_refactor_matches_scalar_bitwise() {
+        for scale in [1.0, 3.5, -0.2] {
+            let a = kkt_example(scale);
+            let opts = kkt_opts();
+            let sym = LdlSymbolic::analyze_rcm(&a).unwrap();
+            let scalar = sym.refactor_matrix(&a, &opts).unwrap();
+            let sn = sym.refactor_supernodal(&a.values, &opts).unwrap();
+            assert_eq!(factor_bits(&scalar), factor_bits(&sn));
+        }
+    }
+
+    #[test]
+    fn dense_pattern_collapses_into_one_supernode() {
+        // A dense SPD matrix under the identity ordering: every column's
+        // below-diagonal pattern nests into the next, so the whole matrix is
+        // one supernode (up to the width cap) and the segmented replay runs
+        // dense rank-w updates. Must still be bitwise identical to both the
+        // scalar replay and a fresh factorization.
+        let n = 12;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = if i == j {
+                    n as f64 + 1.0
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
+                coo.push(i, j, v);
+            }
+        }
+        let a = coo.to_csc();
+        let identity = Ordering::from_perm((0..n).collect());
+        let sym = LdlSymbolic::analyze(&a, identity.clone()).unwrap();
+        assert_eq!(sym.num_supernodes(), 1, "dense L should be one supernode");
+        assert_eq!(sym.max_supernode_width(), n);
+        let opts = LdlOptions::default();
+        let fresh = LdlFactor::factorize_with(&a, identity, &opts).unwrap();
+        let scalar = sym.refactor(&a.values, &opts).unwrap();
+        let sn = sym.refactor_supernodal(&a.values, &opts).unwrap();
+        assert_eq!(factor_bits(&fresh), factor_bits(&scalar));
+        assert_eq!(factor_bits(&fresh), factor_bits(&sn));
+        for dev in [
+            Device::parallel(),
+            Device::sequential(),
+            Device::vectorized(),
+        ] {
+            let f = sym.refactor_matrix_on(&dev, &a, &opts).unwrap();
+            assert_eq!(factor_bits(&fresh), factor_bits(&f));
+        }
+    }
+
+    #[test]
+    fn segment_lists_concatenate_to_the_scalar_replay_order() {
+        let a = kkt_example(1.0);
+        let sym = LdlSymbolic::analyze_rcm(&a).unwrap();
+        for j in 0..sym.dim() {
+            let mut flat = Vec::new();
+            for s in sym.seg_ptr[j]..sym.seg_ptr[j + 1] {
+                let c = sym.seg_col[s];
+                let w = sym.seg_len[s];
+                assert!(c + w <= sym.sn_end_of_col[c], "segment crosses supernode");
+                flat.extend(c..c + w);
+            }
+            assert_eq!(flat, sym.rp_idx[sym.rp_ptr[j]..sym.rp_ptr[j + 1]]);
+        }
+        // The partition covers every column exactly once, widths within cap.
+        let mut c = 0;
+        let mut count = 0;
+        while c < sym.dim() {
+            let end = sym.sn_end_of_col[c];
+            assert!(end > c && end - c <= SUPERNODE_MAX_WIDTH);
+            for col in c..end {
+                assert_eq!(sym.sn_end_of_col[col], end);
+            }
+            count += 1;
+            c = end;
+        }
+        assert_eq!(count, sym.num_supernodes());
     }
 
     #[test]

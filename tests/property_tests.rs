@@ -96,7 +96,10 @@ proptest! {
     /// Numeric-only refactorization over a frozen symbolic analysis is
     /// bitwise identical to a fresh factorization, on random quasi-definite
     /// KKT matrices [H Jᵀ; J −δI] — including matrices whose indefinite `H`
-    /// forces regularized pivots — on every backend of the batch device.
+    /// forces regularized pivots — on every backend of the batch device, and
+    /// for both the scalar replay and the supernodal segmented replay (host
+    /// `refactor_supernodal` and the device path, which launches the
+    /// supernodal replay per row).
     #[test]
     fn ldl_refactorization_is_bitwise_identical_to_fresh(seed in 0u64..300) {
         use rand::rngs::SmallRng;
@@ -147,10 +150,11 @@ proptest! {
         for values in [&a, &a2] {
             let fresh = LdlFactor::factorize_with(values, ordering.clone(), &opts).unwrap();
             let replay = sym.refactor_matrix(values, &opts).unwrap();
+            let supernodal = sym.refactor_supernodal(&values.values, &opts).unwrap();
             let par = sym.refactor_matrix_on(&Device::parallel(), values, &opts).unwrap();
             let seq = sym.refactor_matrix_on(&Device::sequential(), values, &opts).unwrap();
             let vec = sym.refactor_matrix_on(&Device::vectorized(), values, &opts).unwrap();
-            for other in [&replay, &par, &seq, &vec] {
+            for other in [&replay, &supernodal, &par, &seq, &vec] {
                 prop_assert_eq!(fresh.num_regularized, other.num_regularized);
                 for (x, y) in fresh.l_values().iter().zip(other.l_values()) {
                     prop_assert_eq!(x.to_bits(), y.to_bits());

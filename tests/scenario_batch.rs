@@ -133,16 +133,18 @@ fn chained_warm_start_beats_cold_batch_on_a_load_ramp() {
 }
 
 /// Pins the known solution quality of the 100-bus 1354pegase stand-in under
-/// the per-case defaults (`AdmmParams::for_case`). The recorded value under
-/// plain defaults was ~1.06 (the old bound was 1.10); the per-case
-/// rho/beta tuning (rho_pq 10→18, beta_factor 6→7 for scaled stand-ins)
-/// improved it to ~0.87 at ~23 % fewer inner iterations. The bound was
-/// first ratcheted to 0.95 and, with the value re-measured at 0.8696 on the
-/// PR-4 bench runs, tightened to 0.90, then 0.88, and — the value now
-/// being asserted bitwise-identical across all three launch backends, so
-/// scheduler noise cannot move it — to 0.875 (~0.6 % headroom). Future
-/// penalty-tuning work must not regress above it — and when it improves the
-/// value, ratchet again.
+/// the per-case defaults (`AdmmParams::for_case`). The pin history tracks
+/// the case's health: under plain defaults the violation was ~1.06, per-case
+/// rho/beta tuning improved it to ~0.87, and the bound was ratcheted
+/// 1.10 → 0.95 → 0.90 → 0.88 → 0.875 across PRs 3–6. The residual ~0.87 was
+/// never a tuning problem: the synthetic generator drew branch impedances
+/// independently of thermal ratings and allowed tight ratings on bridge
+/// branches, which made the case electrically infeasible (no voltage profile
+/// inside [vmin, vmax] could deliver the load). With impedance coupled to
+/// rating and tight ratings kept off the spanning tree, ADMM converges to
+/// 3.9357e-4 — the bound is ratcheted three orders of magnitude to 4e-4.
+/// Future penalty-tuning work must not regress above it — and when it
+/// improves the value, ratchet again.
 /// Full-tolerance default parameters make this expensive, so debug runs skip
 /// it unless `GRIDADMM_FULL_TESTS` is set; release runs always execute it.
 #[test]
@@ -157,10 +159,10 @@ fn pegase1354_scaled100_violation_does_not_regress() {
     let violation = result.quality.max_violation();
     eprintln!("pegase1354_scaled100 max violation: {violation}");
     assert!(
-        violation < 0.875,
-        "max violation regressed to {violation} (recorded baseline 0.86956 under per-case \
-         defaults, re-measured unchanged through the PR 5 engine paths and the PR 6 \
-         backend-dispatch refactor)"
+        violation < 4e-4,
+        "max violation regressed to {violation} (recorded baseline 3.9357e-4 under per-case \
+         defaults after the synthetic-generator electrical-consistency fix; the pre-fix \
+         baseline on the then-infeasible case was 0.86956)"
     );
     assert!(result.objective.is_finite());
     // The bound holds *identically* under every backend: not merely below

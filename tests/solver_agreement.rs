@@ -135,9 +135,9 @@ fn full_profile_agreement_on_embedded_cases() {
 fn agreement_on_synthetic_case30() {
     // Synthetic cases use the default penalties un-tuned, so the consensus
     // residual at the iteration cap is larger than for case9/case14 (the
-    // paper likewise tunes Table I penalties per case), and the centralized
-    // baseline itself only reaches ~1e-2 feasibility here. Assert the ADMM
-    // side's quality and that the two objectives land in the same ballpark.
+    // paper likewise tunes Table I penalties per case). Assert the ADMM
+    // side's quality, that the centralized baseline converges, and that the
+    // two objectives land in the same ballpark.
     let net = gridsim_grid::cases::case30_like().compile().unwrap();
     let admm = AdmmSolver::new(AdmmParams::test_profile()).solve(&net);
     assert!(
@@ -147,6 +147,7 @@ fn agreement_on_synthetic_case30() {
     );
     let nlp = AcopfNlp::new(&net);
     let ipm = IpmSolver::new(IpmOptions::default()).solve(&nlp);
+    assert!(ipm.is_optimal(), "baseline status {:?}", ipm.status);
     assert!(
         relative_gap(admm.objective, ipm.objective) < 0.05,
         "objectives diverge: {} vs {}",
@@ -159,12 +160,12 @@ fn agreement_on_synthetic_case30() {
 fn scaled_pegase_standin_runs_both_solvers() {
     // A 100-bus proportional stand-in of the 1354pegase case: exercises the
     // synthetic generator end-to-end with both solvers. With the default
-    // (untuned) penalties the ADMM does not converge on this case within a
-    // bounded iteration budget (see EXPERIMENTS.md — the paper tunes Table I
-    // penalties per case for exactly this reason), so the assertions here are
-    // structural: both solvers run to completion, the decomposed solver's
-    // dispatch respects the generator boxes, and the baseline reaches a
-    // near-feasible point. (The converged-quality pin for this case lives in
+    // (untuned) penalties the ADMM consensus is still loose within a bounded
+    // iteration budget (the paper tunes Table I penalties per case for
+    // exactly this reason), so its assertions are
+    // structural: the run completes and dispatch respects the generator
+    // boxes. The globalized baseline converges outright. (The
+    // converged-quality pin for this case lives in
     // tests/scenario_batch.rs::pegase1354_scaled100_violation_does_not_regress.)
     let case = TableICase::Pegase1354.scaled(100);
     let net = case.compile().expect("case compiles");
@@ -180,20 +181,19 @@ fn scaled_pegase_standin_runs_both_solvers() {
         assert!(admm.solution.pg[g] <= net.pmax[g] + 1e-9);
     }
     let nlp = AcopfNlp::new(&net);
-    // A bounded iteration budget for the baseline too: the assertion below
-    // is structural (infeasibility reduced from the flat start), and a full
-    // polish to optimality costs debug-suite seconds without adding cover.
+    // The filter-globalized baseline converges on this case in ~20
+    // iterations, so a bounded budget suffices for a full optimality check
+    // (historically this case hit the 300-iteration cap and only a weak
+    // infeasibility-reduction assertion was possible).
     let ipm = IpmSolver::new(IpmOptions {
         max_iter: 60,
         ..IpmOptions::default()
     })
     .solve(&nlp);
     assert!(ipm.objective.is_finite());
-    // The baseline's convergence on untuned synthetic cases is best-effort;
-    // what matters structurally is that it ran and reduced infeasibility
-    // from the flat start (which starts ~1 p.u. out of balance).
+    assert!(ipm.is_optimal(), "baseline status {:?}", ipm.status);
     assert!(
-        ipm.primal_infeasibility < 0.5,
+        ipm.primal_infeasibility < 1e-5,
         "baseline infeasibility {:.3e}",
         ipm.primal_infeasibility
     );
