@@ -557,6 +557,7 @@ pub(crate) fn extract_segment(
     y: &[f64],
     lam: &[f64],
     z: &[f64],
+    beta: f64,
 ) -> (OpfSolution, WarmState) {
     let solution = OpfSolution {
         vm: buses.iter().map(|b| b.w.max(0.0).sqrt()).collect(),
@@ -576,6 +577,7 @@ pub(crate) fn extract_segment(
         y: y.to_vec(),
         lam: lam.to_vec(),
         z: z.to_vec(),
+        beta,
     };
     (solution, warm)
 }

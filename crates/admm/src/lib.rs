@@ -47,5 +47,5 @@ pub use params::AdmmParams;
 pub use scenario::{
     ScenarioBatch, ScenarioBatchResult, ScenarioProblem, ScenarioResult, ScenarioScheduler,
 };
-pub use solver::{AdmmResult, AdmmSolver, AdmmStatus};
+pub use solver::{AdmmResult, AdmmSolver, AdmmStatus, WarmState};
 pub use tracking::{track_horizon, PeriodResult, TrackingConfig};

@@ -58,6 +58,7 @@ use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::SolutionQuality;
 use gridsim_batch::{Device, DevicePool};
 use gridsim_grid::network::Network;
+use gridsim_store::{SolutionStore, StoreRunStats};
 use std::time::{Duration, Instant};
 
 /// Result of one scenario inside a batched solve. Field-for-field the
@@ -103,6 +104,11 @@ pub struct ScenarioBatchResult {
     /// scenarios as consecutive K=1 batches instead, so there `ticks` is
     /// the sum over the chain (every tick still launches one kernel round).
     pub ticks: usize,
+    /// Solution-store traffic for this run: admissions seeded from a stored
+    /// neighbor (hits), admissions that consulted the store and found no
+    /// eligible neighbor (misses), and converged scenarios committed back
+    /// (inserts). All zero for the store-less solve paths.
+    pub store: StoreRunStats,
 }
 
 impl ScenarioBatchResult {
@@ -210,7 +216,19 @@ impl ScenarioBatch {
             results,
             solve_time: start.elapsed(),
             ticks,
+            store: StoreRunStats::default(),
         }
+    }
+
+    /// Solve all scenarios against a warm-start solution store: see
+    /// [`ScenarioScheduler::solve_with_store`].
+    pub fn solve_with_store(
+        &self,
+        case_id: &str,
+        nets: &[Network],
+        store: &mut SolutionStore<WarmState>,
+    ) -> ScenarioBatchResult {
+        self.scheduler().solve_with_store(case_id, nets, store)
     }
 }
 

@@ -31,8 +31,11 @@ use crate::solver::{AdmmStatus, WarmState};
 use gridsim_acopf::violations::SolutionQuality;
 use gridsim_batch::{Device, DeviceBuffer, DevicePool};
 use gridsim_engine::{Engine, LaneSolver};
+use gridsim_grid::fingerprint::ScenarioFingerprint;
 use gridsim_grid::network::Network;
+use gridsim_store::{SolutionStore, StoreRunStats, StoreView};
 use gridsim_tron::TronSolver;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Per-slot control state of the outer/inner loop (one live scenario).
@@ -159,7 +162,30 @@ impl ScenarioScheduler {
     /// one's dimensions and topology (panics otherwise); results are in
     /// input order and bitwise independent of the device/lane configuration.
     pub fn solve(&self, nets: &[Network]) -> ScenarioBatchResult {
-        self.run(nets, None, None)
+        self.run(nets, None, None, None)
+    }
+
+    /// [`solve`](ScenarioScheduler::solve) with a warm-start solution
+    /// store: every admission (initial and streamed) consults the store and,
+    /// on a hit, re-seeds its slot from the nearest stored [`WarmState`]
+    /// instead of the cold start; every converged scenario is committed
+    /// back under `case_id` after the run.
+    ///
+    /// Determinism: lookups go against a [`StoreView`] snapshot frozen
+    /// before the run (this run's own results are invisible to its own
+    /// lookups) and inserts commit in input order afterwards, so — like
+    /// every other path through this scheduler — both the results and the
+    /// post-run store contents are bitwise independent of the device count,
+    /// lane cap, and launch backend. With an empty store every lookup
+    /// misses and the run is bitwise identical to
+    /// [`solve`](ScenarioScheduler::solve).
+    pub fn solve_with_store(
+        &self,
+        case_id: &str,
+        nets: &[Network],
+        store: &mut SolutionStore<WarmState>,
+    ) -> ScenarioBatchResult {
+        self.run(nets, None, None, Some((case_id, store)))
     }
 
     /// Solve all scenarios warm-started from one shared [`WarmState`],
@@ -171,7 +197,7 @@ impl ScenarioScheduler {
         warm: &WarmState,
         pg_bounds: Option<&[(Vec<f64>, Vec<f64>)]>,
     ) -> ScenarioBatchResult {
-        self.run(nets, Some(warm), pg_bounds)
+        self.run(nets, Some(warm), pg_bounds, None)
     }
 
     fn run(
@@ -179,6 +205,7 @@ impl ScenarioScheduler {
         nets: &[Network],
         warm: Option<&WarmState>,
         pg_bounds: Option<&[(Vec<f64>, Vec<f64>)]>,
+        store: Option<(&str, &mut SolutionStore<WarmState>)>,
     ) -> ScenarioBatchResult {
         let start_time = Instant::now();
         // The step loop performs one inner iteration per round before it
@@ -189,6 +216,14 @@ impl ScenarioScheduler {
             "ScenarioScheduler needs max_inner >= 1 and max_outer >= 1"
         );
         let problem = ScenarioProblem::build(nets, &self.params, pg_bounds);
+        // Fingerprints and the frozen lookup snapshot, when a store rides
+        // along. The mutable store handle is kept aside for the post-run
+        // commit; the fleet itself only ever sees the immutable view.
+        let store_ctx = store.map(|(case_id, s)| {
+            let fps: Vec<ScenarioFingerprint> =
+                nets.iter().map(ScenarioFingerprint::of_network).collect();
+            (case_id, s.view(), fps, s)
+        });
         let fleet = AdmmFleet {
             params: &self.params,
             problem: &problem,
@@ -196,18 +231,56 @@ impl ScenarioScheduler {
             warm,
             tron: TronSolver::new(self.params.tron.clone()),
             alm: AlmSettings::from_params(&self.params),
+            store: store_ctx
+                .as_ref()
+                .map(|(case_id, view, fps, _)| AdmmStoreBinding {
+                    case_id,
+                    view,
+                    fps,
+                    hits: AtomicUsize::new(0),
+                    misses: AtomicUsize::new(0),
+                }),
         };
         let mut engine = Engine::with_pool(self.pool.clone());
         if let Some(l) = self.lanes_per_device {
             engine = engine.with_lanes(l);
         }
         let run = engine.run(&fleet, nets.len());
-        ScenarioBatchResult {
+        let mut stats = StoreRunStats::default();
+        if let Some(binding) = &fleet.store {
+            stats.hits = binding.hits.load(Ordering::Relaxed);
+            stats.misses = binding.misses.load(Ordering::Relaxed);
+        }
+        let mut result = ScenarioBatchResult {
             results: run.outputs,
             solve_time: start_time.elapsed(),
             ticks: run.ticks,
+            store: stats,
+        };
+        // Commit converged scenarios back in input order: deterministic
+        // store contents regardless of device/lane/thread scheduling.
+        if let Some((case_id, _, fps, store)) = store_ctx {
+            for (fp, r) in fps.iter().zip(&result.results) {
+                if r.status == AdmmStatus::Converged {
+                    store.insert(case_id, fp, r.warm_state.clone());
+                    result.store.inserts += 1;
+                }
+            }
         }
+        result
     }
+}
+
+/// The store side of one fleet run: the frozen lookup snapshot, the
+/// scenarios' fingerprints, and the run's traffic counters (atomics: shards
+/// on different devices admit concurrently, and sums are order-independent
+/// so the totals stay deterministic).
+struct AdmmStoreBinding<'a> {
+    case_id: &'a str,
+    view: &'a StoreView<WarmState>,
+    fps: &'a [ScenarioFingerprint],
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 /// The ADMM scenario fleet: one borrowed problem/parameter view driving
@@ -219,6 +292,7 @@ struct AdmmFleet<'a> {
     warm: Option<&'a WarmState>,
     tron: TronSolver,
     alm: AlmSettings,
+    store: Option<AdmmStoreBinding<'a>>,
 }
 
 /// One device's shard: slot-major buffers plus per-lane control state.
@@ -229,6 +303,19 @@ struct AdmmShard {
     slot_data: Vec<ScenarioData>,
     segs: SegMaps,
     ll: usize,
+}
+
+impl AdmmFleet<'_> {
+    /// Fresh per-slot control state. When the whole run is seeded from a
+    /// shared warm state, new slots resume its β schedule — mirroring what
+    /// `AdmmSolver::solve_warm` does for a single scenario.
+    fn fresh_ctl(&self) -> ScenCtl {
+        let mut ctl = ScenCtl::fresh(self.params);
+        if let Some(w) = self.warm {
+            ctl.beta = w.beta;
+        }
+        ctl
+    }
 }
 
 impl LaneSolver for AdmmFleet<'_> {
@@ -279,7 +366,7 @@ impl LaneSolver for AdmmFleet<'_> {
         AdmmShard {
             device: device.clone(),
             st,
-            ctl: (0..ll).map(|_| ScenCtl::fresh(self.params)).collect(),
+            ctl: (0..ll).map(|_| self.fresh_ctl()).collect(),
             slot_data: initial.iter().map(|&i| problem.data[i].clone()).collect(),
             segs: SegMaps::build(ll, problem),
             ll,
@@ -397,7 +484,37 @@ impl LaneSolver for AdmmFleet<'_> {
         );
         admit_into_slot(&mut shard.st, slot, &seg, self.problem);
         shard.slot_data[slot] = self.problem.data[scenario].clone();
-        shard.ctl[slot] = ScenCtl::fresh(self.params);
+        shard.ctl[slot] = self.fresh_ctl();
+    }
+
+    fn on_admit(&self, shard: &mut AdmmShard, slot: usize, scenario: usize) {
+        let Some(binding) = &self.store else {
+            return;
+        };
+        match binding
+            .view
+            .nearest(binding.case_id, &binding.fps[scenario])
+        {
+            Some(hit) => {
+                // Rebuild the slot's segment from the stored warm state and
+                // replace the cold/shared-warm seed with a ranged re-upload.
+                // Control state stays fresh (the hit changes the starting
+                // point, not the iteration budget) except for β, which
+                // resumes the stored schedule along with the multipliers.
+                let seg = init_segment(
+                    &self.nets[scenario],
+                    &self.problem.data[scenario],
+                    self.problem,
+                    Some(&hit.entry.payload),
+                );
+                admit_into_slot(&mut shard.st, slot, &seg, self.problem);
+                shard.ctl[slot].beta = hit.entry.payload.beta;
+                binding.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                binding.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -508,7 +625,8 @@ fn extract_slot(
     let y = st.y.to_host_range(s * m, m);
     let lam = st.lam.to_host_range(s * m, m);
     let z = st.z.to_host_range(s * m, m);
-    let (solution, warm_state) = kernels::extract_segment(&gens, &branches, &buses, &y, &lam, &z);
+    let (solution, warm_state) =
+        kernels::extract_segment(&gens, &branches, &buses, &y, &lam, &z, ctl.beta);
     let quality = SolutionQuality::evaluate(net, &solution);
     ScenarioResult {
         name: net.name.clone(),

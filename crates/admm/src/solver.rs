@@ -44,6 +44,12 @@ pub struct WarmState {
     pub(crate) y: Vec<f64>,
     pub(crate) lam: Vec<f64>,
     pub(crate) z: Vec<f64>,
+    /// Outer penalty at extraction time. A warm restart resumes the β
+    /// schedule here instead of re-running it from `beta_init` — restarting
+    /// the schedule from scratch at a converged point re-perturbs the
+    /// multipliers and can walk a marginal case away from its fixed point
+    /// (the ADMM analog of restarting the interior-point μ cascade).
+    pub(crate) beta: f64,
 }
 
 /// Result of an ADMM solve.
@@ -142,7 +148,7 @@ impl AdmmSolver {
         let mut st = self.init_state(net, &layout, &data, &vplan, warm);
         let tron = TronSolver::new(params.tron.clone());
 
-        let mut beta = params.beta_init;
+        let mut beta = warm.map_or(params.beta_init, |w| w.beta);
         let mut total_inner = 0usize;
         let mut outer_done = 0usize;
         let mut z_inf_prev = f64::INFINITY;
@@ -193,7 +199,7 @@ impl AdmmSolver {
             z_inf_prev = z_inf;
         }
 
-        let (solution, warm_state) = self.extract(net, &st);
+        let (solution, warm_state) = self.extract(net, &st, beta);
         let quality = SolutionQuality::evaluate(net, &solution);
         AdmmResult {
             objective: solution.objective(net),
@@ -386,7 +392,7 @@ impl AdmmSolver {
 
     // -- solution extraction -------------------------------------------------
 
-    fn extract(&self, net: &Network, st: &DeviceState) -> (OpfSolution, WarmState) {
+    fn extract(&self, net: &Network, st: &DeviceState, beta: f64) -> (OpfSolution, WarmState) {
         let gens = st.gens.to_host();
         let branches = st.branches.to_host();
         let buses = st.buses.to_host();
@@ -397,6 +403,7 @@ impl AdmmSolver {
             &st.y.to_host(),
             &st.lam.to_host(),
             &st.z.to_host(),
+            beta,
         );
         let _ = net;
         (solution, warm)

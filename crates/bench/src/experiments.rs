@@ -3,13 +3,16 @@
 
 use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::{relative_gap, SolutionQuality};
-use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch, ScenarioScheduler};
+use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch, ScenarioScheduler, WarmState};
 use gridsim_batch::{Device, DevicePool, ExecutionMode};
 use gridsim_engine::Engine;
 use gridsim_grid::load_profile::LoadProfile;
 use gridsim_grid::network::Case;
 use gridsim_grid::scenario::ScenarioSet;
-use gridsim_ipm::{AcopfNlp, IpmFleetSolver, IpmOptions, IpmSolver, KktCache, KktStrategy, Nlp};
+use gridsim_ipm::{
+    AcopfNlp, IpmFleetSolver, IpmOptions, IpmSolver, IpmWarmStart, KktCache, KktStrategy, Nlp,
+};
+use gridsim_store::SolutionStore;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -675,6 +678,179 @@ pub fn run_fleet_throughput(
     }
 }
 
+/// One row of the warm-store experiment: a seeded perturbation sweep around
+/// one registry case solved cold and then warm out of a [`SolutionStore`]
+/// primed with a *different* seeded sweep of the same case — the reuse
+/// economics of the similarity-keyed store, measured for both solver
+/// families.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WarmStoreRow {
+    /// Case name (also the store's `case_id`).
+    pub name: String,
+    /// Scenarios in the priming sweep (inserted into the store).
+    pub prime_scenarios: usize,
+    /// Scenarios in the evaluation sweep (solved cold, then warm).
+    pub eval_scenarios: usize,
+    /// Per-bus uniform load-perturbation half-width of both sweeps.
+    pub sigma: f64,
+    /// Logical devices of the engine/scheduler runs.
+    pub devices: usize,
+    /// Total lanes the interior-point fleet opened.
+    pub lanes: usize,
+    /// Interior-point iterations summed over the cold evaluation sweep.
+    pub ipm_cold_iterations: usize,
+    /// Interior-point iterations summed over the warm (store-seeded)
+    /// evaluation sweep.
+    pub ipm_warm_iterations: usize,
+    /// `1 − warm/cold` interior-point iteration drop (the headline number).
+    pub ipm_iteration_drop: f64,
+    /// Wall-clock of the cold interior-point sweep (seconds).
+    pub ipm_cold_time_s: f64,
+    /// Wall-clock of the warm interior-point sweep (seconds).
+    pub ipm_warm_time_s: f64,
+    /// Store lookups that seeded a lane during the warm sweep.
+    pub ipm_store_hits: usize,
+    /// Store lookups that found nothing better than the lane chain.
+    pub ipm_store_misses: usize,
+    /// Converged solves the priming sweep committed into the store.
+    pub ipm_store_inserts: usize,
+    /// `hits / (hits + misses)` of the warm interior-point sweep.
+    pub ipm_hit_rate: f64,
+    /// Whether every interior-point solve (cold and warm) reached
+    /// optimality.
+    pub ipm_all_optimal: bool,
+    /// Worst relative objective gap between a scenario's warm and cold
+    /// solves (warm starts must not change the answer).
+    pub ipm_max_objective_gap: f64,
+    /// ADMM inner iterations summed over the cold evaluation sweep.
+    pub admm_cold_iterations: usize,
+    /// ADMM inner iterations summed over the warm evaluation sweep.
+    pub admm_warm_iterations: usize,
+    /// `1 − warm/cold` ADMM iteration drop.
+    pub admm_iteration_drop: f64,
+    /// Wall-clock of the cold ADMM sweep (seconds).
+    pub admm_cold_time_s: f64,
+    /// Wall-clock of the warm ADMM sweep (seconds).
+    pub admm_warm_time_s: f64,
+    /// Store hits of the warm ADMM sweep (slot re-seeds on admission).
+    pub admm_store_hits: usize,
+    /// `hits / (hits + misses)` of the warm ADMM sweep.
+    pub admm_hit_rate: f64,
+    /// Worst max-violation across the cold ADMM sweep.
+    pub admm_cold_worst_violation: f64,
+    /// Worst max-violation across the warm ADMM sweep.
+    pub admm_warm_worst_violation: f64,
+}
+
+/// Fraction of `cold` iterations the `warm` run saved (`0` when it saved
+/// nothing or `cold` is empty; negative when warm starts cost iterations).
+fn iteration_drop(cold: usize, warm: usize) -> f64 {
+    if cold == 0 {
+        0.0
+    } else {
+        1.0 - warm as f64 / cold as f64
+    }
+}
+
+/// Run the warm-store experiment on a case: prime a fresh [`SolutionStore`]
+/// with a seeded `prime_k`-scenario perturbation sweep, then solve a
+/// *different* seeded `eval_k`-scenario sweep (seed + 1) of the same case
+/// cold and warm, for both the interior-point fleet and the ADMM scenario
+/// scheduler. The headline columns are the iteration drops — every warm
+/// evaluation scenario is new to the store, so all reuse comes from
+/// nearest-neighbor similarity, not exact-key recall.
+#[allow(clippy::too_many_arguments)]
+pub fn run_warm_store(
+    name: &str,
+    case: &Case,
+    params: &AdmmParams,
+    prime_k: usize,
+    eval_k: usize,
+    sigma: f64,
+    seed: u64,
+    devices: usize,
+    lane_cap: Option<usize>,
+) -> WarmStoreRow {
+    let prime_nets = ScenarioSet::perturbed_loads(case.clone(), prime_k, sigma, seed)
+        .networks()
+        .expect("prime scenarios compile");
+    let eval_nets = ScenarioSet::perturbed_loads(case.clone(), eval_k, sigma, seed + 1)
+        .networks()
+        .expect("eval scenarios compile");
+
+    // --- interior-point fleet: cold, prime, warm ---
+    let ipm_options = IpmOptions {
+        tol: 1e-6,
+        max_iter: 300,
+        kkt_strategy: KktStrategy::Condensed,
+        ..Default::default()
+    };
+    let mut engine = Engine::with_pool(DevicePool::parallel(devices));
+    if let Some(l) = lane_cap {
+        engine = engine.with_lanes(l);
+    }
+    let ipm_solver = IpmFleetSolver::with_engine(ipm_options, engine);
+
+    let ipm_cold = ipm_solver.solve(&eval_nets);
+    let mut ipm_store: SolutionStore<IpmWarmStart> = SolutionStore::new();
+    let ipm_prime = ipm_solver.solve_with_store(name, &prime_nets, &mut ipm_store);
+    let ipm_warm = ipm_solver.solve_with_store(name, &eval_nets, &mut ipm_store);
+
+    let ipm_max_objective_gap = ipm_warm
+        .results
+        .iter()
+        .zip(&ipm_cold.results)
+        .map(|(w, c)| relative_gap(w.report.objective, c.report.objective))
+        .fold(0.0, f64::max);
+
+    // --- ADMM scenario scheduler: cold, prime, warm ---
+    let mut scheduler = ScenarioScheduler::with_pool(params.clone(), DevicePool::parallel(devices));
+    if let Some(l) = lane_cap {
+        scheduler = scheduler.with_lanes(l);
+    }
+    let admm_cold = scheduler.solve(&eval_nets);
+    let mut admm_store: SolutionStore<WarmState> = SolutionStore::new();
+    let _admm_prime = scheduler.solve_with_store(name, &prime_nets, &mut admm_store);
+    let admm_warm = scheduler.solve_with_store(name, &eval_nets, &mut admm_store);
+
+    WarmStoreRow {
+        name: name.to_string(),
+        prime_scenarios: prime_nets.len(),
+        eval_scenarios: eval_nets.len(),
+        sigma,
+        devices,
+        lanes: ipm_cold.lanes,
+        ipm_cold_iterations: ipm_cold.total_iterations(),
+        ipm_warm_iterations: ipm_warm.total_iterations(),
+        ipm_iteration_drop: iteration_drop(
+            ipm_cold.total_iterations(),
+            ipm_warm.total_iterations(),
+        ),
+        ipm_cold_time_s: ipm_cold.solve_time.as_secs_f64(),
+        ipm_warm_time_s: ipm_warm.solve_time.as_secs_f64(),
+        ipm_store_hits: ipm_warm.store.hits,
+        ipm_store_misses: ipm_warm.store.misses,
+        ipm_store_inserts: ipm_prime.store.inserts,
+        ipm_hit_rate: ipm_warm.store.hit_rate(),
+        ipm_all_optimal: ipm_cold.all_optimal()
+            && ipm_prime.all_optimal()
+            && ipm_warm.all_optimal(),
+        ipm_max_objective_gap,
+        admm_cold_iterations: admm_cold.total_inner_iterations(),
+        admm_warm_iterations: admm_warm.total_inner_iterations(),
+        admm_iteration_drop: iteration_drop(
+            admm_cold.total_inner_iterations(),
+            admm_warm.total_inner_iterations(),
+        ),
+        admm_cold_time_s: admm_cold.solve_time.as_secs_f64(),
+        admm_warm_time_s: admm_warm.solve_time.as_secs_f64(),
+        admm_store_hits: admm_warm.store.hits,
+        admm_hit_rate: admm_warm.store.hit_rate(),
+        admm_cold_worst_violation: admm_cold.worst_violation(),
+        admm_warm_worst_violation: admm_warm.worst_violation(),
+    }
+}
+
 /// Serialize experiment results to pretty JSON (written next to the text
 /// tables so plots can be regenerated without re-running the experiment).
 pub fn to_json<T: Serialize>(value: &T) -> String {
@@ -804,6 +980,48 @@ mod tests {
             back.ipm_fleet_symbolic_analyses,
             row.ipm_fleet_symbolic_analyses
         );
+    }
+
+    #[test]
+    fn warm_store_row_drops_iterations_on_case9() {
+        let row = run_warm_store(
+            "case9",
+            &cases::case9(),
+            &AdmmParams::test_profile(),
+            6,
+            4,
+            0.02,
+            7,
+            2,
+            Some(1),
+        );
+        assert_eq!(row.prime_scenarios, 6);
+        assert_eq!(row.eval_scenarios, 4);
+        assert!(row.ipm_all_optimal, "an interior-point solve failed");
+        // Every eval scenario finds a primed neighbor within the default
+        // 10% relative-distance threshold at sigma = 2%.
+        assert_eq!(row.ipm_store_hits + row.ipm_store_misses, 4);
+        assert!(row.ipm_store_hits > 0, "no store hits at sigma 2%");
+        assert_eq!(row.ipm_store_inserts, 6, "a priming solve failed");
+        assert!(row.admm_store_hits > 0, "ADMM sweep never hit the store");
+        // The economics the row exists to record: warm starts shed
+        // interior-point iterations and never change the answer.
+        assert!(
+            row.ipm_warm_iterations < row.ipm_cold_iterations,
+            "warm {} vs cold {}",
+            row.ipm_warm_iterations,
+            row.ipm_cold_iterations
+        );
+        assert!(row.ipm_iteration_drop > 0.0);
+        assert!(
+            row.ipm_max_objective_gap < 1e-5,
+            "gap {}",
+            row.ipm_max_objective_gap
+        );
+        // Round-trips through the JSON export like the other rows.
+        let back: WarmStoreRow = serde_json::from_str(&to_json(&row)).unwrap();
+        assert_eq!(back.ipm_store_hits, row.ipm_store_hits);
+        assert_eq!(back.ipm_warm_iterations, row.ipm_warm_iterations);
     }
 
     #[test]

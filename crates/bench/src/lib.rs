@@ -20,6 +20,7 @@
 //! | Scale     | `scenario_throughput` | batched K-scenario solve vs K sequential solves |
 //! | Fleets    | `fleet_throughput` | ADMM vs interior-point fleets on the execution engine; symbolic analyses per lane vs per scenario |
 //! | Backends  | `backend_sweep` | per-kernel wall-clock under each launch backend (sequential / parallel / vectorized) at bitwise-identical numerics |
+//! | Store     | `warm_store` | seeded perturbation sweep cold vs warm out of the similarity-keyed solution store; iteration drop + hit rate |
 //!
 //! The paper's full case sizes (up to 70,000 buses) are expensive for the
 //! *baseline* on a CPU-only substrate, so every binary accepts
@@ -32,9 +33,9 @@ pub mod table;
 
 pub use experiments::{
     run_backend_sweep, run_cold_start, run_device_sweep_row, run_fleet_throughput,
-    run_kkt_comparison, run_scenario_throughput, run_tracking_comparison, BackendSweepRow,
-    ColdStartRow, DeviceSweepRow, FleetThroughputRow, KktStrategyRow, ScenarioThroughputRow,
-    TrackingRow,
+    run_kkt_comparison, run_scenario_throughput, run_tracking_comparison, run_warm_store,
+    BackendSweepRow, ColdStartRow, DeviceSweepRow, FleetThroughputRow, KktStrategyRow,
+    ScenarioThroughputRow, TrackingRow, WarmStoreRow,
 };
 pub use registry::{arg_value, BenchCase, Scale};
 pub use table::TextTable;

@@ -78,6 +78,17 @@ pub trait LaneSolver: Sync {
 
     /// Admit `scenario` into the freed slot `slot`.
     fn admit(&self, shard: &mut Self::Shard, slot: usize, scenario: usize);
+
+    /// Called once for every admission — each initial occupant right after
+    /// [`open_shard`](LaneSolver::open_shard) (in slot order) and each
+    /// streamed refill right after its [`admit`](LaneSolver::admit) — so a
+    /// solver has one uniform point to re-seed a freshly admitted lane
+    /// (e.g. from a warm-start solution store) regardless of whether the
+    /// scenario arrived with the opening batch or through streaming.
+    /// Default: no-op.
+    fn on_admit(&self, shard: &mut Self::Shard, slot: usize, scenario: usize) {
+        let _ = (shard, slot, scenario);
+    }
 }
 
 /// Result of one engine run.
@@ -223,6 +234,9 @@ fn run_shard<S: LaneSolver>(
     let plan = admission_plan(shard, lane_cap);
     let ll = plan.lanes;
     let mut state = solver.open_shard(device, &plan.initial);
+    for (s, &scenario) in plan.initial.iter().enumerate() {
+        solver.on_admit(&mut state, s, scenario);
+    }
     let mut occupant = plan.initial;
     let mut queue = plan.refills.into_iter();
     let mut active = vec![true; ll];
@@ -242,6 +256,7 @@ fn run_shard<S: LaneSolver>(
             match queue.next() {
                 Some(next) => {
                     solver.admit(&mut state, s, next);
+                    solver.on_admit(&mut state, s, next);
                     occupant[s] = next;
                 }
                 None => active[s] = false,
@@ -262,6 +277,7 @@ mod tests {
     struct Countdown {
         work: Vec<usize>,
         opened_shards: AtomicUsize,
+        hook_calls: std::sync::Mutex<Vec<(usize, usize)>>,
     }
 
     struct CountdownShard {
@@ -275,6 +291,7 @@ mod tests {
             Countdown {
                 work,
                 opened_shards: AtomicUsize::new(0),
+                hook_calls: std::sync::Mutex::new(Vec::new()),
             }
         }
     }
@@ -323,6 +340,11 @@ mod tests {
             shard.current[slot] = scenario;
             shard.admissions.push(scenario);
         }
+
+        fn on_admit(&self, shard: &mut CountdownShard, slot: usize, scenario: usize) {
+            assert_eq!(shard.current[slot], scenario, "hook fires on the occupant");
+            self.hook_calls.lock().unwrap().push((slot, scenario));
+        }
     }
 
     #[test]
@@ -368,6 +390,27 @@ mod tests {
         assert_eq!(solver.opened_shards.load(Ordering::Relaxed), 2);
         assert_eq!(run.outputs.len(), 2);
         assert_eq!(run.device_stats.len(), 5, "one delta per pool device");
+    }
+
+    #[test]
+    fn on_admit_fires_once_per_admission_initial_and_streamed() {
+        // One device, two lanes over five scenarios: slots open with {0, 1}
+        // and stream {2, 3, 4} in as lanes drain.
+        let work = vec![2, 1, 1, 1, 1];
+        let solver = Countdown::new(work.clone());
+        let run = Engine::with_pool(DevicePool::parallel(1))
+            .with_lanes(2)
+            .run(&solver, work.len());
+        assert_eq!(run.outputs.len(), work.len());
+        let calls = solver.hook_calls.lock().unwrap();
+        // Exactly one hook call per admitted scenario, starting with the
+        // initial occupants in slot order.
+        assert_eq!(calls.len(), work.len());
+        assert_eq!(calls[0], (0, 0));
+        assert_eq!(calls[1], (1, 1));
+        let mut seen: Vec<usize> = calls.iter().map(|&(_, sc)| sc).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

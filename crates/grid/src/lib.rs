@@ -17,6 +17,8 @@
 //!   ([`load_profile`]),
 //! * scenario-set generation (load ramps, per-bus perturbations, N−1
 //!   branch outages) for batched multi-scenario solves ([`scenario`]),
+//! * scenario fingerprints (load vector + structure signature) keying the
+//!   warm-start solution store ([`fingerprint`]),
 //! * and a compiled, per-unit, internally-indexed [`Network`] with branch
 //!   admittances and adjacency used by both the ADMM solver and the
 //!   interior-point baseline.
@@ -25,6 +27,7 @@ pub mod branch;
 pub mod bus;
 pub mod cases;
 pub mod error;
+pub mod fingerprint;
 pub mod generator;
 pub mod load_profile;
 pub mod matpower;
@@ -37,6 +40,7 @@ pub use branch::Branch;
 pub use bus::{Bus, BusType};
 pub use cases::{case14, case30_like, case5, case9, two_bus};
 pub use error::GridError;
+pub use fingerprint::ScenarioFingerprint;
 pub use generator::{GenCost, Generator};
 pub use load_profile::LoadProfile;
 pub use network::{Case, Network};

@@ -38,8 +38,32 @@ use gridsim_acopf::solution::OpfSolution;
 use gridsim_acopf::violations::SolutionQuality;
 use gridsim_batch::Device;
 use gridsim_engine::{Engine, LaneSolver};
+use gridsim_grid::fingerprint::ScenarioFingerprint;
 use gridsim_grid::network::Network;
+use gridsim_store::{SolutionStore, StoreRunStats, StoreView};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
+
+/// The interior-point payload a [`SolutionStore`] keeps per solved
+/// scenario: the converged primal point, the stacked
+/// equality-then-inequality multipliers, and the bound multipliers —
+/// exactly what [`IpmOptions::initial_point`] /
+/// [`IpmOptions::initial_multipliers`] /
+/// [`IpmOptions::initial_bound_multipliers`] accept. Carrying the bound
+/// multipliers is what makes the reuse pay: they hold the donor's active
+/// set and terminal barrier level, so a seeded solve resumes the μ
+/// trajectory instead of descending from `mu_init` again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpmWarmStart {
+    /// Converged primal variables.
+    pub x: Vec<f64>,
+    /// Stacked multipliers: `lambda_eq` followed by `lambda_ineq`.
+    pub lambda: Vec<f64>,
+    /// Lower-bound multipliers over `v = [x; s]`.
+    pub zl: Vec<f64>,
+    /// Upper-bound multipliers over `v = [x; s]`.
+    pub zu: Vec<f64>,
+}
 
 /// One scenario's result inside a fleet solve.
 #[derive(Debug, Clone)]
@@ -68,6 +92,11 @@ pub struct FleetReport {
     /// Total lanes the engine opened across devices — the number of
     /// independent warm-start chains and [`KktCache`]s.
     pub lanes: usize,
+    /// Solution-store traffic for this run: admissions seeded from a stored
+    /// neighbor (hits), admissions that consulted the store without being
+    /// seeded from it (misses), and converged solves committed back
+    /// (inserts). All zero for [`IpmFleetSolver::solve`] (no store).
+    pub store: StoreRunStats,
 }
 
 impl FleetReport {
@@ -171,6 +200,7 @@ impl IpmFleetSolver {
         let fleet = IpmFleet {
             options: &self.options,
             nets,
+            store: None,
         };
         let run = self.engine.run(&fleet, nets.len());
         FleetReport {
@@ -178,14 +208,100 @@ impl IpmFleetSolver {
             solve_time: run.solve_time,
             ticks: run.ticks,
             lanes: self.engine.total_lanes(nets.len()),
+            store: StoreRunStats::default(),
         }
     }
+
+    /// [`solve`](IpmFleetSolver::solve) with a warm-start solution store:
+    /// every admission consults the store and seeds the lane from the
+    /// nearest stored neighbor when that neighbor is closer (in RMS load
+    /// distance) than the lane's own chained point, and every converged
+    /// solve is committed back under `case_id` after the run.
+    ///
+    /// Determinism: lookups go against a [`StoreView`] snapshot frozen
+    /// before the run (this run's own results are invisible to its
+    /// lookups), and inserts commit in input order afterwards — so the
+    /// post-run store contents are independent of device count, lane caps,
+    /// and thread timing, and re-running with identical store contents and
+    /// engine configuration reproduces results bitwise.
+    pub fn solve_with_store(
+        &self,
+        case_id: &str,
+        nets: &[Network],
+        store: &mut SolutionStore<IpmWarmStart>,
+    ) -> FleetReport {
+        assert!(!nets.is_empty(), "need at least one scenario");
+        let fps: Vec<ScenarioFingerprint> =
+            nets.iter().map(ScenarioFingerprint::of_network).collect();
+        let view = store.view();
+        let fleet = IpmFleet {
+            options: &self.options,
+            nets,
+            store: Some(StoreBinding {
+                case_id,
+                view: &view,
+                fps: &fps,
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
+        };
+        let run = self.engine.run(&fleet, nets.len());
+        let binding = fleet.store.as_ref().expect("binding outlives the run");
+        let mut report = FleetReport {
+            results: run.outputs,
+            solve_time: run.solve_time,
+            ticks: run.ticks,
+            lanes: self.engine.total_lanes(nets.len()),
+            store: StoreRunStats {
+                hits: binding.hits.load(Ordering::Relaxed),
+                misses: binding.misses.load(Ordering::Relaxed),
+                inserts: 0,
+            },
+        };
+        // Commit converged solves back in input order: deterministic store
+        // contents regardless of which device solved what when.
+        for (fp, r) in fps.iter().zip(&report.results) {
+            if r.report.is_optimal() {
+                store.insert(
+                    case_id,
+                    fp,
+                    IpmWarmStart {
+                        x: r.report.x.clone(),
+                        lambda: r
+                            .report
+                            .lambda_eq
+                            .iter()
+                            .chain(r.report.lambda_ineq.iter())
+                            .copied()
+                            .collect(),
+                        zl: r.report.zl.clone(),
+                        zu: r.report.zu.clone(),
+                    },
+                );
+                report.store.inserts += 1;
+            }
+        }
+        report
+    }
+}
+
+/// The store side of one fleet run: the frozen lookup snapshot, the
+/// scenarios' fingerprints, and the run's traffic counters (atomics: lanes
+/// on different devices admit concurrently, and sums are order-independent
+/// so the totals stay deterministic).
+struct StoreBinding<'a> {
+    case_id: &'a str,
+    view: &'a StoreView<IpmWarmStart>,
+    fps: &'a [ScenarioFingerprint],
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 /// The borrowed per-run view the engine drives.
 struct IpmFleet<'a> {
     options: &'a IpmOptions,
     nets: &'a [Network],
+    store: Option<StoreBinding<'a>>,
 }
 
 /// One lane: its symbolic-analysis cache, its warm-start carry, and the
@@ -194,6 +310,11 @@ struct IpmLane {
     cache: KktCache,
     warm_x: Option<Vec<f64>>,
     warm_lambda: Option<Vec<f64>>,
+    warm_z: Option<(Vec<f64>, Vec<f64>)>,
+    /// The scenario whose converged point `warm_x`/`warm_lambda` currently
+    /// hold — the lane's chain anchor, which a store hit must beat (in RMS
+    /// load distance to the incoming scenario) to replace the carry.
+    chain_scenario: Option<usize>,
     admitted: Option<usize>,
     finished: Option<SolveReport>,
 }
@@ -204,6 +325,8 @@ impl IpmLane {
             cache: KktCache::new(),
             warm_x: None,
             warm_lambda: None,
+            warm_z: None,
+            chain_scenario: None,
             admitted: Some(scenario),
             finished: None,
         }
@@ -244,6 +367,8 @@ impl LaneSolver for IpmFleet<'_> {
             // NLP's own) initial point applies.
             options.initial_point = lane.warm_x.take().or(options.initial_point);
             options.initial_multipliers = lane.warm_lambda.take().or(options.initial_multipliers);
+            options.initial_bound_multipliers =
+                lane.warm_z.take().or(options.initial_bound_multipliers);
             let solver = IpmSolver {
                 options,
                 device: shard.device.clone(),
@@ -258,6 +383,8 @@ impl LaneSolver for IpmFleet<'_> {
                     .copied()
                     .collect(),
             );
+            lane.warm_z = Some((report.zl.clone(), report.zu.clone()));
+            lane.chain_scenario = Some(idx);
             lane.finished = Some(report);
             finished[s] = true;
         }
@@ -282,6 +409,37 @@ impl LaneSolver for IpmFleet<'_> {
 
     fn admit(&self, shard: &mut IpmShard, slot: usize, scenario: usize) {
         shard.lanes[slot].admitted = Some(scenario);
+    }
+
+    fn on_admit(&self, shard: &mut IpmShard, slot: usize, scenario: usize) {
+        let Some(binding) = &self.store else {
+            return;
+        };
+        let fp = &binding.fps[scenario];
+        let lane = &mut shard.lanes[slot];
+        // The lane chain's distance to the incoming scenario; an absent or
+        // structurally incompatible chain never beats a store hit.
+        let chain_distance = lane.chain_scenario.map_or(f64::INFINITY, |prev| {
+            let pfp = &binding.fps[prev];
+            if pfp.structure == fp.structure {
+                pfp.distance(fp)
+            } else {
+                f64::INFINITY
+            }
+        });
+        match binding.view.nearest(binding.case_id, fp) {
+            // Strictly closer than the chain: seed the lane from the store.
+            // Ties keep the chain (it is already resident in the lane).
+            Some(hit) if hit.distance < chain_distance => {
+                lane.warm_x = Some(hit.entry.payload.x.clone());
+                lane.warm_lambda = Some(hit.entry.payload.lambda.clone());
+                lane.warm_z = Some((hit.entry.payload.zl.clone(), hit.entry.payload.zu.clone()));
+                binding.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                binding.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -370,5 +528,80 @@ mod tests {
     #[should_panic(expected = "at least one scenario")]
     fn empty_fleet_is_rejected() {
         let _ = IpmFleetSolver::new(condensed()).solve(&[]);
+    }
+
+    #[test]
+    fn empty_store_run_matches_plain_solve_bitwise_and_fills_the_store() {
+        let nets = ScenarioSet::load_ramp(cases::case9(), 3, 0.99, 1.01)
+            .networks()
+            .unwrap();
+        let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
+        let solver = IpmFleetSolver::with_engine(condensed(), engine);
+        let plain = solver.solve(&nets);
+        let mut store = SolutionStore::new();
+        let stored = solver.solve_with_store("case9", &nets, &mut store);
+        // An empty store changes nothing about the solves…
+        assert_eq!(stored.store.hits, 0);
+        assert_eq!(stored.store.misses, nets.len());
+        for (a, b) in plain.results.iter().zip(&stored.results) {
+            assert_eq!(a.report.iterations, b.report.iterations);
+            assert_eq!(a.report.x, b.report.x, "{}", a.name);
+        }
+        // …but every converged solve is committed back, in input order.
+        assert_eq!(stored.store.inserts, nets.len());
+        assert_eq!(store.len(), nets.len());
+        assert_eq!(store.group_count(), 1, "one structure class for a ramp");
+    }
+
+    #[test]
+    fn warm_store_rerun_hits_and_converges_to_the_same_solution() {
+        let nets = ScenarioSet::load_ramp(cases::case9(), 3, 0.99, 1.01)
+            .networks()
+            .unwrap();
+        let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
+        let solver = IpmFleetSolver::with_engine(condensed(), engine);
+        let mut store = SolutionStore::new();
+        let cold = solver.solve_with_store("case9", &nets, &mut store);
+        let warm = solver.solve_with_store("case9", &nets, &mut store);
+        assert!(warm.all_optimal());
+        // Every scenario now has a distance-0 neighbor: all hits, and the
+        // exact-duplicate re-inserts replace rather than grow the store.
+        assert_eq!(warm.store.hits, nets.len());
+        assert_eq!(store.len(), nets.len());
+        // Warm solves start at the answer: no more iterations than cold,
+        // and the same solution to solver tolerance.
+        assert!(warm.total_iterations() <= cold.total_iterations());
+        for (c, w) in cold.results.iter().zip(&warm.results) {
+            assert!(
+                (c.report.objective - w.report.objective).abs()
+                    <= 1e-6 * (1.0 + c.report.objective.abs()),
+                "{}: cold {} vs warm {}",
+                c.name,
+                c.report.objective,
+                w.report.objective
+            );
+        }
+    }
+
+    #[test]
+    fn store_hit_beats_a_farther_lane_chain() {
+        // One lane solving a near pair after a far scenario: the chain
+        // anchor is far, the stored neighbor is exact.
+        let base = cases::case9();
+        let far = base.scale_load(1.06).compile().unwrap();
+        let near = base.scale_load(1.001).compile().unwrap();
+        let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
+        let solver = IpmFleetSolver::with_engine(condensed(), engine);
+        let mut store = SolutionStore::new();
+        // Prime the store with the near scenario's solution.
+        let prime = solver.solve_with_store("case9", std::slice::from_ref(&near), &mut store);
+        assert!(prime.all_optimal());
+        // Far then near on one lane: without the store the near solve would
+        // chain from the far point; with it, the admission takes the
+        // distance-0 stored neighbor instead.
+        let run = solver.solve_with_store("case9", &[far, near], &mut store);
+        assert!(run.all_optimal());
+        assert_eq!(run.store.hits + run.store.misses, 2);
+        assert!(run.store.hits >= 1, "the near admission must hit");
     }
 }

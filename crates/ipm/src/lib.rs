@@ -43,7 +43,7 @@ pub mod report;
 pub mod solver;
 
 pub use acopf_nlp::AcopfNlp;
-pub use fleet::{FleetReport, FleetScenarioResult, IpmFleetSolver};
+pub use fleet::{FleetReport, FleetScenarioResult, IpmFleetSolver, IpmWarmStart};
 pub use kkt_condensed::{KktCache, KktStrategy, RefactorMicrobench};
 pub use nlp::Nlp;
 pub use report::{IpmStatus, IterationRecord, SolveReport};

@@ -48,6 +48,15 @@ pub struct SolveReport {
     pub lambda_eq: Vec<f64>,
     /// Inequality-constraint multipliers.
     pub lambda_ineq: Vec<f64>,
+    /// Lower-bound multipliers over the slacked vector `v = [x; s]`
+    /// (dimension `nx + m_ineq`; zero where the bound is infinite). Feed
+    /// them back through
+    /// [`IpmOptions::initial_bound_multipliers`](crate::IpmOptions::initial_bound_multipliers)
+    /// to warm-start a related solve without losing the active set.
+    pub zl: Vec<f64>,
+    /// Upper-bound multipliers over `v = [x; s]`, like
+    /// [`zl`](SolveReport::zl).
+    pub zu: Vec<f64>,
     /// Termination status.
     pub status: IpmStatus,
     /// Number of iterations performed.
@@ -101,6 +110,8 @@ mod tests {
             objective: 0.0,
             lambda_eq: vec![],
             lambda_ineq: vec![],
+            zl: vec![],
+            zu: vec![],
             status: IpmStatus::Optimal,
             iterations: 3,
             kkt_error: 1e-9,

@@ -43,6 +43,8 @@ const GRAD_SCALE_MAX: f64 = 100.0;
 const KAPPA_SIGMA: f64 = 1e10;
 /// Hard cap on step halvings per line search (α_min can be 0 when θ = 0).
 const MAX_HALVINGS: usize = 60;
+/// Positivity floor for warm-started bound multipliers.
+const Z_WARM_MIN: f64 = 1e-10;
 
 /// Options for the interior-point solver.
 #[derive(Debug, Clone)]
@@ -73,6 +75,18 @@ pub struct IpmOptions {
     pub initial_point: Option<Vec<f64>>,
     /// Optional warm start for the constraint multipliers `[λ_E; λ_I]`.
     pub initial_multipliers: Option<Vec<f64>>,
+    /// Optional warm start for the bound multipliers `(z_L, z_U)` over the
+    /// slacked vector `v = [x; s]` (dimension `nx + m_ineq` each, as
+    /// returned in [`SolveReport::zl`](crate::SolveReport::zl)/
+    /// [`zu`](crate::SolveReport::zu)). Without it the solver
+    /// re-initializes `z = μ_init / slack` — which erases the active-set
+    /// information a near-optimal [`initial_point`](IpmOptions::initial_point)
+    /// carries and forces the full cold μ descent. With it the multipliers
+    /// are carried (clamped positive) and the initial barrier parameter
+    /// starts from their average complementarity instead of
+    /// [`mu_init`](IpmOptions::mu_init), so a start near an optimum resumes
+    /// the barrier trajectory where the donor solve left off.
+    pub initial_bound_multipliers: Option<(Vec<f64>, Vec<f64>)>,
     /// Which KKT path each Newton step uses: the full augmented system
     /// (fresh symbolic analysis per factorization) or the condensed-space
     /// system with frozen-pattern numeric refactorization on the batch
@@ -95,6 +109,7 @@ impl Default for IpmOptions {
             delta_c: 1e-8,
             initial_point: None,
             initial_multipliers: None,
+            initial_bound_multipliers: None,
             kkt_strategy: KktStrategy::default(),
         }
     }
@@ -512,12 +527,40 @@ impl IpmSolver {
         let mut mu = opts.mu_init;
         let mut zl = vec![0.0; nv];
         let mut zu = vec![0.0; nv];
-        for i in 0..nv {
-            if lower[i].is_finite() {
-                zl[i] = mu / (v[i] - lower[i]);
+        let warm_z = opts
+            .initial_bound_multipliers
+            .as_ref()
+            .filter(|(wl, wu)| wl.len() == nv && wu.len() == nv);
+        if let Some((wl, wu)) = warm_z {
+            // Carry the donor's bound multipliers (internally scaled like λ,
+            // clamped positive) and resume the barrier trajectory at their
+            // average complementarity: a near-optimal start keeps its
+            // active-set information and skips the cold μ descent.
+            let mut comp_sum = 0.0;
+            let mut comp_n = 0usize;
+            for i in 0..nv {
+                if lower[i].is_finite() {
+                    zl[i] = (s_f * wl[i]).max(Z_WARM_MIN);
+                    comp_sum += (v[i] - lower[i]) * zl[i];
+                    comp_n += 1;
+                }
+                if upper[i].is_finite() {
+                    zu[i] = (s_f * wu[i]).max(Z_WARM_MIN);
+                    comp_sum += (upper[i] - v[i]) * zu[i];
+                    comp_n += 1;
+                }
             }
-            if upper[i].is_finite() {
-                zu[i] = mu / (upper[i] - v[i]);
+            if comp_n > 0 {
+                mu = (comp_sum / comp_n as f64).clamp(opts.tol / 10.0, opts.mu_init);
+            }
+        } else {
+            for i in 0..nv {
+                if lower[i].is_finite() {
+                    zl[i] = mu / (v[i] - lower[i]);
+                }
+                if upper[i].is_finite() {
+                    zu[i] = mu / (upper[i] - v[i]);
+                }
             }
         }
 
@@ -1070,6 +1113,8 @@ impl IpmSolver {
             objective,
             lambda_eq: lambda[..m_eq].iter().map(|l| l / s_f).collect(),
             lambda_ineq: lambda[m_eq..].iter().map(|l| l / s_f).collect(),
+            zl: zl.iter().map(|z| z / s_f).collect(),
+            zu: zu.iter().map(|z| z / s_f).collect(),
             status,
             iterations,
             kkt_error,

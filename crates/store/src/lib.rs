@@ -1,0 +1,661 @@
+//! # gridsim-store
+//!
+//! Warm-start solution store: similarity-keyed solve reuse across fleets.
+//!
+//! The source paper's tracking result (Kim & Kim, ICPP 2022) is that
+//! re-solving ACOPF from the previous solution costs a fraction of a cold
+//! solve when the problem has only drifted. [`SolutionStore`] lifts that
+//! economics above a single fleet run: it maps (case id, scenario
+//! fingerprint) → a stored solver state, so *any* admitted scenario — in a
+//! later fleet, a later job, a later time period — can warm-start from the
+//! nearest previously solved neighbor. It is the fleet-level rung of the
+//! same reuse ladder `KktCache` occupies one level down (pay the expensive
+//! thing once per equivalence class, replay everywhere else).
+//!
+//! ## Keying and lookup
+//!
+//! Entries are grouped by `(case id, structure signature, load dimension)`
+//! — see [`ScenarioFingerprint`]: the structure signature hashes everything
+//! that is not load, so an N−1 outage (which changes a branch admittance)
+//! lands in its own group and a lookup never seeds a solve from a
+//! topologically incompatible solution. Within a group, lookup is
+//! nearest-neighbor under the dimension-normalized L2 (RMS) load distance,
+//! subject to a relative eligibility radius
+//! (`max_relative_distance × query RMS norm`): a neighbor too far away is
+//! worse than a cold start, so it is reported as a miss.
+//!
+//! Lookup is sublinear via a **vantage index**: the vantage point is the
+//! zero vector, so each entry's coordinate is simply its RMS load norm, and
+//! entries hash into coarse norm buckets. A query walks buckets outward
+//! from its own norm and prunes a bucket only when its triangle-inequality
+//! lower bound *strictly* exceeds the best distance found — strict, so an
+//! equal-distance entry in a farther bucket is still scanned and the
+//! deterministic tie-break below still sees it.
+//!
+//! ## Determinism rules
+//!
+//! * The nearest neighbor is chosen by `(distance, insertion index)`
+//!   lexicographic order — independent of bucket-scan order, so identical
+//!   store contents give bit-identical lookups. [`StoreView::nearest`]
+//!   equals the brute-force linear scan ([`StoreView::nearest_linear`]),
+//!   which the property suite pins.
+//! * Fleet runs look up against a [`StoreView`] — an immutable snapshot
+//!   taken before the run — and commit their own results back *after* the
+//!   run, in input order. Mid-run inserts are therefore invisible to
+//!   lookups, which makes both the fleet results and the post-run store
+//!   contents independent of device count, lane caps, and thread timing.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+pub use gridsim_grid::fingerprint::{rms_distance, ScenarioFingerprint};
+
+/// Relative slack when pruning a bucket: a bucket survives unless its
+/// distance lower bound exceeds the current best by more than this relative
+/// margin, guarding the exact-equals-brute-force contract against f64
+/// rounding in the triangle-inequality bound.
+const PRUNE_SLACK: f64 = 1e-9;
+
+/// Tuning knobs for a [`SolutionStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Eligibility radius as a fraction of the query's RMS load norm: a
+    /// neighbor at RMS distance beyond `max_relative_distance × ‖query‖`
+    /// is a miss (too far to be a useful warm start).
+    pub max_relative_distance: f64,
+    /// Width of the vantage-index norm buckets, in RMS-norm units (p.u.
+    /// load). Coarser buckets scan more entries per ring; finer buckets
+    /// walk more rings.
+    pub bucket_width: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            max_relative_distance: 0.1,
+            bucket_width: 0.05,
+        }
+    }
+}
+
+/// One stored solution: the load coordinates it was solved at plus an
+/// opaque solver-specific payload (`IpmWarmStart` for interior-point
+/// fleets, `WarmState` for ADMM fleets).
+#[derive(Debug)]
+pub struct StoredEntry<P> {
+    /// Load coordinates of the solved scenario (`[pd; qd]`, p.u.).
+    pub loads: Vec<f64>,
+    /// RMS norm of `loads` — the entry's vantage coordinate.
+    pub norm: f64,
+    /// The solver state to warm-start from.
+    pub payload: P,
+}
+
+/// A successful lookup: the nearest stored entry, how far it is, and its
+/// insertion index (the deterministic tie-break key).
+#[derive(Debug)]
+pub struct StoreHit<P> {
+    /// The stored entry (shared, not copied).
+    pub entry: Arc<StoredEntry<P>>,
+    /// RMS load distance from the query to the entry.
+    pub distance: f64,
+    /// Insertion index of the entry within its group.
+    pub index: usize,
+}
+
+impl<P> Clone for StoreHit<P> {
+    fn clone(&self) -> StoreHit<P> {
+        StoreHit {
+            entry: Arc::clone(&self.entry),
+            distance: self.distance,
+            index: self.index,
+        }
+    }
+}
+
+/// What [`SolutionStore::insert`] did with the new solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A new entry was appended at this insertion index.
+    Inserted(usize),
+    /// An entry with bitwise-identical loads already existed at this index;
+    /// its payload was replaced (the index — and therefore every tie-break
+    /// — is unchanged).
+    Replaced(usize),
+}
+
+/// Per-run store traffic counters, surfaced in `FleetReport` and scenario
+/// batch statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreRunStats {
+    /// Admissions seeded from a stored neighbor.
+    pub hits: usize,
+    /// Admissions that consulted the store without being seeded from it
+    /// (no eligible neighbor, or the lane's own chained point was closer).
+    pub misses: usize,
+    /// Solutions committed back to the store after the run.
+    pub inserts: usize,
+}
+
+impl StoreRunStats {
+    /// Hits over lookups, in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Accumulate another run's counters into this one.
+    pub fn merge(&mut self, other: &StoreRunStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.inserts += other.inserts;
+    }
+}
+
+/// Group key: only entries solved for the same named case, with the same
+/// structure signature and load dimension, are comparable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    case_id: String,
+    structure: u64,
+    dim: usize,
+}
+
+/// One warm-start-compatible equivalence class: its entries in insertion
+/// order plus the norm-bucket vantage index over them.
+#[derive(Debug)]
+struct Group<P> {
+    entries: Vec<Arc<StoredEntry<P>>>,
+    /// bucket id (`floor(norm / bucket_width)`) → entry indices, ascending.
+    buckets: BTreeMap<i64, Vec<usize>>,
+}
+
+impl<P> Group<P> {
+    fn new() -> Group<P> {
+        Group {
+            entries: Vec::new(),
+            buckets: BTreeMap::new(),
+        }
+    }
+}
+
+impl<P> Clone for Group<P> {
+    fn clone(&self) -> Group<P> {
+        Group {
+            entries: self.entries.iter().map(Arc::clone).collect(),
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
+/// The mutable similarity-keyed solution store. See the
+/// [module docs](self) for keying, lookup, and determinism rules.
+#[derive(Debug)]
+pub struct SolutionStore<P> {
+    config: StoreConfig,
+    groups: HashMap<GroupKey, Group<P>>,
+}
+
+impl<P> Default for SolutionStore<P> {
+    fn default() -> SolutionStore<P> {
+        SolutionStore::new()
+    }
+}
+
+impl<P> SolutionStore<P> {
+    /// An empty store with [`StoreConfig::default`].
+    pub fn new() -> SolutionStore<P> {
+        SolutionStore::with_config(StoreConfig::default())
+    }
+
+    /// An empty store with explicit tuning.
+    pub fn with_config(config: StoreConfig) -> SolutionStore<P> {
+        assert!(
+            config.max_relative_distance >= 0.0,
+            "max_relative_distance must be non-negative"
+        );
+        assert!(
+            config.bucket_width > 0.0 && config.bucket_width.is_finite(),
+            "bucket_width must be positive and finite"
+        );
+        SolutionStore {
+            config,
+            groups: HashMap::new(),
+        }
+    }
+
+    /// The store's tuning.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Total stored entries across all groups.
+    pub fn len(&self) -> usize {
+        self.groups.values().map(|g| g.entries.len()).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of warm-start-compatible equivalence classes.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Store a solved scenario's payload under its fingerprint. An existing
+    /// entry with bitwise-identical loads (necessarily in the same norm
+    /// bucket) is replaced in place, keeping its insertion index so all
+    /// tie-breaks are unchanged; otherwise the entry is appended.
+    pub fn insert(&mut self, case_id: &str, fp: &ScenarioFingerprint, payload: P) -> InsertOutcome {
+        let key = GroupKey {
+            case_id: case_id.to_string(),
+            structure: fp.structure,
+            dim: fp.loads.len(),
+        };
+        let norm = fp.rms_norm();
+        let bucket = bucket_of(norm, self.config.bucket_width);
+        let group = self.groups.entry(key).or_insert_with(Group::new);
+        if let Some(ids) = group.buckets.get(&bucket) {
+            for &i in ids {
+                if bitwise_eq(&group.entries[i].loads, &fp.loads) {
+                    group.entries[i] = Arc::new(StoredEntry {
+                        loads: fp.loads.clone(),
+                        norm,
+                        payload,
+                    });
+                    return InsertOutcome::Replaced(i);
+                }
+            }
+        }
+        let index = group.entries.len();
+        group.entries.push(Arc::new(StoredEntry {
+            loads: fp.loads.clone(),
+            norm,
+            payload,
+        }));
+        group.buckets.entry(bucket).or_default().push(index);
+        InsertOutcome::Inserted(index)
+    }
+
+    /// Nearest eligible stored neighbor of `fp` (see [`StoreView::nearest`]
+    /// for the contract; this searches the live store directly).
+    pub fn nearest(&self, case_id: &str, fp: &ScenarioFingerprint) -> Option<StoreHit<P>> {
+        let key = GroupKey {
+            case_id: case_id.to_string(),
+            structure: fp.structure,
+            dim: fp.loads.len(),
+        };
+        self.groups
+            .get(&key)
+            .and_then(|g| nearest_in_group(g, fp, self.config))
+    }
+
+    /// An immutable snapshot for lookups during a fleet run. Entries are
+    /// shared (`Arc`), so the snapshot is cheap; inserts into the live
+    /// store after the snapshot do not affect it.
+    pub fn view(&self) -> StoreView<P> {
+        StoreView {
+            config: self.config,
+            groups: self.groups.clone(),
+        }
+    }
+}
+
+/// A frozen snapshot of a [`SolutionStore`] — the lookup side of the
+/// freeze-at-start determinism rule (see the [module docs](self)).
+#[derive(Debug)]
+pub struct StoreView<P> {
+    config: StoreConfig,
+    groups: HashMap<GroupKey, Group<P>>,
+}
+
+impl<P> Clone for StoreView<P> {
+    fn clone(&self) -> StoreView<P> {
+        StoreView {
+            config: self.config,
+            groups: self.groups.clone(),
+        }
+    }
+}
+
+impl<P> StoreView<P> {
+    /// Total entries in the snapshot.
+    pub fn len(&self) -> usize {
+        self.groups.values().map(|g| g.entries.len()).sum()
+    }
+
+    /// True when the snapshot holds nothing (every lookup misses).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Nearest stored neighbor of `fp` within the eligibility radius, or
+    /// `None` (a miss) when the group is absent or every entry is too far.
+    /// Deterministic: the result is the `(distance, insertion index)`
+    /// lexicographic minimum over eligible entries, identical to
+    /// [`nearest_linear`](StoreView::nearest_linear).
+    pub fn nearest(&self, case_id: &str, fp: &ScenarioFingerprint) -> Option<StoreHit<P>> {
+        let key = GroupKey {
+            case_id: case_id.to_string(),
+            structure: fp.structure,
+            dim: fp.loads.len(),
+        };
+        self.groups
+            .get(&key)
+            .and_then(|g| nearest_in_group(g, fp, self.config))
+    }
+
+    /// Brute-force reference lookup: a linear scan over the whole group
+    /// with the same `(distance, index)` ordering. Exists so tests can pin
+    /// `nearest ≡ nearest_linear`; the indexed path is the one to use.
+    pub fn nearest_linear(&self, case_id: &str, fp: &ScenarioFingerprint) -> Option<StoreHit<P>> {
+        let key = GroupKey {
+            case_id: case_id.to_string(),
+            structure: fp.structure,
+            dim: fp.loads.len(),
+        };
+        let group = self.groups.get(&key)?;
+        let threshold = self.config.max_relative_distance * fp.rms_norm();
+        let mut best: Option<StoreHit<P>> = None;
+        for (i, entry) in group.entries.iter().enumerate() {
+            let d = rms_distance(&entry.loads, &fp.loads);
+            if d > threshold {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => d < b.distance || (d == b.distance && i < b.index),
+            };
+            if better {
+                best = Some(StoreHit {
+                    entry: Arc::clone(entry),
+                    distance: d,
+                    index: i,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// The entry's norm bucket. Norms are non-negative, so ids are ≥ 0; i64
+/// keeps the arithmetic honest for huge norms.
+fn bucket_of(norm: f64, width: f64) -> i64 {
+    (norm / width).floor() as i64
+}
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Indexed nearest-neighbor search within one group: walk norm buckets
+/// outward from the query's norm (two cursors over the `BTreeMap`, nearer
+/// bound first), scan each surviving bucket exactly, and prune a bucket
+/// only when its triangle-inequality lower bound strictly exceeds both the
+/// eligibility threshold and the current best distance (with
+/// [`PRUNE_SLACK`] guarding f64 rounding). The winner is the
+/// `(distance, index)` lexicographic minimum, so the result is independent
+/// of scan order and equal to the linear reference scan.
+fn nearest_in_group<P>(
+    group: &Group<P>,
+    fp: &ScenarioFingerprint,
+    config: StoreConfig,
+) -> Option<StoreHit<P>> {
+    let q = fp.rms_norm();
+    let threshold = config.max_relative_distance * q;
+    let width = config.bucket_width;
+    let qb = bucket_of(q, width);
+
+    let mut best: Option<StoreHit<P>> = None;
+
+    // Distance lower bound of every entry in bucket `b`: entries there have
+    // norms in [b·w, (b+1)·w), and |norm − q| ≤ rms_distance by the
+    // triangle inequality around the zero vantage point.
+    let bound = |b: i64| -> f64 {
+        let lo = b as f64 * width;
+        let hi = (b + 1) as f64 * width;
+        if q < lo {
+            lo - q
+        } else if q > hi {
+            q - hi
+        } else {
+            0.0
+        }
+    };
+    // Strict pruning with relative slack: keep scanning on equality so an
+    // equal-distance, lower-index entry in a farther bucket still wins.
+    let prunable = |b: f64, best: &Option<StoreHit<P>>| -> bool {
+        let cap = match best {
+            Some(hit) => threshold.min(hit.distance),
+            None => threshold,
+        };
+        b * (1.0 - PRUNE_SLACK) > cap
+    };
+
+    let scan_bucket = |ids: &[usize], best: &mut Option<StoreHit<P>>| {
+        for &i in ids {
+            let entry = &group.entries[i];
+            let d = rms_distance(&entry.loads, &fp.loads);
+            if d > threshold {
+                continue;
+            }
+            let better = match &*best {
+                None => true,
+                Some(b) => d < b.distance || (d == b.distance && i < b.index),
+            };
+            if better {
+                *best = Some(StoreHit {
+                    entry: Arc::clone(entry),
+                    distance: d,
+                    index: i,
+                });
+            }
+        }
+    };
+
+    // Two cursors over the occupied buckets: `down` walks ids ≤ qb in
+    // descending order, `up` walks ids > qb ascending. Each step advances
+    // whichever cursor has the smaller lower bound, so buckets are visited
+    // in non-decreasing bound order and the first prunable bound on a side
+    // retires that side for good.
+    let mut down = group.buckets.range(..=qb).rev().peekable();
+    let mut up = group.buckets.range(qb + 1..).peekable();
+    loop {
+        let d_bound = down.peek().map(|(&b, _)| bound(b));
+        let u_bound = up.peek().map(|(&b, _)| bound(b));
+        match (d_bound, u_bound) {
+            (None, None) => break,
+            (Some(db), None) => {
+                if prunable(db, &best) {
+                    break;
+                }
+                scan_bucket(down.next().unwrap().1, &mut best);
+            }
+            (None, Some(ub)) => {
+                if prunable(ub, &best) {
+                    break;
+                }
+                scan_bucket(up.next().unwrap().1, &mut best);
+            }
+            (Some(db), Some(ub)) => {
+                if db <= ub {
+                    if prunable(db, &best) {
+                        // Bounds on each side are monotone in ring radius,
+                        // and ub ≥ db, so nothing left survives.
+                        break;
+                    }
+                    scan_bucket(down.next().unwrap().1, &mut best);
+                } else {
+                    if prunable(ub, &best) {
+                        // ub < db would contradict the branch; both sides
+                        // are prunable.
+                        break;
+                    }
+                    scan_bucket(up.next().unwrap().1, &mut best);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(loads: &[f64]) -> ScenarioFingerprint {
+        ScenarioFingerprint {
+            loads: loads.to_vec(),
+            structure: 42,
+        }
+    }
+
+    #[test]
+    fn empty_store_always_misses() {
+        let store: SolutionStore<u32> = SolutionStore::new();
+        assert!(store.is_empty());
+        assert!(store.nearest("c", &fp(&[1.0, 1.0])).is_none());
+        assert!(store.view().nearest("c", &fp(&[1.0, 1.0])).is_none());
+    }
+
+    #[test]
+    fn exact_match_is_found_at_distance_zero() {
+        let mut store = SolutionStore::new();
+        let f = fp(&[0.4, 0.6, 0.1, 0.2]);
+        assert_eq!(store.insert("c", &f, 7u32), InsertOutcome::Inserted(0));
+        let hit = store.nearest("c", &f).expect("exact hit");
+        assert_eq!(hit.distance, 0.0);
+        assert_eq!(hit.index, 0);
+        assert_eq!(hit.entry.payload, 7);
+    }
+
+    #[test]
+    fn nearest_picks_the_closer_entry() {
+        let mut store = SolutionStore::new();
+        store.insert("c", &fp(&[1.0, 1.0]), 1u32);
+        store.insert("c", &fp(&[1.01, 1.01]), 2u32);
+        let hit = store.nearest("c", &fp(&[1.008, 1.008])).unwrap();
+        assert_eq!(hit.entry.payload, 2);
+    }
+
+    #[test]
+    fn ties_break_to_the_lower_insertion_index() {
+        let mut store = SolutionStore::new();
+        // Two entries equidistant from the query (±δ on one coordinate).
+        store.insert("c", &fp(&[1.0 + 0.01, 1.0]), 10u32);
+        store.insert("c", &fp(&[1.0 - 0.01, 1.0]), 20u32);
+        let hit = store.nearest("c", &fp(&[1.0, 1.0])).unwrap();
+        assert_eq!(hit.index, 0);
+        assert_eq!(hit.entry.payload, 10);
+    }
+
+    #[test]
+    fn far_entries_are_misses() {
+        let mut store = SolutionStore::new();
+        store.insert("c", &fp(&[2.0, 2.0]), 1u32);
+        // Query at norm 1.0 with default radius 0.1: an entry at RMS
+        // distance 1.0 is far outside the eligibility threshold.
+        assert!(store.nearest("c", &fp(&[1.0, 1.0])).is_none());
+    }
+
+    #[test]
+    fn structure_and_case_partition_the_store() {
+        let mut store = SolutionStore::new();
+        let f = fp(&[1.0, 1.0]);
+        store.insert("c", &f, 1u32);
+        // Different structure: invisible.
+        let other = ScenarioFingerprint {
+            loads: f.loads.clone(),
+            structure: 43,
+        };
+        assert!(store.nearest("c", &other).is_none());
+        // Different case id: invisible.
+        assert!(store.nearest("d", &f).is_none());
+        assert_eq!(store.group_count(), 1);
+    }
+
+    #[test]
+    fn replacing_an_exact_duplicate_keeps_the_index() {
+        let mut store = SolutionStore::new();
+        let f = fp(&[1.0, 1.0]);
+        assert_eq!(store.insert("c", &f, 1u32), InsertOutcome::Inserted(0));
+        store.insert("c", &fp(&[1.02, 1.0]), 2u32);
+        assert_eq!(store.insert("c", &f, 3u32), InsertOutcome::Replaced(0));
+        assert_eq!(store.len(), 2);
+        let hit = store.nearest("c", &f).unwrap();
+        assert_eq!(hit.index, 0);
+        assert_eq!(hit.entry.payload, 3);
+    }
+
+    #[test]
+    fn view_is_frozen_against_later_inserts() {
+        let mut store = SolutionStore::new();
+        store.insert("c", &fp(&[1.0, 1.0]), 1u32);
+        let view = store.view();
+        store.insert("c", &fp(&[1.001, 1.0]), 2u32);
+        // The live store sees the closer new entry; the snapshot does not.
+        let q = fp(&[1.001, 1.0]);
+        assert_eq!(store.nearest("c", &q).unwrap().entry.payload, 2);
+        assert_eq!(view.nearest("c", &q).unwrap().entry.payload, 1);
+        assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn indexed_lookup_equals_linear_scan_on_a_norm_spread() {
+        // Entries spread across many norm buckets, including exact ties.
+        let mut store = SolutionStore::new();
+        let mut i = 0u32;
+        for a in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4] {
+            for b in [0.0, 0.03, -0.03, 0.06] {
+                store.insert("c", &fp(&[a + b, a - b]), i);
+                i += 1;
+            }
+        }
+        let view = store.view();
+        for a in [0.19, 0.41, 0.63, 0.77, 1.01, 1.26, 1.39, 2.0] {
+            for b in [0.0, 0.01, -0.02] {
+                let q = fp(&[a + b, a - b]);
+                let fast = view.nearest("c", &q);
+                let slow = view.nearest_linear("c", &q);
+                match (fast, slow) {
+                    (None, None) => {}
+                    (Some(f), Some(s)) => {
+                        assert_eq!(f.index, s.index, "query ({a}, {b})");
+                        assert_eq!(f.distance.to_bits(), s.distance.to_bits());
+                    }
+                    (f, s) => panic!(
+                        "index/linear disagree at ({a}, {b}): {:?} vs {:?}",
+                        f.map(|h| h.index),
+                        s.map(|h| h.index)
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_merge_and_hit_rate() {
+        let mut a = StoreRunStats {
+            hits: 3,
+            misses: 1,
+            inserts: 4,
+        };
+        let b = StoreRunStats {
+            hits: 1,
+            misses: 3,
+            inserts: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.inserts, 6);
+        assert_eq!(a.hit_rate(), 0.5);
+        assert_eq!(StoreRunStats::default().hit_rate(), 0.0);
+    }
+}

@@ -107,6 +107,54 @@ fn main() {
         cache.numeric_refactorizations()
     );
 
+    // --- the same horizon through the warm-start solution store ---
+    // One `SolutionStore` threaded across the periods: every period's
+    // fleet looks up the nearest previously solved load vector (an earlier
+    // period, since the load only drifts) and seeds from it — primal point,
+    // constraint multipliers, and bound multipliers, so the solve resumes
+    // the barrier trajectory instead of descending from scratch. Each
+    // converged period is committed back for the periods after it.
+    let mut store: SolutionStore<IpmWarmStart> = SolutionStore::new();
+    let mut stats = StoreRunStats::default();
+    let mut stored_iterations = 0usize;
+    let mut cold_iterations = 0usize;
+    let fleet = IpmFleetSolver::new(IpmOptions {
+        kkt_strategy: KktStrategy::Condensed,
+        ..Default::default()
+    });
+    println!("\nIPM through the solution store (threaded across the horizon):");
+    println!("period  store     iterations  cold iters");
+    for (t, &mult) in profile.multipliers.iter().enumerate() {
+        let net_t = case.scale_load(mult).compile().expect("case compiles");
+        let cold = IpmSolver::new(IpmOptions {
+            kkt_strategy: KktStrategy::Condensed,
+            ..Default::default()
+        })
+        .solve(&AcopfNlp::new(&net_t));
+        cold_iterations += cold.iterations;
+        let report = fleet.solve_with_store(&case.name, std::slice::from_ref(&net_t), &mut store);
+        stats.merge(&report.store);
+        let iters = report.total_iterations();
+        stored_iterations += iters;
+        println!(
+            "{:>6}  {:>8}  {:>10}  {:>10}",
+            t,
+            if report.store.hits > 0 { "hit" } else { "miss" },
+            iters,
+            cold.iterations
+        );
+    }
+    println!(
+        "store over {} periods: {:.0}% hit rate, {} entries; cumulative \
+         iterations {} vs {} cold ({:.1}% saved)",
+        profile.len(),
+        stats.hit_rate() * 100.0,
+        store.len(),
+        stored_iterations,
+        cold_iterations,
+        100.0 * (1.0 - stored_iterations as f64 / cold_iterations.max(1) as f64)
+    );
+
     println!(
         "\nfinal ADMM dispatch: {:?} (p.u.)",
         last.solution

@@ -13,6 +13,8 @@
 //! * [`batch`] — the simulated GPU batch-execution device,
 //! * [`engine`] — the solver-agnostic scenario execution engine (device
 //!   sharding, lane caps, streaming admission),
+//! * [`store`] — the warm-start solution store (similarity-keyed
+//!   nearest-neighbor solve reuse across fleets),
 //! * [`tron`] — the batch bound-constrained trust-region solver (ExaTron
 //!   substitute),
 //! * [`acopf`] — the shared ACOPF model (flows, violations, starts),
@@ -29,6 +31,7 @@ pub use gridsim_engine as engine;
 pub use gridsim_grid as grid;
 pub use gridsim_ipm as ipm;
 pub use gridsim_sparse as sparse;
+pub use gridsim_store as store;
 pub use gridsim_tron as tron;
 
 /// Convenience prelude bringing the most common types into scope.
@@ -36,14 +39,17 @@ pub mod prelude {
     pub use gridsim_acopf::{OpfSolution, SolutionQuality};
     pub use gridsim_admm::{
         AdmmParams, AdmmResult, AdmmSolver, ScenarioBatch, ScenarioBatchResult, ScenarioProblem,
-        ScenarioResult, ScenarioScheduler, TrackingConfig,
+        ScenarioResult, ScenarioScheduler, TrackingConfig, WarmState,
     };
     pub use gridsim_batch::{Device, DevicePool, ExecutionMode};
     pub use gridsim_engine::{Engine, LaneSolver};
     pub use gridsim_grid::{
-        Case, LoadProfile, Network, Scenario, ScenarioSet, SyntheticSpec, TableICase,
+        Case, LoadProfile, Network, Scenario, ScenarioFingerprint, ScenarioSet, SyntheticSpec,
+        TableICase,
     };
     pub use gridsim_ipm::{
-        AcopfNlp, FleetReport, IpmFleetSolver, IpmOptions, IpmSolver, KktCache, KktStrategy,
+        AcopfNlp, FleetReport, IpmFleetSolver, IpmOptions, IpmSolver, IpmWarmStart, KktCache,
+        KktStrategy,
     };
+    pub use gridsim_store::{SolutionStore, StoreConfig, StoreRunStats, StoreView};
 }

@@ -115,6 +115,40 @@ fn warm_start_tracking_core_path() {
         "factorizations accrue per period"
     );
     assert_eq!(cache.numeric_refactorizations(), factorizations);
+
+    // The solution-store side of the example: one store threaded across the
+    // horizon. Period 0 misses (empty store), every later period hits its
+    // nearest predecessor, and the seeded solves never cost more iterations
+    // than the cold ones.
+    let mut store: SolutionStore<IpmWarmStart> = SolutionStore::new();
+    let mut stats = StoreRunStats::default();
+    let mut stored_iterations = 0usize;
+    let mut cold_iterations = 0usize;
+    let fleet = IpmFleetSolver::new(IpmOptions {
+        kkt_strategy: KktStrategy::Condensed,
+        ..Default::default()
+    });
+    for &mult in &profile.multipliers {
+        let net_t = case.scale_load(mult).compile().unwrap();
+        cold_iterations += IpmSolver::new(IpmOptions {
+            kkt_strategy: KktStrategy::Condensed,
+            ..Default::default()
+        })
+        .solve(&AcopfNlp::new(&net_t))
+        .iterations;
+        let report = fleet.solve_with_store(&case.name, std::slice::from_ref(&net_t), &mut store);
+        assert!(report.all_optimal(), "store-threaded period failed");
+        stats.merge(&report.store);
+        stored_iterations += report.total_iterations();
+    }
+    assert_eq!(stats.misses, 1, "only the cold first period misses");
+    assert_eq!(stats.hits, profile.len() - 1);
+    assert_eq!(store.len(), profile.len());
+    assert!(
+        stored_iterations <= cold_iterations,
+        "store-threaded horizon cost more iterations ({stored_iterations}) than cold \
+         ({cold_iterations})"
+    );
 }
 
 /// `examples/synthetic_scaling.rs`: a scaled Table-I-style synthetic case

@@ -7,8 +7,8 @@
 //!
 //! * at **one device and one lane** the fleet is *bitwise identical* to a
 //!   hand-written sequential `solve_with_cache` loop threading one
-//!   `KktCache` and the previous solve's primal/dual point — the engine
-//!   adds exactly nothing to the arithmetic,
+//!   `KktCache` and the previous solve's primal/dual point and bound
+//!   multipliers — the engine adds exactly nothing to the arithmetic,
 //! * across **any device/lane configuration** the per-scenario reports
 //!   stay *report-identical to solver tolerance*: every scenario optimal,
 //!   same objective to tolerance, while symbolic analyses equal the lane
@@ -127,11 +127,13 @@ proptest! {
         let mut cache = KktCache::new();
         let mut warm_x: Option<Vec<f64>> = None;
         let mut warm_lambda: Option<Vec<f64>> = None;
+        let mut warm_z: Option<(Vec<f64>, Vec<f64>)> = None;
         for (i, net) in nets.iter().enumerate() {
             let nlp = AcopfNlp::new(net);
             let mut options = condensed_options();
             options.initial_point = warm_x.take();
             options.initial_multipliers = warm_lambda.take();
+            options.initial_bound_multipliers = warm_z.take();
             let reference = IpmSolver::new(options).solve_with_cache(&nlp, &mut cache);
 
             let r = &fleet.results[i].report;
@@ -157,6 +159,7 @@ proptest! {
                     .copied()
                     .collect(),
             );
+            warm_z = Some((reference.zl.clone(), reference.zu.clone()));
         }
         // One lane, one chain, one analysis.
         prop_assert_eq!(cache.symbolic_analyses(), 1);

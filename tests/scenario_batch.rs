@@ -180,6 +180,71 @@ fn pegase1354_scaled100_violation_does_not_regress() {
     }
 }
 
+/// Release-gated companion to the violation pin above: the same 100-bus
+/// 1354pegase solve re-measured through the scenario scheduler's solution
+/// store. Three statements: (1) with an empty store the run is bitwise
+/// identical to the store-less scheduler run, so threading the store cannot
+/// perturb the pinned trajectory; (2) the converged solve is committed, and
+/// re-solving the identical scenario is a distance-zero hit; (3) the
+/// warm-started admission satisfies the same 4e-4 bound as the cold pin.
+/// Measured: cold 3.9357e-4; warm 3.9374e-4 after exactly **one** inner
+/// iteration — the restart resumes the stored β schedule (WarmState
+/// carries β since this PR; restarting β from `beta_init` at the fixed
+/// point walked this marginal case out to 1.32e-3 over a full budget), so
+/// one z-update at the fixed point re-certifies convergence. The pin is
+/// not ratcheted: warm admission preserves, not tightens, cold quality.
+#[cfg(not(debug_assertions))]
+#[test]
+fn pegase1354_scaled100_store_admission_holds_the_pin() {
+    let case = TableICase::Pegase1354.scaled(100);
+    let net = case.compile().unwrap();
+    let params = AdmmParams::for_case(TableICase::Pegase1354, 100);
+    let scheduler = ScenarioScheduler::new(params);
+    let plain = scheduler.solve(std::slice::from_ref(&net));
+
+    let mut store: SolutionStore<WarmState> = SolutionStore::new();
+    let cold = scheduler.solve_with_store(&case.name, std::slice::from_ref(&net), &mut store);
+    assert_eq!(cold.store.hits, 0);
+    assert_eq!(cold.store.misses, 1);
+    let (a, b) = (&cold.results[0], &plain.results[0]);
+    assert_eq!(a.status, b.status);
+    assert_eq!(a.inner_iterations, b.inner_iterations);
+    assert_eq!(a.solution.pg, b.solution.pg);
+    assert_eq!(a.solution.qg, b.solution.qg);
+    assert_eq!(a.solution.vm, b.solution.vm);
+    assert_eq!(a.solution.va, b.solution.va);
+    let cold_violation = a.quality.max_violation();
+    assert!(
+        cold_violation < 4e-4,
+        "cold pin regressed: {cold_violation}"
+    );
+    assert_eq!(store.len(), 1, "the converged solve must be committed");
+
+    let warm = scheduler.solve_with_store(&case.name, std::slice::from_ref(&net), &mut store);
+    assert_eq!(
+        warm.store.hits, 1,
+        "identical scenario must hit at distance 0"
+    );
+    let warm_violation = warm.results[0].quality.max_violation();
+    eprintln!(
+        "pegase1354_scaled100 store admission: cold violation {cold_violation}, \
+         warm violation {warm_violation}, warm inner iterations {}",
+        warm.results[0].inner_iterations
+    );
+    assert!(
+        warm_violation < 4e-4,
+        "warm-started admission regressed past the pin: {warm_violation}"
+    );
+    // Resuming the stored β schedule makes the distance-zero restart
+    // re-certify convergence almost immediately (measured: 1 inner
+    // iteration) instead of re-running the penalty schedule.
+    assert!(
+        warm.results[0].inner_iterations <= 10,
+        "distance-zero warm restart took {} inner iterations",
+        warm.results[0].inner_iterations
+    );
+}
+
 /// The acceptance benchmark: a K=8 batch of a mid-size case vs 8 sequential
 /// solves on the parallel backend. The structural wins (bitwise identity,
 /// ≥4× launch amortization) are asserted exactly; wall-clock gets a 10 %

@@ -1,0 +1,320 @@
+//! Integration and property suite for the warm-start solution store: the
+//! fingerprint identity and nearest-neighbor determinism contracts, the
+//! empty-store ≡ no-store bitwise anchor, configuration-independence of
+//! store-seeded fleet runs, warm-equals-cold solution agreement, and (in
+//! release builds) the measured iteration-drop guard on a ≥100-scenario
+//! perturbation sweep.
+
+use gridadmm::prelude::*;
+use gridsim_admm::AdmmStatus;
+use gridsim_grid::cases;
+use proptest::prelude::*;
+
+fn condensed_options() -> IpmOptions {
+    IpmOptions {
+        kkt_strategy: KktStrategy::Condensed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Identical scenarios fingerprint identically — same loads bitwise,
+    /// same structure signature — and a load change moves only the load
+    /// half of the key.
+    #[test]
+    fn identical_scenarios_fingerprint_identically(
+        seed in 0u64..10_000,
+        k in 1usize..6,
+        sigma in 0.001f64..0.1,
+    ) {
+        let a = ScenarioSet::perturbed_loads(cases::case14(), k, sigma, seed)
+            .networks()
+            .unwrap();
+        let b = ScenarioSet::perturbed_loads(cases::case14(), k, sigma, seed)
+            .networks()
+            .unwrap();
+        for (na, nb) in a.iter().zip(&b) {
+            let fa = ScenarioFingerprint::of_network(na);
+            let fb = ScenarioFingerprint::of_network(nb);
+            prop_assert_eq!(fa.structure, fb.structure);
+            prop_assert_eq!(fa.loads.len(), fb.loads.len());
+            for (x, y) in fa.loads.iter().zip(&fb.loads) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            prop_assert_eq!(fa.distance(&fb).to_bits(), 0f64.to_bits());
+        }
+        // Same case, different loads: same structure class, nonzero distance.
+        let other = ScenarioSet::perturbed_loads(cases::case14(), 1, sigma, seed + 1)
+            .networks()
+            .unwrap();
+        let fa = ScenarioFingerprint::of_network(&a[0]);
+        let fo = ScenarioFingerprint::of_network(&other[0]);
+        prop_assert_eq!(fa.structure, fo.structure);
+        prop_assert!(fa.distance(&fo) > 0.0);
+    }
+
+    /// The indexed nearest-neighbor lookup equals the brute-force linear
+    /// scan — same entry, same insertion index, same distance bits — for
+    /// random store contents, queries, and index tunings, including exact
+    /// duplicate entries (tie-break by insertion index).
+    #[test]
+    fn indexed_nearest_equals_linear_scan(
+        entries in prop::collection::vec(
+            prop::collection::vec(-5.0f64..5.0, 4),
+            0..40,
+        ),
+        queries in prop::collection::vec(
+            prop::collection::vec(-5.0f64..5.0, 4),
+            1..8,
+        ),
+        dup_every in 1usize..5,
+        bucket_width in 0.01f64..1.0,
+        max_rel in 0.05f64..0.6,
+    ) {
+        let mut store: SolutionStore<usize> = SolutionStore::with_config(StoreConfig {
+            max_relative_distance: max_rel,
+            bucket_width,
+        });
+        for (i, loads) in entries.iter().enumerate() {
+            // Re-insert every dup_every-th entry's loads under a new payload
+            // so exact-distance ties and replace-in-place paths are hit.
+            let loads = if i % dup_every == 0 && i > 0 {
+                entries[i - 1].clone()
+            } else {
+                loads.clone()
+            };
+            let fp = ScenarioFingerprint { loads, structure: 42 };
+            store.insert("prop", &fp, i);
+        }
+        let view = store.view();
+        for q in &queries {
+            let fp = ScenarioFingerprint { loads: q.clone(), structure: 42 };
+            let fast = view.nearest("prop", &fp);
+            let slow = view.nearest_linear("prop", &fp);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(f), Some(s)) => {
+                    prop_assert_eq!(f.index, s.index);
+                    prop_assert_eq!(f.distance.to_bits(), s.distance.to_bits());
+                    prop_assert_eq!(&f.entry.payload, &s.entry.payload);
+                }
+                (f, s) => prop_assert!(
+                    false,
+                    "indexed {:?} vs linear {:?} disagree on hit/miss",
+                    f.map(|h| h.index),
+                    s.map(|h| h.index)
+                ),
+            }
+        }
+    }
+}
+
+/// With an empty store, `solve_with_store` is bitwise identical to `solve`
+/// for both fleets (every lookup misses, nothing is seeded), and the run
+/// fills the store with exactly the converged scenarios.
+#[test]
+fn empty_store_runs_match_plain_runs_bitwise() {
+    let nets = ScenarioSet::perturbed_loads(cases::case9(), 4, 0.02, 3)
+        .networks()
+        .unwrap();
+
+    // ADMM scenario scheduler.
+    let scheduler = ScenarioScheduler::new(AdmmParams::test_profile());
+    let plain = scheduler.solve(&nets);
+    let mut store: SolutionStore<WarmState> = SolutionStore::new();
+    let stored = scheduler.solve_with_store("case9", &nets, &mut store);
+    assert_eq!(stored.store.hits, 0);
+    assert_eq!(stored.store.misses, 4);
+    for (a, b) in stored.results.iter().zip(&plain.results) {
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.inner_iterations, b.inner_iterations);
+        assert_eq!(a.solution.pg, b.solution.pg);
+        assert_eq!(a.solution.qg, b.solution.qg);
+        assert_eq!(a.solution.vm, b.solution.vm);
+        assert_eq!(a.solution.va, b.solution.va);
+    }
+    let converged = plain
+        .results
+        .iter()
+        .filter(|r| r.status == AdmmStatus::Converged)
+        .count();
+    assert_eq!(stored.store.inserts, converged);
+    assert_eq!(store.len(), converged);
+
+    // Interior-point fleet.
+    let solver = IpmFleetSolver::new(condensed_options());
+    let plain = solver.solve(&nets);
+    let mut store: SolutionStore<IpmWarmStart> = SolutionStore::new();
+    let stored = solver.solve_with_store("case9", &nets, &mut store);
+    assert_eq!(stored.store.hits, 0);
+    assert_eq!(stored.store.misses, 4);
+    for (a, b) in stored.results.iter().zip(&plain.results) {
+        assert_eq!(a.report.status, b.report.status);
+        assert_eq!(a.report.iterations, b.report.iterations);
+        assert_eq!(a.report.objective.to_bits(), b.report.objective.to_bits());
+        for (x, y) in a.report.x.iter().zip(&b.report.x) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    assert_eq!(stored.store.inserts, 4);
+    assert_eq!(store.len(), 4);
+}
+
+/// Store-seeded ADMM scheduler runs are bitwise identical across device
+/// counts and lane caps given identical starting store contents, and the
+/// post-run store contents (entry count, per-query nearest neighbor, and
+/// payload) are identical too — the freeze-at-start determinism rule
+/// holding end to end on the solver path.
+#[test]
+fn store_seeded_scheduler_is_bitwise_across_configurations() {
+    let prime_nets = ScenarioSet::perturbed_loads(cases::case9(), 3, 0.02, 21)
+        .networks()
+        .unwrap();
+    let eval_nets = ScenarioSet::perturbed_loads(cases::case9(), 4, 0.02, 22)
+        .networks()
+        .unwrap();
+    let params = AdmmParams::test_profile();
+
+    // Prime once on the reference configuration.
+    let mut primed: SolutionStore<WarmState> = SolutionStore::new();
+    ScenarioScheduler::new(params.clone()).solve_with_store("case9", &prime_nets, &mut primed);
+    assert!(!primed.is_empty(), "priming stored nothing");
+
+    let mut reference: Option<(ScenarioBatchResult, SolutionStore<WarmState>)> = None;
+    for (devices, lanes) in [(1, None), (1, Some(1)), (2, Some(1)), (3, Some(2))] {
+        // Each configuration starts from its own copy of the primed
+        // contents, rebuilt by replaying the same inserts.
+        let mut store: SolutionStore<WarmState> = SolutionStore::new();
+        ScenarioScheduler::new(params.clone()).solve_with_store("case9", &prime_nets, &mut store);
+        let mut scheduler =
+            ScenarioScheduler::with_pool(params.clone(), DevicePool::parallel(devices));
+        if let Some(l) = lanes {
+            scheduler = scheduler.with_lanes(l);
+        }
+        let result = scheduler.solve_with_store("case9", &eval_nets, &mut store);
+        assert!(
+            result.store.hits > 0,
+            "devices={devices} lanes={lanes:?}: expected store hits at sigma 2%"
+        );
+        match &reference {
+            None => reference = Some((result, store)),
+            Some((ref_result, ref_store)) => {
+                assert_eq!(result.store, ref_result.store, "devices={devices}");
+                for (a, b) in result.results.iter().zip(&ref_result.results) {
+                    assert_eq!(a.status, b.status, "{}", a.name);
+                    assert_eq!(a.inner_iterations, b.inner_iterations, "{}", a.name);
+                    assert_eq!(a.solution.pg, b.solution.pg, "{}", a.name);
+                    assert_eq!(a.solution.vm, b.solution.vm, "{}", a.name);
+                    assert_eq!(a.warm_state, b.warm_state, "{}", a.name);
+                }
+                assert_eq!(store.len(), ref_store.len());
+                // The stores resolve every query identically: same entry
+                // index, same distance bits, same payload.
+                for net in eval_nets.iter().chain(&prime_nets) {
+                    let fp = ScenarioFingerprint::of_network(net);
+                    let a = store.nearest("case9", &fp);
+                    let b = ref_store.nearest("case9", &fp);
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.index, y.index);
+                            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                            assert_eq!(x.entry.payload, y.entry.payload);
+                        }
+                        _ => panic!("stores disagree on hit/miss for {}", net.name),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interior-point solves seeded from the store converge to the same
+/// solution as cold solves of the same scenarios, within solver tolerance.
+#[test]
+fn warm_started_ipm_matches_cold_solutions() {
+    let prime_nets = ScenarioSet::perturbed_loads(cases::case14(), 6, 0.02, 31)
+        .networks()
+        .unwrap();
+    let eval_nets = ScenarioSet::perturbed_loads(cases::case14(), 4, 0.02, 32)
+        .networks()
+        .unwrap();
+    let solver = IpmFleetSolver::with_engine(
+        condensed_options(),
+        Engine::with_pool(DevicePool::parallel(2)).with_lanes(1),
+    );
+    let cold = solver.solve(&eval_nets);
+    assert!(cold.all_optimal());
+
+    let mut store: SolutionStore<IpmWarmStart> = SolutionStore::new();
+    let primed = solver.solve_with_store("case14", &prime_nets, &mut store);
+    assert!(primed.all_optimal());
+    assert_eq!(primed.store.inserts, 6);
+
+    let warm = solver.solve_with_store("case14", &eval_nets, &mut store);
+    assert!(warm.all_optimal(), "a store-seeded solve failed");
+    assert!(warm.store.hits > 0, "no hits at sigma 2% with 6 neighbors");
+    for (w, c) in warm.results.iter().zip(&cold.results) {
+        let gap =
+            (w.report.objective - c.report.objective).abs() / c.report.objective.abs().max(1.0);
+        assert!(gap < 1e-6, "{}: warm vs cold objective gap {gap}", w.name);
+        assert!(w.quality.max_violation() < 1e-5, "{}", w.name);
+    }
+}
+
+/// Release-gated acceptance guard (ISSUE: warm-store economics): on a
+/// ≥100-scenario seeded perturbation sweep (60 priming + 60 evaluation
+/// scenarios around case14), warm-starting out of the store must shed
+/// interior-point iterations against the cold sweep of the same scenarios —
+/// a strict, measured drop, with every solve still optimal and warm
+/// solutions matching cold ones to solver tolerance. (Full sweeps are too
+/// slow for the debug suite; release runs always execute this.)
+#[cfg(not(debug_assertions))]
+#[test]
+fn warm_store_sweep_sheds_ipm_iterations() {
+    use gridsim_bench::run_warm_store;
+    let row = run_warm_store(
+        "case14",
+        &cases::case14(),
+        &AdmmParams::test_profile(),
+        60,
+        60,
+        0.02,
+        7,
+        2,
+        Some(1),
+    );
+    assert_eq!(row.prime_scenarios + row.eval_scenarios, 120, ">= 100");
+    assert!(row.ipm_all_optimal, "a sweep solve failed");
+    assert_eq!(row.ipm_store_inserts, 60, "a priming solve failed");
+    assert_eq!(row.ipm_store_hits + row.ipm_store_misses, 60);
+    assert!(
+        row.ipm_hit_rate > 0.5,
+        "hit rate {} too low at sigma 2% with 60 stored neighbors",
+        row.ipm_hit_rate
+    );
+    assert!(
+        row.ipm_warm_iterations < row.ipm_cold_iterations,
+        "store-seeded sweep did not shed iterations: warm {} vs cold {}",
+        row.ipm_warm_iterations,
+        row.ipm_cold_iterations
+    );
+    assert!(
+        row.ipm_max_objective_gap < 1e-5,
+        "warm solutions diverged from cold: gap {}",
+        row.ipm_max_objective_gap
+    );
+    eprintln!(
+        "warm store sweep: {} hits / {} lookups, {} -> {} interior-point \
+         iterations ({:.1}% drop), {:.3}s -> {:.3}s",
+        row.ipm_store_hits,
+        row.ipm_store_hits + row.ipm_store_misses,
+        row.ipm_cold_iterations,
+        row.ipm_warm_iterations,
+        row.ipm_iteration_drop * 100.0,
+        row.ipm_cold_time_s,
+        row.ipm_warm_time_s,
+    );
+}
