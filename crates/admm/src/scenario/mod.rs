@@ -57,13 +57,14 @@ use gridsim_acopf::solution::OpfSolution;
 use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::SolutionQuality;
 use gridsim_batch::{Device, DevicePool};
+use gridsim_engine::FleetRequest;
 use gridsim_grid::network::Network;
 use gridsim_store::{SolutionStore, StoreRunStats};
 use std::time::{Duration, Instant};
 
 /// Result of one scenario inside a batched solve. Field-for-field the
 /// scenario-local counterpart of [`crate::solver::AdmmResult`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ScenarioResult {
     /// Name of the scenario's network.
     pub name: String,
@@ -166,13 +167,20 @@ impl ScenarioBatch {
         ScenarioScheduler::with_pool(self.params.clone(), DevicePool::single(self.device.clone()))
     }
 
-    /// Solve all scenarios from a cold start.
+    /// Solve one [`FleetRequest`] — see [`ScenarioScheduler::run`] for the
+    /// store and execution-mode semantics.
     ///
     /// Every network must share the dimensions and topology of the first
     /// (same buses, generators and branch endpoints); loads, admittances,
     /// shunts and generator data may differ. Panics otherwise.
+    pub fn run(&self, request: FleetRequest<'_, WarmState>) -> ScenarioBatchResult {
+        self.scheduler().run(request)
+    }
+
+    /// Solve all scenarios from a cold start.
+    #[deprecated(note = "build a FleetRequest and call ScenarioBatch::run")]
     pub fn solve(&self, nets: &[Network]) -> ScenarioBatchResult {
-        self.scheduler().solve(nets)
+        self.run(FleetRequest::over(nets))
     }
 
     /// Solve all scenarios warm-started from one shared [`WarmState`] (e.g.
@@ -220,15 +228,15 @@ impl ScenarioBatch {
         }
     }
 
-    /// Solve all scenarios against a warm-start solution store: see
-    /// [`ScenarioScheduler::solve_with_store`].
+    /// Solve all scenarios against a live warm-start solution store.
+    #[deprecated(note = "build a FleetRequest and call ScenarioBatch::run")]
     pub fn solve_with_store(
         &self,
         case_id: &str,
         nets: &[Network],
         store: &mut SolutionStore<WarmState>,
     ) -> ScenarioBatchResult {
-        self.scheduler().solve_with_store(case_id, nets, store)
+        self.run(FleetRequest::over(nets).case(case_id).store(store))
     }
 }
 
@@ -257,7 +265,7 @@ mod tests {
             ..AdmmParams::default()
         };
         let single = AdmmSolver::new(params.clone()).solve(&net);
-        let batch = ScenarioBatch::new(params).solve(std::slice::from_ref(&net));
+        let batch = ScenarioBatch::new(params).run(FleetRequest::over(std::slice::from_ref(&net)));
         assert_eq!(batch.results.len(), 1);
         let r = &batch.results[0];
         assert_eq!(r.inner_iterations, single.inner_iterations);
@@ -276,7 +284,7 @@ mod tests {
         let base = cases::case9();
         let nets = nets_for(&base, &[0.98, 1.0, 1.03]);
         let params = AdmmParams::test_profile();
-        let batch = ScenarioBatch::new(params.clone()).solve(&nets);
+        let batch = ScenarioBatch::new(params.clone()).run(FleetRequest::over(&nets));
         let solver = AdmmSolver::new(params);
         for (r, net) in batch.results.iter().zip(&nets) {
             let single = solver.solve(net);
@@ -302,7 +310,7 @@ mod tests {
         let nets = nets_for(&base, &[1.0, 1.05, 0.95]);
         let batcher = ScenarioBatch::new(AdmmParams::test_profile());
         let before = batcher.device.stats().snapshot();
-        let result = batcher.solve(&nets);
+        let result = batcher.run(FleetRequest::over(&nets));
         let delta = batcher.device.stats().snapshot().since(&before);
         // Masked launches record only the active elements: the branch-TRON
         // block count equals the sum of per-scenario inner iterations times
@@ -332,7 +340,7 @@ mod tests {
         };
         let batcher = ScenarioBatch::new(params);
         let before = batcher.device.stats().snapshot();
-        let result = batcher.solve(&nets);
+        let result = batcher.run(FleetRequest::over(&nets));
         let delta = batcher.device.stats().snapshot().since(&before);
         // Uploads happen once at setup (9 slot-major buffers) and reads once
         // per finished scenario (6 result-bearing buffers) — never per
@@ -354,7 +362,7 @@ mod tests {
         let nets = nets_for(&base, &[1.005, 1.01, 1.015]);
         let batcher = ScenarioBatch::new(AdmmParams::test_profile());
         let warm = batcher.solve_warm(&nets, &cold.warm_state, None);
-        let coldb = batcher.solve(&nets);
+        let coldb = batcher.run(FleetRequest::over(&nets));
         for (w, c) in warm.results.iter().zip(&coldb.results) {
             assert!(w.quality.max_violation() < 2e-2);
             assert!(
@@ -398,6 +406,6 @@ mod tests {
         let mut case_b = cases::case9();
         case_b.branches.swap(0, 3);
         let b = case_b.compile().unwrap();
-        let _ = ScenarioBatch::new(AdmmParams::default()).solve(&[a, b]);
+        let _ = ScenarioBatch::new(AdmmParams::default()).run(FleetRequest::over(&[a, b]));
     }
 }

@@ -29,8 +29,8 @@ use crate::kernels::{self, AlmSettings, BranchState, BusState, GenState};
 use crate::params::AdmmParams;
 use crate::solver::{AdmmStatus, WarmState};
 use gridsim_acopf::violations::SolutionQuality;
-use gridsim_batch::{Device, DeviceBuffer, DevicePool};
-use gridsim_engine::{Engine, LaneSolver};
+use gridsim_batch::{Device, DeviceBuffer, DeviceConfig, DevicePool};
+use gridsim_engine::{Engine, FleetRequest, LaneSolver, StoreAccess};
 use gridsim_grid::fingerprint::ScenarioFingerprint;
 use gridsim_grid::network::Network;
 use gridsim_store::{SolutionStore, StoreRunStats, StoreView};
@@ -158,34 +158,84 @@ impl ScenarioScheduler {
         self.lanes_per_device
     }
 
-    /// Solve all scenarios from a cold start. Networks must share the first
-    /// one's dimensions and topology (panics otherwise); results are in
-    /// input order and bitwise independent of the device/lane configuration.
-    pub fn solve(&self, nets: &[Network]) -> ScenarioBatchResult {
-        self.run(nets, None, None, None)
+    /// Solve one [`FleetRequest`]. Networks must share the first one's
+    /// dimensions and topology (panics otherwise); results are in input
+    /// order and bitwise independent of the device/lane configuration.
+    ///
+    /// With a [`StoreAccess::Live`] binding, every admission (initial and
+    /// streamed) consults the store and, on a hit, re-seeds its slot from
+    /// the nearest stored [`WarmState`] instead of the cold start; every
+    /// converged scenario is committed back under the request's case id
+    /// after the run. Determinism: lookups go against a [`StoreView`]
+    /// snapshot frozen before the run (this run's own results are invisible
+    /// to its own lookups) and inserts commit in input order afterwards, so
+    /// — like every other path through this scheduler — both the results
+    /// and the post-run store contents are bitwise independent of the
+    /// device count, lane cap, and launch backend. With an empty store
+    /// every lookup misses and the run is bitwise identical to a store-less
+    /// request. A [`StoreAccess::Snapshot`] binding does the lookup side
+    /// only: nothing is committed, the caller owns the write side.
+    ///
+    /// A [`FleetRequest::mode`] override rebuilds this scheduler's devices
+    /// on the requested backend (same device count and lane cap) for this
+    /// run.
+    pub fn run(&self, request: FleetRequest<'_, WarmState>) -> ScenarioBatchResult {
+        let nets = request.nets;
+        let pool = match request.mode {
+            Some(mode) => DevicePool::new(self.pool.len(), DeviceConfig::with_mode(mode)),
+            None => self.pool.clone(),
+        };
+        let case_id = request.store_case_id();
+        match request.store {
+            StoreAccess::None => self.execute(&pool, nets, None, None, None),
+            StoreAccess::Snapshot(view) => {
+                let fps: Vec<ScenarioFingerprint> =
+                    nets.iter().map(ScenarioFingerprint::of_network).collect();
+                self.execute(
+                    &pool,
+                    nets,
+                    None,
+                    None,
+                    Some((case_id.expect("store_case_id checked"), view, &fps)),
+                )
+            }
+            StoreAccess::Live(store) => {
+                let case_id = case_id.expect("store_case_id checked");
+                let fps: Vec<ScenarioFingerprint> =
+                    nets.iter().map(ScenarioFingerprint::of_network).collect();
+                let view = store.view();
+                let mut result =
+                    self.execute(&pool, nets, None, None, Some((case_id, &view, &fps)));
+                // Commit converged scenarios back in input order:
+                // deterministic store contents regardless of
+                // device/lane/thread scheduling.
+                for (fp, r) in fps.iter().zip(&result.results) {
+                    if r.status == AdmmStatus::Converged {
+                        store.insert(case_id, fp, r.warm_state.clone());
+                        result.store.inserts += 1;
+                    }
+                }
+                result
+            }
+        }
     }
 
-    /// [`solve`](ScenarioScheduler::solve) with a warm-start solution
-    /// store: every admission (initial and streamed) consults the store and,
-    /// on a hit, re-seeds its slot from the nearest stored [`WarmState`]
-    /// instead of the cold start; every converged scenario is committed
-    /// back under `case_id` after the run.
-    ///
-    /// Determinism: lookups go against a [`StoreView`] snapshot frozen
-    /// before the run (this run's own results are invisible to its own
-    /// lookups) and inserts commit in input order afterwards, so — like
-    /// every other path through this scheduler — both the results and the
-    /// post-run store contents are bitwise independent of the device count,
-    /// lane cap, and launch backend. With an empty store every lookup
-    /// misses and the run is bitwise identical to
-    /// [`solve`](ScenarioScheduler::solve).
+    /// Solve all scenarios from a cold start.
+    #[deprecated(note = "build a FleetRequest and call ScenarioScheduler::run")]
+    pub fn solve(&self, nets: &[Network]) -> ScenarioBatchResult {
+        self.run(FleetRequest::over(nets))
+    }
+
+    /// Solve with a live warm-start store (freeze-at-start lookups,
+    /// post-run commits under `case_id`).
+    #[deprecated(note = "build a FleetRequest and call ScenarioScheduler::run")]
     pub fn solve_with_store(
         &self,
         case_id: &str,
         nets: &[Network],
         store: &mut SolutionStore<WarmState>,
     ) -> ScenarioBatchResult {
-        self.run(nets, None, None, Some((case_id, store)))
+        self.run(FleetRequest::over(nets).case(case_id).store(store))
     }
 
     /// Solve all scenarios warm-started from one shared [`WarmState`],
@@ -197,15 +247,18 @@ impl ScenarioScheduler {
         warm: &WarmState,
         pg_bounds: Option<&[(Vec<f64>, Vec<f64>)]>,
     ) -> ScenarioBatchResult {
-        self.run(nets, Some(warm), pg_bounds, None)
+        self.execute(&self.pool, nets, Some(warm), pg_bounds, None)
     }
 
-    fn run(
+    /// Drive the engine over `nets` on `pool`, with lookups against the
+    /// frozen view when present. Commits nothing.
+    fn execute(
         &self,
+        pool: &DevicePool,
         nets: &[Network],
         warm: Option<&WarmState>,
         pg_bounds: Option<&[(Vec<f64>, Vec<f64>)]>,
-        store: Option<(&str, &mut SolutionStore<WarmState>)>,
+        lookup: Option<(&str, &StoreView<WarmState>, &[ScenarioFingerprint])>,
     ) -> ScenarioBatchResult {
         let start_time = Instant::now();
         // The step loop performs one inner iteration per round before it
@@ -216,14 +269,6 @@ impl ScenarioScheduler {
             "ScenarioScheduler needs max_inner >= 1 and max_outer >= 1"
         );
         let problem = ScenarioProblem::build(nets, &self.params, pg_bounds);
-        // Fingerprints and the frozen lookup snapshot, when a store rides
-        // along. The mutable store handle is kept aside for the post-run
-        // commit; the fleet itself only ever sees the immutable view.
-        let store_ctx = store.map(|(case_id, s)| {
-            let fps: Vec<ScenarioFingerprint> =
-                nets.iter().map(ScenarioFingerprint::of_network).collect();
-            (case_id, s.view(), fps, s)
-        });
         let fleet = AdmmFleet {
             params: &self.params,
             problem: &problem,
@@ -231,17 +276,15 @@ impl ScenarioScheduler {
             warm,
             tron: TronSolver::new(self.params.tron.clone()),
             alm: AlmSettings::from_params(&self.params),
-            store: store_ctx
-                .as_ref()
-                .map(|(case_id, view, fps, _)| AdmmStoreBinding {
-                    case_id,
-                    view,
-                    fps,
-                    hits: AtomicUsize::new(0),
-                    misses: AtomicUsize::new(0),
-                }),
+            store: lookup.map(|(case_id, view, fps)| AdmmStoreBinding {
+                case_id,
+                view,
+                fps,
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
         };
-        let mut engine = Engine::with_pool(self.pool.clone());
+        let mut engine = Engine::with_pool(pool.clone());
         if let Some(l) = self.lanes_per_device {
             engine = engine.with_lanes(l);
         }
@@ -251,23 +294,12 @@ impl ScenarioScheduler {
             stats.hits = binding.hits.load(Ordering::Relaxed);
             stats.misses = binding.misses.load(Ordering::Relaxed);
         }
-        let mut result = ScenarioBatchResult {
+        ScenarioBatchResult {
             results: run.outputs,
             solve_time: start_time.elapsed(),
             ticks: run.ticks,
             store: stats,
-        };
-        // Commit converged scenarios back in input order: deterministic
-        // store contents regardless of device/lane/thread scheduling.
-        if let Some((case_id, _, fps, store)) = store_ctx {
-            for (fp, r) in fps.iter().zip(&result.results) {
-                if r.status == AdmmStatus::Converged {
-                    store.insert(case_id, fp, r.warm_state.clone());
-                    result.store.inserts += 1;
-                }
-            }
         }
-        result
     }
 }
 

@@ -21,7 +21,7 @@ use gridsim_tron::TronSolver;
 use std::time::{Duration, Instant};
 
 /// Termination status of an ADMM solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum AdmmStatus {
     /// The outer loop drove `‖z‖∞` below the tolerance.
     Converged,
@@ -31,7 +31,7 @@ pub enum AdmmStatus {
 
 /// Host-side snapshot of the full ADMM state, used for warm starting the next
 /// period of the tracking experiment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WarmState {
     pub(crate) gen_pg: Vec<f64>,
     pub(crate) gen_qg: Vec<f64>,

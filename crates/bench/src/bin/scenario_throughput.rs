@@ -29,6 +29,7 @@ use gridsim_bench::experiments::{
     run_device_sweep_row, run_scenario_throughput, to_json, DeviceSweepRow, ScenarioThroughputRow,
 };
 use gridsim_bench::{arg_value, Scale, TextTable};
+use gridsim_engine::FleetRequest;
 use gridsim_grid::scenario::ScenarioSet;
 use gridsim_grid::synthetic::TableICase;
 
@@ -149,8 +150,9 @@ fn main() {
     // not necessarily the same scenario count): every sweep row compares
     // bitwise and wall-clock against this single batch.
     eprintln!("reference batch at K = {k_max} ...");
-    let reference = gridsim_admm::ScenarioBatch::new(params.clone())
-        .solve(&set.networks().expect("scenario cases compile"));
+    let reference = gridsim_admm::ScenarioBatch::new(params.clone()).run(FleetRequest::over(
+        &set.networks().expect("scenario cases compile"),
+    ));
     let batch_time = reference.solve_time.as_secs_f64();
     println!(
         "\nDevice sweep at K = {k_max} (streaming scheduler, {} lanes/device):",

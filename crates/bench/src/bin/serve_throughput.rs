@@ -1,0 +1,131 @@
+//! Daemon-throughput experiment: push a multi-tenant job mix through
+//! [`gridsim_serve::ServeDaemon`] at increasing worker-slot counts and
+//! report end-to-end scenarios per second, then resubmit the identical mix
+//! to a fresh daemon on the same state directory to measure how much the
+//! persisted [`gridsim_store::SolutionStore`] warm-starts the second
+//! generation.
+//!
+//! ```text
+//! cargo run -p gridsim-bench --release --bin serve_throughput \
+//!     [--jobs J] [--k K] [--slots S1,S2,...]
+//! ```
+//!
+//! Each tenant submits one job; tenants alternate IPM and ADMM families
+//! over `case9` load ramps at staggered priorities so every scheduling
+//! round exercises the cross-job lane allocator. The durability machinery
+//! (manifest flush per chunk, atomic rename) is on the measured path — the
+//! point of the experiment is the cost of the daemon's crash-consistency
+//! relative to the raw fleet solve.
+
+use gridsim_bench::arg_value;
+use gridsim_bench::TextTable;
+use gridsim_serve::{CaseName, JobSpec, ScenarioSpec, ServeDaemon, SolverFamily};
+use std::time::Instant;
+
+fn job_mix(jobs: usize, k: usize) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|j| {
+            let family = if j % 2 == 0 {
+                SolverFamily::Ipm
+            } else {
+                SolverFamily::Admm
+            };
+            JobSpec::new(
+                format!("tenant-{j}"),
+                CaseName::Case9,
+                ScenarioSpec::load_ramp(k, 0.95, 1.05),
+                family,
+            )
+            .priority((jobs - j) as i64)
+            .chunk_size(2)
+        })
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridsim-serve-bench-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Row {
+    slots: usize,
+    wall_s: f64,
+    scen_per_s: f64,
+    warm_wall_s: f64,
+    warm_hits: usize,
+}
+
+fn main() {
+    let jobs: usize = arg_value("--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let k: usize = arg_value("--k").and_then(|v| v.parse().ok()).unwrap_or(6);
+    let slots_list: Vec<usize> = arg_value("--slots")
+        .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let total = jobs * k;
+
+    println!(
+        "Serve throughput: {jobs} tenants x {k} scenarios (case9 load ramp, alternating IPM/ADMM)"
+    );
+
+    let mut rows = Vec::new();
+    for &slots in &slots_list {
+        let dir = fresh_dir(&format!("s{slots}"));
+        let daemon = ServeDaemon::open(&dir, slots).expect("open daemon state dir");
+        for spec in job_mix(jobs, k) {
+            daemon.submit(spec).expect("submit job");
+        }
+        let t0 = Instant::now();
+        daemon.run_until_idle().expect("drain job queue");
+        let wall = t0.elapsed().as_secs_f64();
+        for s in daemon.status_all() {
+            assert!(s.complete && s.counts.failed == 0, "{s:?}");
+        }
+        drop(daemon);
+
+        // Second generation on the same directory: the flushed stores are
+        // reloaded, so identical scenario sets should warm-start.
+        let daemon = ServeDaemon::open(&dir, slots).expect("reopen daemon state dir");
+        for mut spec in job_mix(jobs, k) {
+            spec.name = format!("{}-gen2", spec.name);
+            daemon.submit(spec).expect("submit gen2 job");
+        }
+        let t0 = Instant::now();
+        daemon.run_until_idle().expect("drain gen2 queue");
+        let warm_wall = t0.elapsed().as_secs_f64();
+        let warm_hits = daemon
+            .status_all()
+            .iter()
+            .filter(|s| s.name.ends_with("-gen2"))
+            .map(|s| s.store.hits)
+            .sum();
+
+        rows.push(Row {
+            slots,
+            wall_s: wall,
+            scen_per_s: total as f64 / wall,
+            warm_wall_s: warm_wall,
+            warm_hits,
+        });
+    }
+
+    let mut table = TextTable::new(vec![
+        "Slots",
+        "Cold t (s)",
+        "Scen/s",
+        "Warm t (s)",
+        "Warm hits",
+    ]);
+    for r in &rows {
+        table.add_row(vec![
+            r.slots.to_string(),
+            format!("{:.3}", r.wall_s),
+            format!("{:.2}", r.scen_per_s),
+            format!("{:.3}", r.warm_wall_s),
+            format!("{}/{}", r.warm_hits, total),
+        ]);
+    }
+    println!("{table}");
+}

@@ -5,7 +5,7 @@ use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_acopf::violations::{relative_gap, SolutionQuality};
 use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch, ScenarioScheduler, WarmState};
 use gridsim_batch::{Device, DevicePool, ExecutionMode};
-use gridsim_engine::Engine;
+use gridsim_engine::{Engine, FleetRequest};
 use gridsim_grid::load_profile::LoadProfile;
 use gridsim_grid::network::Case;
 use gridsim_grid::scenario::ScenarioSet;
@@ -326,7 +326,7 @@ pub fn run_scenario_throughput(
 
     let batcher = ScenarioBatch::new(params.clone());
     let before = batcher.device.stats().snapshot();
-    let batch = batcher.solve(&nets);
+    let batch = batcher.run(FleetRequest::over(&nets));
     let batch_launches = batcher
         .device
         .stats()
@@ -420,14 +420,14 @@ pub fn run_device_sweep_row(
         scheduler = scheduler.with_lanes(l);
     }
     let before = scheduler.pool.snapshots();
-    let sched = scheduler.solve(&nets);
+    let sched = scheduler.run(FleetRequest::over(&nets));
     let deltas = scheduler.pool.snapshots_since(&before);
 
     let own_reference;
     let reference = match reference {
         Some(r) => r,
         None => {
-            own_reference = ScenarioBatch::new(params.clone()).solve(&nets);
+            own_reference = ScenarioBatch::new(params.clone()).run(FleetRequest::over(&nets));
             &own_reference
         }
     };
@@ -511,7 +511,7 @@ pub fn run_backend_sweep(
         let device = Device::new(gridsim_batch::DeviceConfig::with_mode(mode));
         let batcher = ScenarioBatch::with_device(params.clone(), device);
         let before = batcher.device.stats().snapshot();
-        let batch = batcher.solve(&nets);
+        let batch = batcher.run(FleetRequest::over(&nets));
         let delta = batcher.device.stats().snapshot().since(&before);
 
         let bitwise = reference.as_ref().is_none_or(|seq| {
@@ -619,7 +619,7 @@ pub fn run_fleet_throughput(
     if let Some(l) = lane_cap {
         scheduler = scheduler.with_lanes(l);
     }
-    let admm = scheduler.solve(&nets);
+    let admm = scheduler.run(FleetRequest::over(&nets));
 
     let ipm_options = IpmOptions {
         tol: 1e-6,
@@ -632,7 +632,7 @@ pub fn run_fleet_throughput(
         engine = engine.with_lanes(l);
     }
     let fleet_solver = IpmFleetSolver::with_engine(ipm_options.clone(), engine);
-    let fleet = fleet_solver.solve(&nets);
+    let fleet = fleet_solver.run(FleetRequest::over(&nets));
 
     // Sequential baseline: cold condensed solves, one fresh cache (hence
     // one symbolic analysis) per scenario.
@@ -791,10 +791,18 @@ pub fn run_warm_store(
     }
     let ipm_solver = IpmFleetSolver::with_engine(ipm_options, engine);
 
-    let ipm_cold = ipm_solver.solve(&eval_nets);
+    let ipm_cold = ipm_solver.run(FleetRequest::over(&eval_nets));
     let mut ipm_store: SolutionStore<IpmWarmStart> = SolutionStore::new();
-    let ipm_prime = ipm_solver.solve_with_store(name, &prime_nets, &mut ipm_store);
-    let ipm_warm = ipm_solver.solve_with_store(name, &eval_nets, &mut ipm_store);
+    let ipm_prime = ipm_solver.run(
+        FleetRequest::over(&prime_nets)
+            .case(name)
+            .store(&mut ipm_store),
+    );
+    let ipm_warm = ipm_solver.run(
+        FleetRequest::over(&eval_nets)
+            .case(name)
+            .store(&mut ipm_store),
+    );
 
     let ipm_max_objective_gap = ipm_warm
         .results
@@ -808,10 +816,18 @@ pub fn run_warm_store(
     if let Some(l) = lane_cap {
         scheduler = scheduler.with_lanes(l);
     }
-    let admm_cold = scheduler.solve(&eval_nets);
+    let admm_cold = scheduler.run(FleetRequest::over(&eval_nets));
     let mut admm_store: SolutionStore<WarmState> = SolutionStore::new();
-    let _admm_prime = scheduler.solve_with_store(name, &prime_nets, &mut admm_store);
-    let admm_warm = scheduler.solve_with_store(name, &eval_nets, &mut admm_store);
+    let _admm_prime = scheduler.run(
+        FleetRequest::over(&prime_nets)
+            .case(name)
+            .store(&mut admm_store),
+    );
+    let admm_warm = scheduler.run(
+        FleetRequest::over(&eval_nets)
+            .case(name)
+            .store(&mut admm_store),
+    );
 
     WarmStoreRow {
         name: name.to_string(),

@@ -1,0 +1,131 @@
+//! Cross-job lane allocation as pure functions.
+//!
+//! [`plan`](crate::plan) decides how *one* fleet's scenarios spread over
+//! devices and lanes. This module hoists the same streaming-admission idea
+//! one level up, to a multi-tenant job queue: a daemon owns a fixed number
+//! of execution slots, every queued job has pending work, and as any slot
+//! frees the highest-priority job with pending work fills it — subject to a
+//! per-job slot cap, which is the backpressure knob keeping one huge job
+//! from starving the queue.
+//!
+//! Like the shard/admission plans, the decision is plain data-in/data-out:
+//! the daemon's scheduler loop executes exactly [`lane_allocation`], and the
+//! serve test suites assert dispatch order against the same function
+//! instead of re-implementing the priority arithmetic.
+
+/// One job's view of the allocator: static priority, submission order, and
+/// current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSlot {
+    /// Higher runs first.
+    pub priority: i64,
+    /// Submission sequence number — the FIFO tie-break among equal
+    /// priorities (lower submits first).
+    pub submitted: u64,
+    /// Units of dispatchable work the job has ready (e.g. pending scenario
+    /// chunks whose backoff, if any, has expired).
+    pub pending: usize,
+    /// Units currently executing in slots.
+    pub running: usize,
+    /// Backpressure cap: the job never occupies more than this many slots
+    /// at once. `None` means uncapped.
+    pub cap: Option<usize>,
+}
+
+impl JobSlot {
+    /// How many more units this job may start right now.
+    fn headroom(&self, extra_running: usize) -> usize {
+        let occupied = self.running + extra_running;
+        let by_cap = match self.cap {
+            Some(cap) => cap.saturating_sub(occupied),
+            None => usize::MAX,
+        };
+        by_cap.min(self.pending.saturating_sub(extra_running))
+    }
+}
+
+/// Fill up to `free_slots` execution slots from `jobs`: repeatedly assign
+/// the next slot to the job with the highest `(priority, −submitted,
+/// −index)` among those with pending work and cap headroom. Returns the
+/// chosen job indices in assignment order (a job appears once per slot it
+/// wins). Deterministic in its inputs; no clocks, no randomness.
+pub fn lane_allocation(free_slots: usize, jobs: &[JobSlot]) -> Vec<usize> {
+    let mut assigned = vec![0usize; jobs.len()];
+    let mut out = Vec::new();
+    for _ in 0..free_slots {
+        let winner = jobs
+            .iter()
+            .enumerate()
+            .filter(|(j, job)| job.headroom(assigned[*j]) > 0)
+            .min_by_key(|(j, job)| (std::cmp::Reverse(job.priority), job.submitted, *j))
+            .map(|(j, _)| j);
+        match winner {
+            Some(j) => {
+                assigned[j] += 1;
+                out.push(j);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(
+        priority: i64,
+        submitted: u64,
+        pending: usize,
+        running: usize,
+        cap: Option<usize>,
+    ) -> JobSlot {
+        JobSlot {
+            priority,
+            submitted,
+            pending,
+            running,
+            cap,
+        }
+    }
+
+    #[test]
+    fn higher_priority_fills_first() {
+        let jobs = [job(1, 0, 2, 0, None), job(5, 1, 2, 0, None)];
+        assert_eq!(lane_allocation(3, &jobs), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn equal_priority_breaks_ties_fifo() {
+        let jobs = [job(3, 7, 1, 0, None), job(3, 2, 2, 0, None)];
+        assert_eq!(lane_allocation(3, &jobs), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn cap_is_backpressure_not_starvation() {
+        // The high-priority job is capped at 2 slots and already runs 1:
+        // it takes one more slot, then the queue spills to the next job.
+        let jobs = [job(9, 0, 10, 1, Some(2)), job(1, 1, 10, 0, None)];
+        assert_eq!(lane_allocation(4, &jobs), vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn exhausted_pending_stops_assignment() {
+        let jobs = [job(5, 0, 1, 0, None), job(4, 1, 1, 0, None)];
+        assert_eq!(lane_allocation(5, &jobs), vec![0, 1]);
+    }
+
+    #[test]
+    fn no_work_means_no_assignments() {
+        assert_eq!(lane_allocation(3, &[]), Vec::<usize>::new());
+        let jobs = [job(5, 0, 0, 2, None), job(4, 1, 3, 3, Some(3))];
+        assert_eq!(lane_allocation(3, &jobs), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_free_slots_short_circuits() {
+        let jobs = [job(5, 0, 3, 0, None)];
+        assert_eq!(lane_allocation(0, &jobs), Vec::<usize>::new());
+    }
+}

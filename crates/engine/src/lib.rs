@@ -31,7 +31,11 @@
 //! configuration-independent, to solver tolerance for warm-start-chained
 //! solvers where the lane a scenario lands in decides its starting point.
 
+pub mod jobs;
 pub mod plan;
+pub mod request;
+
+pub use request::{FleetRequest, StoreAccess};
 
 use gridsim_batch::{Device, DevicePool, StatsSnapshot};
 use plan::{admission_plan, shard_plan, total_lanes};

@@ -36,8 +36,8 @@ use crate::report::SolveReport;
 use crate::solver::{IpmOptions, IpmSolver};
 use gridsim_acopf::solution::OpfSolution;
 use gridsim_acopf::violations::SolutionQuality;
-use gridsim_batch::Device;
-use gridsim_engine::{Engine, LaneSolver};
+use gridsim_batch::{Device, DeviceConfig, DevicePool};
+use gridsim_engine::{Engine, FleetRequest, LaneSolver, StoreAccess};
 use gridsim_grid::fingerprint::ScenarioFingerprint;
 use gridsim_grid::network::Network;
 use gridsim_store::{SolutionStore, StoreRunStats, StoreView};
@@ -53,7 +53,7 @@ use std::time::Duration;
 /// multipliers is what makes the reuse pay: they hold the donor's active
 /// set and terminal barrier level, so a seeded solve resumes the μ
 /// trajectory instead of descending from `mu_init` again.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct IpmWarmStart {
     /// Converged primal variables.
     pub x: Vec<f64>,
@@ -65,8 +65,28 @@ pub struct IpmWarmStart {
     pub zu: Vec<f64>,
 }
 
+impl IpmWarmStart {
+    /// The warm-start payload of a converged report — what
+    /// [`IpmFleetSolver::run`] commits to a bound store, exposed so a
+    /// caller owning the write side (a [`StoreAccess::Snapshot`] consumer,
+    /// e.g. a durable job layer) can commit identical payloads itself.
+    pub fn from_report(report: &SolveReport) -> IpmWarmStart {
+        IpmWarmStart {
+            x: report.x.clone(),
+            lambda: report
+                .lambda_eq
+                .iter()
+                .chain(report.lambda_ineq.iter())
+                .copied()
+                .collect(),
+            zl: report.zl.clone(),
+            zu: report.zu.clone(),
+        }
+    }
+}
+
 /// One scenario's result inside a fleet solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FleetScenarioResult {
     /// Name of the scenario's network.
     pub name: String,
@@ -191,97 +211,125 @@ impl IpmFleetSolver {
         IpmFleetSolver { options, engine }
     }
 
-    /// Solve all scenarios; results come back in input order. Networks
-    /// should share one topology (a [`gridsim_grid::scenario::ScenarioSet`]
-    /// guarantees it) — structurally divergent scenarios still solve
-    /// correctly but cost their lane extra symbolic analyses.
-    pub fn solve(&self, nets: &[Network]) -> FleetReport {
+    /// Solve one [`FleetRequest`]; results come back in input order.
+    /// Networks should share one topology (a
+    /// [`gridsim_grid::scenario::ScenarioSet`] guarantees it) —
+    /// structurally divergent scenarios still solve correctly but cost
+    /// their lane extra symbolic analyses.
+    ///
+    /// With a [`StoreAccess::Live`] binding, every admission consults the
+    /// store and seeds the lane from the nearest stored neighbor when that
+    /// neighbor is closer (in RMS load distance) than the lane's own
+    /// chained point, and every converged solve is committed back under the
+    /// request's case id after the run. Determinism: lookups go against a
+    /// [`StoreView`] snapshot frozen before the run (this run's own results
+    /// are invisible to its lookups), and inserts commit in input order
+    /// afterwards — so the post-run store contents are independent of
+    /// device count, lane caps, and thread timing, and re-running with
+    /// identical store contents and engine configuration reproduces results
+    /// bitwise. A [`StoreAccess::Snapshot`] binding does the lookup side
+    /// only: nothing is committed, the caller owns the write side.
+    ///
+    /// A [`FleetRequest::mode`] override rebuilds this fleet's devices on
+    /// the requested backend (same device count and lane cap) for this run.
+    pub fn run(&self, request: FleetRequest<'_, IpmWarmStart>) -> FleetReport {
+        let nets = request.nets;
         assert!(!nets.is_empty(), "need at least one scenario");
+        let engine = match request.mode {
+            Some(mode) => {
+                let pool = DevicePool::new(self.engine.pool().len(), DeviceConfig::with_mode(mode));
+                let mut e = Engine::with_pool(pool);
+                if let Some(lanes) = self.engine.lanes_per_device() {
+                    e = e.with_lanes(lanes);
+                }
+                e
+            }
+            None => self.engine.clone(),
+        };
+        let case_id = request.store_case_id();
+        match request.store {
+            StoreAccess::None => self.execute(&engine, nets, None),
+            StoreAccess::Snapshot(view) => {
+                let fps: Vec<ScenarioFingerprint> =
+                    nets.iter().map(ScenarioFingerprint::of_network).collect();
+                self.execute(
+                    &engine,
+                    nets,
+                    Some((case_id.expect("store_case_id checked"), view, &fps)),
+                )
+            }
+            StoreAccess::Live(store) => {
+                let case_id = case_id.expect("store_case_id checked");
+                let fps: Vec<ScenarioFingerprint> =
+                    nets.iter().map(ScenarioFingerprint::of_network).collect();
+                let view = store.view();
+                let mut report = self.execute(&engine, nets, Some((case_id, &view, &fps)));
+                // Commit converged solves back in input order: deterministic
+                // store contents regardless of which device solved what when.
+                for (fp, r) in fps.iter().zip(&report.results) {
+                    if r.report.is_optimal() {
+                        store.insert(case_id, fp, IpmWarmStart::from_report(&r.report));
+                        report.store.inserts += 1;
+                    }
+                }
+                report
+            }
+        }
+    }
+
+    /// Drive the engine over `nets`, with lookups against `binding`'s
+    /// frozen view when present. Commits nothing.
+    fn execute(
+        &self,
+        engine: &Engine,
+        nets: &[Network],
+        binding: Option<(&str, &StoreView<IpmWarmStart>, &[ScenarioFingerprint])>,
+    ) -> FleetReport {
         let fleet = IpmFleet {
             options: &self.options,
             nets,
-            store: None,
+            store: binding.map(|(case_id, view, fps)| StoreBinding {
+                case_id,
+                view,
+                fps,
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
         };
-        let run = self.engine.run(&fleet, nets.len());
+        let run = engine.run(&fleet, nets.len());
+        let store = fleet
+            .store
+            .as_ref()
+            .map_or_else(StoreRunStats::default, |b| StoreRunStats {
+                hits: b.hits.load(Ordering::Relaxed),
+                misses: b.misses.load(Ordering::Relaxed),
+                inserts: 0,
+            });
         FleetReport {
             results: run.outputs,
             solve_time: run.solve_time,
             ticks: run.ticks,
-            lanes: self.engine.total_lanes(nets.len()),
-            store: StoreRunStats::default(),
+            lanes: engine.total_lanes(nets.len()),
+            store,
         }
     }
 
-    /// [`solve`](IpmFleetSolver::solve) with a warm-start solution store:
-    /// every admission consults the store and seeds the lane from the
-    /// nearest stored neighbor when that neighbor is closer (in RMS load
-    /// distance) than the lane's own chained point, and every converged
-    /// solve is committed back under `case_id` after the run.
-    ///
-    /// Determinism: lookups go against a [`StoreView`] snapshot frozen
-    /// before the run (this run's own results are invisible to its
-    /// lookups), and inserts commit in input order afterwards — so the
-    /// post-run store contents are independent of device count, lane caps,
-    /// and thread timing, and re-running with identical store contents and
-    /// engine configuration reproduces results bitwise.
+    /// Solve all scenarios with no store and no overrides.
+    #[deprecated(note = "build a FleetRequest and call IpmFleetSolver::run")]
+    pub fn solve(&self, nets: &[Network]) -> FleetReport {
+        self.run(FleetRequest::over(nets))
+    }
+
+    /// Solve with a live warm-start store (freeze-at-start lookups,
+    /// post-run commits under `case_id`).
+    #[deprecated(note = "build a FleetRequest and call IpmFleetSolver::run")]
     pub fn solve_with_store(
         &self,
         case_id: &str,
         nets: &[Network],
         store: &mut SolutionStore<IpmWarmStart>,
     ) -> FleetReport {
-        assert!(!nets.is_empty(), "need at least one scenario");
-        let fps: Vec<ScenarioFingerprint> =
-            nets.iter().map(ScenarioFingerprint::of_network).collect();
-        let view = store.view();
-        let fleet = IpmFleet {
-            options: &self.options,
-            nets,
-            store: Some(StoreBinding {
-                case_id,
-                view: &view,
-                fps: &fps,
-                hits: AtomicUsize::new(0),
-                misses: AtomicUsize::new(0),
-            }),
-        };
-        let run = self.engine.run(&fleet, nets.len());
-        let binding = fleet.store.as_ref().expect("binding outlives the run");
-        let mut report = FleetReport {
-            results: run.outputs,
-            solve_time: run.solve_time,
-            ticks: run.ticks,
-            lanes: self.engine.total_lanes(nets.len()),
-            store: StoreRunStats {
-                hits: binding.hits.load(Ordering::Relaxed),
-                misses: binding.misses.load(Ordering::Relaxed),
-                inserts: 0,
-            },
-        };
-        // Commit converged solves back in input order: deterministic store
-        // contents regardless of which device solved what when.
-        for (fp, r) in fps.iter().zip(&report.results) {
-            if r.report.is_optimal() {
-                store.insert(
-                    case_id,
-                    fp,
-                    IpmWarmStart {
-                        x: r.report.x.clone(),
-                        lambda: r
-                            .report
-                            .lambda_eq
-                            .iter()
-                            .chain(r.report.lambda_ineq.iter())
-                            .copied()
-                            .collect(),
-                        zl: r.report.zl.clone(),
-                        zu: r.report.zu.clone(),
-                    },
-                );
-                report.store.inserts += 1;
-            }
-        }
-        report
+        self.run(FleetRequest::over(nets).case(case_id).store(store))
     }
 }
 
@@ -464,7 +512,7 @@ mod tests {
             .networks()
             .unwrap();
         let engine = Engine::with_pool(DevicePool::parallel(2)).with_lanes(1);
-        let fleet = IpmFleetSolver::with_engine(condensed(), engine).solve(&nets);
+        let fleet = IpmFleetSolver::with_engine(condensed(), engine).run(FleetRequest::over(&nets));
         assert_eq!(fleet.results.len(), 4);
         assert!(fleet.all_optimal(), "a scenario failed to converge");
         assert_eq!(fleet.lanes, 2);
@@ -495,7 +543,7 @@ mod tests {
             .networks()
             .unwrap();
         let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
-        let fleet = IpmFleetSolver::with_engine(condensed(), engine).solve(&nets);
+        let fleet = IpmFleetSolver::with_engine(condensed(), engine).run(FleetRequest::over(&nets));
         assert!(fleet.all_optimal());
         // The second scenario rides the first one's primal/dual point and
         // the lane's frozen pattern: no new analysis, no more iterations
@@ -518,7 +566,7 @@ mod tests {
             IpmOptions::default(),
             Engine::with_pool(DevicePool::parallel(1)),
         )
-        .solve(&nets);
+        .run(FleetRequest::over(&nets));
         assert!(fleet.all_optimal());
         // The full path pays a symbolic analysis per factorization.
         assert_eq!(fleet.symbolic_analyses(), fleet.factorizations());
@@ -527,7 +575,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one scenario")]
     fn empty_fleet_is_rejected() {
-        let _ = IpmFleetSolver::new(condensed()).solve(&[]);
+        let _ = IpmFleetSolver::new(condensed()).run(FleetRequest::over(&[]));
     }
 
     #[test]
@@ -537,9 +585,9 @@ mod tests {
             .unwrap();
         let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
         let solver = IpmFleetSolver::with_engine(condensed(), engine);
-        let plain = solver.solve(&nets);
+        let plain = solver.run(FleetRequest::over(&nets));
         let mut store = SolutionStore::new();
-        let stored = solver.solve_with_store("case9", &nets, &mut store);
+        let stored = solver.run(FleetRequest::over(&nets).case("case9").store(&mut store));
         // An empty store changes nothing about the solves…
         assert_eq!(stored.store.hits, 0);
         assert_eq!(stored.store.misses, nets.len());
@@ -561,8 +609,8 @@ mod tests {
         let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
         let solver = IpmFleetSolver::with_engine(condensed(), engine);
         let mut store = SolutionStore::new();
-        let cold = solver.solve_with_store("case9", &nets, &mut store);
-        let warm = solver.solve_with_store("case9", &nets, &mut store);
+        let cold = solver.run(FleetRequest::over(&nets).case("case9").store(&mut store));
+        let warm = solver.run(FleetRequest::over(&nets).case("case9").store(&mut store));
         assert!(warm.all_optimal());
         // Every scenario now has a distance-0 neighbor: all hits, and the
         // exact-duplicate re-inserts replace rather than grow the store.
@@ -594,12 +642,20 @@ mod tests {
         let solver = IpmFleetSolver::with_engine(condensed(), engine);
         let mut store = SolutionStore::new();
         // Prime the store with the near scenario's solution.
-        let prime = solver.solve_with_store("case9", std::slice::from_ref(&near), &mut store);
+        let prime = solver.run(
+            FleetRequest::over(std::slice::from_ref(&near))
+                .case("case9")
+                .store(&mut store),
+        );
         assert!(prime.all_optimal());
         // Far then near on one lane: without the store the near solve would
         // chain from the far point; with it, the admission takes the
         // distance-0 stored neighbor instead.
-        let run = solver.solve_with_store("case9", &[far, near], &mut store);
+        let run = solver.run(
+            FleetRequest::over(&[far, near])
+                .case("case9")
+                .store(&mut store),
+        );
         assert!(run.all_optimal());
         assert_eq!(run.store.hits + run.store.misses, 2);
         assert!(run.store.hits >= 1, "the near admission must hit");

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 /// Termination status of an interior-point solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum IpmStatus {
     /// First-order optimality satisfied to the requested tolerance.
     Optimal,
@@ -19,7 +19,7 @@ pub enum IpmStatus {
 }
 
 /// One row of the iteration log (what Ipopt prints per iteration).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct IterationRecord {
     /// Iteration number.
     pub iter: usize,
@@ -38,7 +38,7 @@ pub struct IterationRecord {
 }
 
 /// Result of an interior-point solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SolveReport {
     /// Final primal point (original variables, without slacks).
     pub x: Vec<f64>,

@@ -1,0 +1,267 @@
+//! `gridsim-served` — command-line front end of [`gridsim_serve`].
+//!
+//! ```text
+//! gridsim-served --dir STATE submit NAME CASE KIND COUNT SOLVER [options]
+//! gridsim-served --dir STATE run [--slots N]
+//! gridsim-served --dir STATE status
+//! ```
+//!
+//! `submit` enqueues a job (persisting its manifest) without running it;
+//! `run` drains every queued job and exits; `status` prints per-job
+//! progress. Killing `run` at any point — including `kill -9` — is safe:
+//! the next `run` resumes from the manifests without re-solving finished
+//! scenarios. See the README for a worked example.
+
+use gridsim_serve::{CaseName, JobSpec, ScenarioSpec, ServeDaemon, SolverFamily};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         gridsim-served --dir STATE submit NAME CASE KIND COUNT SOLVER \\\n      \
+         [--priority P] [--chunk-size C] [--max-lanes L] [--retries R] \\\n      \
+         [--backoff-ms MS] [--load-scale F] [--lo F] [--hi F] [--sigma F] [--seed S]\n  \
+         gridsim-served --dir STATE run [--slots N]\n  \
+         gridsim-served --dir STATE status\n\n\
+         CASE:   two_bus | case5 | case9 | case14 | case30_like\n\
+         KIND:   load_ramp | perturbed | outages\n\
+         SOLVER: admm | ipm"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_case(s: &str) -> Option<CaseName> {
+    Some(match s {
+        "two_bus" => CaseName::TwoBus,
+        "case5" => CaseName::Case5,
+        "case9" => CaseName::Case9,
+        "case14" => CaseName::Case14,
+        "case30_like" => CaseName::Case30Like,
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--dir" {
+            dir = it.next();
+        } else {
+            rest.push(a);
+        }
+    }
+    let Some(dir) = dir else {
+        return usage();
+    };
+    let Some(command) = rest.first().cloned() else {
+        return usage();
+    };
+
+    match command.as_str() {
+        "status" => {
+            let daemon = match ServeDaemon::open(&dir, 1) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("gridsim-served: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for s in daemon.status_all() {
+                println!(
+                    "{}: done {} / failed {} / queued {}{}{}",
+                    s.name,
+                    s.counts.done,
+                    s.counts.failed,
+                    s.counts.pending,
+                    if s.complete { " [complete]" } else { "" },
+                    if s.store_committed {
+                        " [committed]"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let mut slots = 2usize;
+            let mut it = rest.iter().skip(1);
+            while let Some(a) = it.next() {
+                if a == "--slots" {
+                    slots = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) if n >= 1 => n,
+                        _ => return usage(),
+                    };
+                } else {
+                    return usage();
+                }
+            }
+            let daemon = match ServeDaemon::open(&dir, slots) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("gridsim-served: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match daemon.run_until_idle() {
+                Ok(()) => {
+                    for s in daemon.status_all() {
+                        println!(
+                            "{}: done {} / failed {} (store: {} hits, {} misses, {} inserts)",
+                            s.name,
+                            s.counts.done,
+                            s.counts.failed,
+                            s.store.hits,
+                            s.store.misses,
+                            s.store.inserts
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("gridsim-served: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "submit" => {
+            let pos: Vec<&String> = rest[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            let [name, case, kind, count, solver] = pos[..] else {
+                return usage();
+            };
+            let Some(case) = parse_case(case) else {
+                return usage();
+            };
+            let Ok(count) = count.parse::<usize>() else {
+                return usage();
+            };
+            let solver = match solver.as_str() {
+                "admm" => SolverFamily::Admm,
+                "ipm" => SolverFamily::Ipm,
+                _ => return usage(),
+            };
+            // Flag defaults, overridable below.
+            let (mut lo, mut hi, mut sigma, mut seed) = (0.95f64, 1.05f64, 0.02f64, 1u64);
+            let mut opts: Vec<(String, String)> = Vec::new();
+            let mut it = rest[1 + pos.len()..].iter();
+            while let Some(a) = it.next() {
+                let Some(v) = it.next() else { return usage() };
+                opts.push((a.clone(), v.clone()));
+            }
+            for (k, v) in &opts {
+                match k.as_str() {
+                    "--lo" => {
+                        lo = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--hi" => {
+                        hi = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--sigma" => {
+                        sigma = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--seed" => {
+                        seed = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let scenarios = match kind.as_str() {
+                "load_ramp" => ScenarioSpec::load_ramp(count, lo, hi),
+                "perturbed" => ScenarioSpec::perturbed(count, sigma, seed),
+                "outages" => ScenarioSpec::outages(count),
+                _ => return usage(),
+            };
+            let mut spec = JobSpec::new(name.clone(), case, scenarios, solver);
+            for (k, v) in &opts {
+                let parsed = v.parse::<i64>();
+                match k.as_str() {
+                    "--priority" => {
+                        spec.priority = if let Ok(x) = parsed {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--chunk-size" => {
+                        spec.chunk_size = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--max-lanes" => {
+                        spec.max_lanes = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--retries" => {
+                        spec.max_retries = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--backoff-ms" => {
+                        spec.retry_backoff_ms = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--load-scale" => {
+                        spec.load_scale = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--lo" | "--hi" | "--sigma" | "--seed" => {}
+                    _ => return usage(),
+                }
+            }
+            let daemon = match ServeDaemon::open(&dir, 1) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("gridsim-served: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match daemon.submit(spec) {
+                Ok(handle) => {
+                    let s = handle.status();
+                    println!("queued `{}` ({} scenarios)", s.name, s.counts.pending);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("gridsim-served: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,331 @@
+//! Job specifications: what a tenant submits to the daemon.
+//!
+//! A [`JobSpec`] is a fully self-describing unit of work — a named registry
+//! case, a scenario-set recipe, a solver family, and scheduling/durability
+//! knobs — chosen so the spec (not any in-memory state) is the job's source
+//! of truth. The manifest persists the spec verbatim, and rebuilding the
+//! scenario networks from it is deterministic, which is what lets a
+//! restarted daemon resume a half-finished job and still produce bitwise
+//! the results an uninterrupted run would have.
+
+use gridsim_grid::network::{Case, Network};
+use gridsim_grid::scenario::ScenarioSet;
+use gridsim_grid::GridError;
+
+/// A registry case the daemon can serve. Unit-variant so the spec encodes
+/// the case by name, never by value — the registry is the source of truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CaseName {
+    /// Two-bus didactic case.
+    TwoBus,
+    /// PJM 5-bus case.
+    Case5,
+    /// WSCC 9-bus case.
+    Case9,
+    /// IEEE 14-bus case.
+    Case14,
+    /// 30-bus synthetic in the IEEE 30 style.
+    Case30Like,
+}
+
+impl CaseName {
+    /// Build the base [`Case`] from the registry.
+    pub fn base(&self) -> Case {
+        match self {
+            CaseName::TwoBus => gridsim_grid::two_bus(),
+            CaseName::Case5 => gridsim_grid::case5(),
+            CaseName::Case9 => gridsim_grid::case9(),
+            CaseName::Case14 => gridsim_grid::case14(),
+            CaseName::Case30Like => gridsim_grid::case30_like(),
+        }
+    }
+
+    /// Stable identifier — the store/case-id key for this case.
+    pub fn id(&self) -> &'static str {
+        match self {
+            CaseName::TwoBus => "two_bus",
+            CaseName::Case5 => "case5",
+            CaseName::Case9 => "case9",
+            CaseName::Case14 => "case14",
+            CaseName::Case30Like => "case30_like",
+        }
+    }
+}
+
+/// Scenario-set recipe kind; parameters live flat in [`ScenarioSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ScenarioKind {
+    /// Monotone load ramp from `lo` to `hi` (uniform scale factors).
+    LoadRamp,
+    /// Per-bus multiplicative load noise with `sigma` and `seed`.
+    PerturbedLoads,
+    /// Single-branch (N−1) outages of the first `count` removable branches.
+    BranchOutages,
+}
+
+/// How to generate the job's scenario set from the base case. Parameters
+/// not used by the chosen kind are ignored (the struct is flat because the
+/// manifest format only encodes unit-variant enums).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioSpec {
+    /// Which recipe to run.
+    pub kind: ScenarioKind,
+    /// Number of scenarios.
+    pub count: usize,
+    /// Ramp lower scale factor (`LoadRamp`).
+    pub lo: f64,
+    /// Ramp upper scale factor (`LoadRamp`).
+    pub hi: f64,
+    /// Relative load noise (`PerturbedLoads`).
+    pub sigma: f64,
+    /// RNG seed (`PerturbedLoads`).
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A `count`-step load ramp over `[lo, hi]`.
+    pub fn load_ramp(count: usize, lo: f64, hi: f64) -> ScenarioSpec {
+        ScenarioSpec {
+            kind: ScenarioKind::LoadRamp,
+            count,
+            lo,
+            hi,
+            sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// `count` load-perturbed scenarios with relative noise `sigma`.
+    pub fn perturbed(count: usize, sigma: f64, seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            kind: ScenarioKind::PerturbedLoads,
+            count,
+            lo: 1.0,
+            hi: 1.0,
+            sigma,
+            seed,
+        }
+    }
+
+    /// The first `count` single-branch outages.
+    pub fn outages(count: usize) -> ScenarioSpec {
+        ScenarioSpec {
+            kind: ScenarioKind::BranchOutages,
+            count,
+            lo: 1.0,
+            hi: 1.0,
+            sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Instantiate the scenario set for `base`.
+    pub fn build(&self, base: Case) -> ScenarioSet {
+        match self.kind {
+            ScenarioKind::LoadRamp => ScenarioSet::load_ramp(base, self.count, self.lo, self.hi),
+            ScenarioKind::PerturbedLoads => {
+                ScenarioSet::perturbed_loads(base, self.count, self.sigma, self.seed)
+            }
+            ScenarioKind::BranchOutages => ScenarioSet::branch_outages(base, self.count),
+        }
+    }
+}
+
+/// Which fleet solver executes the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SolverFamily {
+    /// Batched two-level ADMM ([`gridsim_admm::scenario::ScenarioScheduler`]).
+    Admm,
+    /// Interior-point fleet ([`gridsim_ipm::IpmFleetSolver`]).
+    Ipm,
+}
+
+/// One queued unit of work: scenario set + solver family + scheduling and
+/// durability knobs. See the [module docs](self) for the determinism role.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// Tenant-chosen job name; doubles as the manifest file stem, so it
+    /// must be unique within one daemon state directory.
+    pub name: String,
+    /// Registry case to solve.
+    pub case: CaseName,
+    /// Uniform load scale applied to the base case before the recipe.
+    pub load_scale: f64,
+    /// Scenario-set recipe.
+    pub scenarios: ScenarioSpec,
+    /// Fleet solver family.
+    pub solver: SolverFamily,
+    /// Scheduling priority: higher runs first (ties: submission order).
+    pub priority: i64,
+    /// Scenarios per durability chunk — one chunk is one fleet run and one
+    /// manifest flush, so it is both the resume granule and the unit the
+    /// scheduler allocates lanes to.
+    pub chunk_size: usize,
+    /// Per-job cap on concurrently running chunks (0 = uncapped): the
+    /// backpressure knob that stops one tenant from monopolizing the fleet.
+    pub max_lanes: usize,
+    /// Re-solve attempts for a scenario that fails to converge, beyond the
+    /// first (0 = fail immediately).
+    pub max_retries: usize,
+    /// Base retry backoff in milliseconds; doubles per failed attempt.
+    pub retry_backoff_ms: u64,
+}
+
+impl JobSpec {
+    /// A spec with neutral defaults: priority 0, chunk size 4, uncapped
+    /// lanes, one retry with 10 ms backoff, unit load scale.
+    pub fn new(
+        name: impl Into<String>,
+        case: CaseName,
+        scenarios: ScenarioSpec,
+        solver: SolverFamily,
+    ) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            case,
+            load_scale: 1.0,
+            scenarios,
+            solver,
+            priority: 0,
+            chunk_size: 4,
+            max_lanes: 0,
+            max_retries: 1,
+            retry_backoff_ms: 10,
+        }
+    }
+
+    /// Set the scheduling priority (builder style).
+    pub fn priority(mut self, priority: i64) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the durability chunk size (builder style).
+    pub fn chunk_size(mut self, chunk_size: usize) -> JobSpec {
+        assert!(chunk_size >= 1, "chunk_size must be at least 1");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Set the per-job concurrent-chunk cap (builder style; 0 = uncapped).
+    pub fn max_lanes(mut self, max_lanes: usize) -> JobSpec {
+        self.max_lanes = max_lanes;
+        self
+    }
+
+    /// Set the retry policy (builder style).
+    pub fn retries(mut self, max_retries: usize, backoff_ms: u64) -> JobSpec {
+        self.max_retries = max_retries;
+        self.retry_backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Set the base-case load scale (builder style).
+    pub fn load_scale(mut self, factor: f64) -> JobSpec {
+        self.load_scale = factor;
+        self
+    }
+
+    /// Compile the job's scenario networks, in scenario order. Pure
+    /// function of the spec — the resume determinism anchor.
+    pub fn networks(&self) -> Result<Vec<Network>, GridError> {
+        let base = if self.load_scale == 1.0 {
+            self.case.base()
+        } else {
+            self.case.base().scale_load(self.load_scale)
+        };
+        self.scenarios.build(base).networks()
+    }
+
+    /// Sanity-check the knobs; called on submit so a bad spec is rejected
+    /// before it is enqueued.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("job name must be non-empty".to_string());
+        }
+        if !self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "job name `{}` must be alphanumeric with `-`/`_` (it names the manifest file)",
+                self.name
+            ));
+        }
+        if self.scenarios.count == 0 {
+            return Err("scenario count must be at least 1".to_string());
+        }
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be at least 1".to_string());
+        }
+        if !(self.load_scale.is_finite() && self.load_scale > 0.0) {
+            return Err("load_scale must be positive and finite".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec::new(
+            "night-ramp",
+            CaseName::Case9,
+            ScenarioSpec::load_ramp(6, 0.9, 1.1),
+            SolverFamily::Admm,
+        )
+        .priority(3)
+        .chunk_size(2)
+        .max_lanes(1)
+        .retries(2, 50);
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn networks_are_deterministic_and_sized_by_count() {
+        let spec = JobSpec::new(
+            "p",
+            CaseName::Case9,
+            ScenarioSpec::perturbed(5, 0.02, 7),
+            SolverFamily::Ipm,
+        );
+        let a = spec.networks().unwrap();
+        let b = spec.networks().unwrap();
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            let fx = gridsim_store::ScenarioFingerprint::of_network(x);
+            let fy = gridsim_store::ScenarioFingerprint::of_network(y);
+            assert_eq!(fx.structure, fy.structure);
+            assert_eq!(
+                fx.loads.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fy.loads.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let good = JobSpec::new(
+            "ok-job_1",
+            CaseName::Case5,
+            ScenarioSpec::outages(2),
+            SolverFamily::Admm,
+        );
+        assert!(good.validate().is_ok());
+        let mut bad = good.clone();
+        bad.name = "has space".to_string();
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.scenarios.count = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.chunk_size = 0;
+        assert!(bad.validate().is_err());
+    }
+}

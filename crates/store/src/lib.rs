@@ -45,6 +45,8 @@
 //!   lookups, which makes both the fleet results and the post-run store
 //!   contents independent of device count, lane caps, and thread timing.
 
+pub mod persist;
+
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -126,7 +128,7 @@ pub enum InsertOutcome {
 
 /// Per-run store traffic counters, surfaced in `FleetReport` and scenario
 /// batch statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct StoreRunStats {
     /// Admissions seeded from a stored neighbor.
     pub hits: usize,

@@ -1,0 +1,307 @@
+//! Disk persistence for [`SolutionStore`]: a versioned JSON snapshot that
+//! round-trips the store bitwise.
+//!
+//! The store is the one piece of fleet state worth keeping across process
+//! lifetimes — it is exactly the accumulated warm-start capital the paper's
+//! tracking experiment builds period over period. This module serializes a
+//! store through the workspace serde shim's [`Value`] tree and writes it
+//! with an atomic temp-file-plus-rename, so a daemon killed mid-flush never
+//! leaves a truncated file behind.
+//!
+//! ## Determinism and bitwise fidelity
+//!
+//! Lookups are keyed by `(distance, insertion index)`, so persistence must
+//! preserve *insertion order* exactly: groups are written sorted by
+//! `(case id, structure, dim)` and entries in insertion order, and the norm
+//! buckets — pure derived data — are rebuilt on load from each entry's
+//! stored norm. Load coordinates and norms are `f64`s rendered by the
+//! shortest-round-trip writer (negative zero and non-finite values
+//! included), so a reloaded store answers every `nearest` query with the
+//! same entry at the same bit-identical distance as the original.
+//!
+//! ## Versioning
+//!
+//! The snapshot carries a format version ([`FORMAT_VERSION`]); loading a
+//! file with a different version fails with a descriptive error rather
+//! than misinterpreting the bytes. Bump the version whenever the on-disk
+//! shape of the tree changes.
+
+use crate::{bucket_of, Group, GroupKey, SolutionStore, StoreConfig, StoredEntry};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// On-disk format version; see the [module docs](self) for the contract.
+pub const FORMAT_VERSION: u64 = 1;
+
+impl<P: Serialize> Serialize for SolutionStore<P> {
+    fn to_value(&self) -> Value {
+        let mut keys: Vec<&GroupKey> = self.groups.keys().collect();
+        keys.sort_by(|a, b| {
+            (a.case_id.as_str(), a.structure, a.dim).cmp(&(b.case_id.as_str(), b.structure, b.dim))
+        });
+        let groups = keys
+            .into_iter()
+            .map(|key| {
+                let entries = self.groups[key]
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        Value::Map(vec![
+                            ("loads".to_string(), e.loads.to_value()),
+                            ("norm".to_string(), e.norm.to_value()),
+                            ("payload".to_string(), e.payload.to_value()),
+                        ])
+                    })
+                    .collect();
+                Value::Map(vec![
+                    ("case_id".to_string(), Value::Str(key.case_id.clone())),
+                    // u64 hashes exceed f64's exact-integer range, so the
+                    // structure signature travels as a decimal string.
+                    (
+                        "structure".to_string(),
+                        Value::Str(key.structure.to_string()),
+                    ),
+                    ("dim".to_string(), Value::Num(key.dim as f64)),
+                    ("entries".to_string(), Value::Seq(entries)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("version".to_string(), Value::Num(FORMAT_VERSION as f64)),
+            (
+                "config".to_string(),
+                Value::Map(vec![
+                    (
+                        "max_relative_distance".to_string(),
+                        self.config.max_relative_distance.to_value(),
+                    ),
+                    (
+                        "bucket_width".to_string(),
+                        self.config.bucket_width.to_value(),
+                    ),
+                ]),
+            ),
+            ("groups".to_string(), Value::Seq(groups)),
+        ])
+    }
+}
+
+impl<P: Deserialize> Deserialize for SolutionStore<P> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let version: u64 = serde::field(v, "version")?;
+        if version != FORMAT_VERSION {
+            return Err(DeError::custom(format!(
+                "solution store format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let config_v = v
+            .get("config")
+            .ok_or_else(|| DeError::custom("missing field `config`"))?;
+        let config = StoreConfig {
+            max_relative_distance: serde::field(config_v, "max_relative_distance")?,
+            bucket_width: serde::field(config_v, "bucket_width")?,
+        };
+        let groups_v = match v.get("groups") {
+            Some(Value::Seq(items)) => items,
+            _ => return Err(DeError::custom("expected sequence for `groups`")),
+        };
+        let mut groups = HashMap::new();
+        for gv in groups_v {
+            let case_id: String = serde::field(gv, "case_id")?;
+            let structure_s: String = serde::field(gv, "structure")?;
+            let structure: u64 = structure_s
+                .parse()
+                .map_err(|_| DeError::custom("structure signature is not a u64"))?;
+            let dim: usize = serde::field(gv, "dim")?;
+            let entries_v = match gv.get("entries") {
+                Some(Value::Seq(items)) => items,
+                _ => return Err(DeError::custom("expected sequence for `entries`")),
+            };
+            let mut group = Group::new();
+            for ev in entries_v {
+                let loads: Vec<f64> = serde::field(ev, "loads")?;
+                let norm: f64 = serde::field(ev, "norm")?;
+                let payload_v = ev
+                    .get("payload")
+                    .ok_or_else(|| DeError::custom("missing field `payload`"))?;
+                let payload = P::from_value(payload_v)
+                    .map_err(|e| DeError::custom(format!("field `payload`: {e}")))?;
+                let index = group.entries.len();
+                group.entries.push(Arc::new(StoredEntry {
+                    loads,
+                    norm,
+                    payload,
+                }));
+                group
+                    .buckets
+                    .entry(bucket_of(norm, config.bucket_width))
+                    .or_default()
+                    .push(index);
+            }
+            groups.insert(
+                GroupKey {
+                    case_id,
+                    structure,
+                    dim,
+                },
+                group,
+            );
+        }
+        Ok(SolutionStore { config, groups })
+    }
+}
+
+impl<P: Serialize> SolutionStore<P> {
+    /// Write the store to `path` atomically: serialize to `path` + `.tmp`
+    /// in the same directory, then rename over the target. Readers never
+    /// observe a partially written snapshot.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let text = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+impl<P: Deserialize> SolutionStore<P> {
+    /// Read a store previously written by [`SolutionStore::save`]. Fails
+    /// with `InvalidData` on malformed JSON or a format-version mismatch.
+    pub fn load(path: &Path) -> io::Result<SolutionStore<P>> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+impl<P: Deserialize + Serialize> SolutionStore<P> {
+    /// [`load`](SolutionStore::load) if `path` exists, otherwise an empty
+    /// store with default tuning — the daemon-startup idiom.
+    pub fn load_or_default(path: &Path) -> io::Result<SolutionStore<P>> {
+        if path.exists() {
+            SolutionStore::load(path)
+        } else {
+            Ok(SolutionStore::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioFingerprint;
+
+    fn fp(loads: &[f64], structure: u64) -> ScenarioFingerprint {
+        ScenarioFingerprint {
+            loads: loads.to_vec(),
+            structure,
+        }
+    }
+
+    fn sample_store() -> SolutionStore<f64> {
+        let mut store = SolutionStore::with_config(StoreConfig {
+            max_relative_distance: 0.2,
+            bucket_width: 0.03,
+        });
+        // Several groups, several buckets, a replaced entry, and awkward
+        // float values (negative zero, subnormal-ish magnitudes).
+        store.insert("case9", &fp(&[1.0, 2.0, -0.0], 7), 10.5);
+        store.insert("case9", &fp(&[1.01, 2.0, 0.0], 7), 11.5);
+        store.insert("case9", &fp(&[1.0, 2.0, -0.0], 7), 12.5); // replace index 0
+        store.insert("case9", &fp(&[0.25, 0.5], u64::MAX), f64::NEG_INFINITY);
+        store.insert("case14", &fp(&[3.0, 1e-300, 4.0], 7), 0.125);
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_every_lookup_bitwise() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join("gridsim-store-persist-rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+        let loaded: SolutionStore<f64> = SolutionStore::load(&path).unwrap();
+
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.group_count(), store.group_count());
+        assert_eq!(loaded.config(), store.config());
+        for q in [
+            fp(&[1.005, 2.0, 0.0], 7),
+            fp(&[1.0, 2.0, -0.0], 7),
+            fp(&[0.26, 0.5], u64::MAX),
+            fp(&[3.0, 0.0, 4.0], 7),
+            fp(&[9.0, 9.0, 9.0], 7),
+        ] {
+            for case in ["case9", "case14"] {
+                let a = store.nearest(case, &q);
+                let b = loaded.nearest(case, &q);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.index, y.index);
+                        assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                        assert_eq!(x.entry.payload.to_bits(), y.entry.payload.to_bits());
+                        assert_eq!(
+                            x.entry
+                                .loads
+                                .iter()
+                                .map(|f| f.to_bits())
+                                .collect::<Vec<_>>(),
+                            y.entry
+                                .loads
+                                .iter()
+                                .map(|f| f.to_bits())
+                                .collect::<Vec<_>>()
+                        );
+                    }
+                    (x, y) => panic!("hit/miss disagree after reload: {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn save_is_deterministic_text() {
+        let store = sample_store();
+        let a = serde_json::to_string(&store).unwrap();
+        let b = serde_json::to_string(&sample_store()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let store = sample_store();
+        let text = serde_json::to_string(&store).unwrap();
+        let bumped = text.replacen("\"version\":1", "\"version\":2", 1);
+        assert_ne!(text, bumped, "version field not found in snapshot");
+        let err = serde_json::from_str::<SolutionStore<f64>>(&bumped).unwrap_err();
+        assert!(err.to_string().contains("format version"), "{err}");
+    }
+
+    #[test]
+    fn load_or_default_handles_missing_file() {
+        let dir = std::env::temp_dir().join("gridsim-store-persist-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("absent.json");
+        let _ = std::fs::remove_file(&path);
+        let store: SolutionStore<f64> = SolutionStore::load_or_default(&path).unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn truncated_file_is_invalid_data_not_a_panic() {
+        let dir = std::env::temp_dir().join("gridsim-store-persist-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        sample_store().save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = SolutionStore::<f64>::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

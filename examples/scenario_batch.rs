@@ -9,6 +9,7 @@
 
 use gridsim_admm::{AdmmParams, AdmmSolver, ScenarioBatch, ScenarioScheduler};
 use gridsim_batch::DevicePool;
+use gridsim_engine::FleetRequest;
 use gridsim_grid::cases;
 use gridsim_grid::scenario::ScenarioSet;
 
@@ -32,7 +33,7 @@ fn main() {
     // 2. Solve the whole fleet in one batched run: every kernel launch spans
     //    all still-active scenarios, and converged scenarios are masked out.
     let batcher = ScenarioBatch::new(AdmmParams::default());
-    let batch = batcher.solve(&nets);
+    let batch = batcher.run(FleetRequest::over(&nets));
     println!(
         "\nbatched solve: {} ticks for {} total inner iterations, {:.2} ms",
         batch.ticks,
@@ -82,7 +83,7 @@ fn main() {
     let ramp_nets = ramp.networks().expect("ramp cases compile");
     let nominal = solver.solve(&ramp_nets[0]);
     let chained = batcher.solve_chained(&ramp_nets, &nominal.warm_state, 0.05);
-    let cold = batcher.solve(&ramp_nets);
+    let cold = batcher.run(FleetRequest::over(&ramp_nets));
     println!(
         "\nwarm-start chaining along the ramp: {} inner iterations vs {} cold",
         chained.total_inner_iterations(),
@@ -95,7 +96,7 @@ fn main() {
     //    and each device bills its kernel work to its own stats stream.
     let scheduler =
         ScenarioScheduler::with_pool(AdmmParams::default(), DevicePool::parallel(2)).with_lanes(2);
-    let sched = scheduler.solve(&nets);
+    let sched = scheduler.run(FleetRequest::over(&nets));
     let same = sched
         .results
         .iter()

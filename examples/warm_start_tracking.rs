@@ -20,6 +20,7 @@
 use gridadmm::prelude::*;
 use gridsim_acopf::start::ramp_limited_bounds;
 use gridsim_admm::{track_horizon, TrackingConfig};
+use gridsim_engine::FleetRequest;
 use gridsim_grid::cases;
 
 fn main() {
@@ -132,7 +133,11 @@ fn main() {
         })
         .solve(&AcopfNlp::new(&net_t));
         cold_iterations += cold.iterations;
-        let report = fleet.solve_with_store(&case.name, std::slice::from_ref(&net_t), &mut store);
+        let report = fleet.run(
+            FleetRequest::over(std::slice::from_ref(&net_t))
+                .case(&case.name)
+                .store(&mut store),
+        );
         stats.merge(&report.store);
         let iters = report.total_iterations();
         stored_iterations += iters;

@@ -113,7 +113,72 @@ macro_rules! impl_num {
     )*};
 }
 
-impl_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Floats are serialized by value except for the three non-finite classes,
+// which JSON cannot represent as numbers; those round-trip as marker strings.
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self;
+                if x.is_finite() {
+                    Value::Num(x as f64)
+                } else if x.is_nan() {
+                    Value::Str("nan".to_string())
+                } else if x > 0.0 {
+                    Value::Str("inf".to_string())
+                } else {
+                    Value::Str("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    Value::Str(s) => match s.as_str() {
+                        "nan" => Ok(<$t>::NAN),
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(DeError::custom(concat!(
+                            "expected number for ",
+                            stringify!($t)
+                        ))),
+                    },
+                    _ => Err(DeError::custom(concat!(
+                        "expected number for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f64, f32);
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            Value::Num(self.as_secs() as f64),
+            Value::Num(self.subsec_nanos() as f64),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                let secs = u64::from_value(&items[0])?;
+                let nanos = u32::from_value(&items[1])?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            _ => Err(DeError::custom("expected [secs, nanos] for Duration")),
+        }
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
@@ -180,6 +245,20 @@ impl<T: Serialize> Serialize for [T] {
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == N => {
+                let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                parsed
+                    .try_into()
+                    .map_err(|_| DeError::custom("array length mismatch"))
+            }
+            _ => Err(DeError::custom(format!("expected sequence of length {N}"))),
+        }
     }
 }
 

@@ -127,7 +127,13 @@ fn write_number(n: f64, out: &mut String) {
         // JSON has no Inf/NaN; null is serde_json's lossy default too.
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 1e15 {
-        out.push_str(&format!("{}", n as i64));
+        // `n as i64` would erase the sign of -0.0; keep it so parsing
+        // round-trips bit-exactly.
+        if n == 0.0 && n.is_sign_negative() {
+            out.push_str("-0");
+        } else {
+            out.push_str(&format!("{}", n as i64));
+        }
     } else {
         out.push_str(&format!("{n}"));
     }
@@ -366,6 +372,40 @@ mod tests {
         assert_eq!(to_string(&42u64).unwrap(), "42");
         assert_eq!(to_string(&-7i64).unwrap(), "-7");
         assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_bitwise() {
+        let v: Vec<f64> = vec![f64::INFINITY, f64::NEG_INFINITY, f64::NAN, -0.0, 1.5];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, r#"["inf","-inf","nan",-0,1.5]"#);
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(v.len(), back.len());
+        for (a, b) in v.iter().zip(&back) {
+            // NaN payload is canonicalized; sign/class and finite bits must hold.
+            if a.is_nan() {
+                assert!(b.is_nan());
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_arrays_and_durations_roundtrip() {
+        let arrays: Vec<[f64; 3]> = vec![[1.0, -2.0, 0.25], [1e-17, 3.0, -0.0]];
+        let back: Vec<[f64; 3]> = from_str(&to_string(&arrays).unwrap()).unwrap();
+        for (a, b) in arrays.iter().zip(&back) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let short: Result<[f64; 3], _> = from_str("[1,2]");
+        assert!(short.is_err());
+
+        let d = std::time::Duration::new(7, 123_456_789);
+        let back: std::time::Duration = from_str(&to_string(&d).unwrap()).unwrap();
+        assert_eq!(d, back);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Pins the deprecated fleet entry points: each `solve`/`solve_with_store`
+//! shim must keep compiling (with a deprecation warning, silenced here) and
+//! must delegate to `run(FleetRequest)` with identical results.
+#![allow(deprecated)]
+
+use gridadmm::prelude::*;
+use gridsim_engine::FleetRequest;
+use gridsim_grid::cases;
+use gridsim_ipm::{IpmFleetSolver, IpmOptions, IpmWarmStart};
+use gridsim_store::SolutionStore;
+
+fn nets() -> Vec<Network> {
+    ScenarioSet::load_ramp(cases::case9(), 3, 0.97, 1.03)
+        .networks()
+        .unwrap()
+}
+
+#[test]
+fn scenario_batch_solve_matches_run() {
+    let nets = nets();
+    let old = ScenarioBatch::new(AdmmParams::test_profile()).solve(&nets);
+    let new = ScenarioBatch::new(AdmmParams::test_profile()).run(FleetRequest::over(&nets));
+    assert_eq!(old.results.len(), new.results.len());
+    for (a, b) in old.results.iter().zip(&new.results) {
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    }
+}
+
+#[test]
+fn scenario_scheduler_solve_and_solve_with_store_match_run() {
+    let nets = nets();
+    let old = ScenarioScheduler::new(AdmmParams::test_profile()).solve(&nets);
+    let new = ScenarioScheduler::new(AdmmParams::test_profile()).run(FleetRequest::over(&nets));
+    for (a, b) in old.results.iter().zip(&new.results) {
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    }
+
+    let mut store_old = SolutionStore::new();
+    let mut store_new = SolutionStore::new();
+    let old = ScenarioScheduler::new(AdmmParams::test_profile()).solve_with_store(
+        "case9",
+        &nets,
+        &mut store_old,
+    );
+    let new = ScenarioScheduler::new(AdmmParams::test_profile()).run(
+        FleetRequest::over(&nets)
+            .case("case9")
+            .store(&mut store_new),
+    );
+    for (a, b) in old.results.iter().zip(&new.results) {
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    }
+    assert_eq!(store_old.len(), store_new.len());
+}
+
+#[test]
+fn ipm_fleet_solve_and_solve_with_store_match_run() {
+    let nets = nets();
+    let old = IpmFleetSolver::new(IpmOptions::default()).solve(&nets);
+    let new = IpmFleetSolver::new(IpmOptions::default()).run(FleetRequest::over(&nets));
+    for (a, b) in old.results.iter().zip(&new.results) {
+        assert_eq!(a.report.objective.to_bits(), b.report.objective.to_bits());
+    }
+
+    let mut store_old: SolutionStore<IpmWarmStart> = SolutionStore::new();
+    let mut store_new: SolutionStore<IpmWarmStart> = SolutionStore::new();
+    let old =
+        IpmFleetSolver::new(IpmOptions::default()).solve_with_store("case9", &nets, &mut store_old);
+    let new = IpmFleetSolver::new(IpmOptions::default()).run(
+        FleetRequest::over(&nets)
+            .case("case9")
+            .store(&mut store_new),
+    );
+    for (a, b) in old.results.iter().zip(&new.results) {
+        assert_eq!(a.report.objective.to_bits(), b.report.objective.to_bits());
+    }
+    assert_eq!(store_old.len(), store_new.len());
+}

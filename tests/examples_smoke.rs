@@ -9,6 +9,7 @@
 use gridadmm::prelude::*;
 use gridsim_acopf::violations::relative_gap;
 use gridsim_admm::{track_horizon, TrackingConfig};
+use gridsim_engine::FleetRequest;
 use gridsim_grid::{cases, matpower};
 
 /// `examples/quickstart.rs`: ADMM solve vs IPM baseline on the 9-bus case.
@@ -136,7 +137,11 @@ fn warm_start_tracking_core_path() {
         })
         .solve(&AcopfNlp::new(&net_t))
         .iterations;
-        let report = fleet.solve_with_store(&case.name, std::slice::from_ref(&net_t), &mut store);
+        let report = fleet.run(
+            FleetRequest::over(std::slice::from_ref(&net_t))
+                .case(&case.name)
+                .store(&mut store),
+        );
         assert!(report.all_optimal(), "store-threaded period failed");
         stats.merge(&report.store);
         stored_iterations += report.total_iterations();
@@ -182,14 +187,14 @@ fn scenario_batch_core_path() {
     let nets = set.networks().expect("scenario cases compile");
     assert_eq!(nets.len(), 3);
     let batcher = ScenarioBatch::new(AdmmParams::test_profile());
-    let batch = batcher.solve(&nets);
+    let batch = batcher.run(FleetRequest::over(&nets));
     assert!(batch.all_converged(), "worst {}", batch.worst_violation());
     let single = AdmmSolver::new(AdmmParams::test_profile()).solve(&nets[0]);
     assert_eq!(batch.results[0].solution.pg, single.solution.pg);
     // Chaining reuses warm states across the set: same two scenarios, cold
     // batch vs warm chain.
     let chained = batcher.solve_chained(&nets[..2], &single.warm_state, 0.05);
-    let cold2 = batcher.solve(&nets[..2]);
+    let cold2 = batcher.run(FleetRequest::over(&nets[..2]));
     assert_eq!(chained.results.len(), 2);
     assert!(chained.total_inner_iterations() < cold2.total_inner_iterations());
 }

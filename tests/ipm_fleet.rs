@@ -15,7 +15,7 @@
 //!   count of the configuration (not the scenario count).
 
 use gridadmm::prelude::*;
-use gridsim_engine::plan;
+use gridsim_engine::{plan, FleetRequest};
 use proptest::prelude::*;
 
 fn condensed_options() -> IpmOptions {
@@ -48,7 +48,7 @@ fn env_engine_fleet_honors_gridsim_devices() {
     let nets = ScenarioSet::load_ramp(gridsim_grid::cases::case9(), 4, 0.98, 1.02)
         .networks()
         .unwrap();
-    let fleet = solver.solve(&nets);
+    let fleet = solver.run(FleetRequest::over(&nets));
     assert_eq!(fleet.results.len(), 4);
     assert!(fleet.all_optimal());
     assert_eq!(fleet.lanes, solver.engine.total_lanes(4));
@@ -64,7 +64,7 @@ fn k1_fleet_equals_single_solve() {
     for devices in [1, 3] {
         let engine = Engine::with_pool(DevicePool::parallel(devices));
         let fleet = IpmFleetSolver::with_engine(condensed_options(), engine)
-            .solve(std::slice::from_ref(&net));
+            .run(FleetRequest::over(std::slice::from_ref(&net)));
         assert_eq!(fleet.results.len(), 1);
         let r = &fleet.results[0].report;
         assert_eq!(r.iterations, single.iterations);
@@ -92,7 +92,8 @@ fn symbolic_analyses_equal_planned_lanes_across_configs() {
                 engine = engine.with_lanes(l);
             }
             let planned = plan::total_lanes(nets.len(), devices, lanes);
-            let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+            let fleet = IpmFleetSolver::with_engine(condensed_options(), engine)
+                .run(FleetRequest::over(&nets));
             assert!(fleet.all_optimal(), "devices={devices} lanes={lanes:?}");
             assert_eq!(fleet.lanes, planned);
             assert_eq!(
@@ -120,7 +121,7 @@ proptest! {
         let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, sigma, seed);
         let nets = set.networks().unwrap();
         let engine = Engine::with_pool(DevicePool::parallel(1)).with_lanes(1);
-        let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+        let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).run(FleetRequest::over(&nets));
         prop_assert_eq!(fleet.results.len(), k);
         prop_assert_eq!(fleet.lanes, 1);
 
@@ -184,11 +185,11 @@ proptest! {
             condensed_options(),
             Engine::with_pool(DevicePool::parallel(1)).with_lanes(1),
         )
-        .solve(&nets);
+        .run(FleetRequest::over(&nets));
         prop_assert!(reference.all_optimal());
 
         let engine = Engine::with_pool(DevicePool::parallel(devices)).with_lanes(lanes);
-        let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+        let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).run(FleetRequest::over(&nets));
         prop_assert!(fleet.all_optimal(), "devices={} lanes={}", devices, lanes);
         prop_assert_eq!(fleet.lanes, plan::total_lanes(k, devices, Some(lanes)));
         prop_assert_eq!(fleet.symbolic_analyses(), fleet.lanes);
@@ -218,7 +219,8 @@ fn registry_small_fleet_pays_one_analysis_per_lane() {
     let set = ScenarioSet::load_ramp(bc.case.clone(), 3, 0.99, 1.01);
     let nets = set.networks().unwrap();
     let engine = Engine::with_pool(DevicePool::parallel(2)).with_lanes(1);
-    let fleet = IpmFleetSolver::with_engine(condensed_options(), engine).solve(&nets);
+    let fleet =
+        IpmFleetSolver::with_engine(condensed_options(), engine).run(FleetRequest::over(&nets));
     assert_eq!(fleet.results.len(), 3);
     assert_eq!(fleet.lanes, 2);
     assert_eq!(

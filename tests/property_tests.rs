@@ -7,6 +7,7 @@
 use gridadmm::prelude::*;
 use gridsim_acopf::flows::{BranchFlow, FlowKind};
 use gridsim_batch::Device;
+use gridsim_engine::FleetRequest;
 use gridsim_grid::branch::Branch;
 use gridsim_grid::matpower;
 use gridsim_grid::synthetic::SyntheticSpec;
@@ -276,9 +277,9 @@ proptest! {
         let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, sigma, seed);
         let nets = set.networks().unwrap();
         let params = AdmmParams { max_outer: 2, max_inner: 25, ..AdmmParams::default() };
-        let seq = ScenarioBatch::with_device(params.clone(), Device::sequential()).solve(&nets);
+        let seq = ScenarioBatch::with_device(params.clone(), Device::sequential()).run(FleetRequest::over(&nets));
         for dev in [Device::parallel(), Device::vectorized()] {
-            let got = ScenarioBatch::with_device(params.clone(), dev).solve(&nets);
+            let got = ScenarioBatch::with_device(params.clone(), dev).run(FleetRequest::over(&nets));
             prop_assert_eq!(got.ticks, seq.ticks);
             for (a, b) in got.results.iter().zip(&seq.results) {
                 prop_assert_eq!(a.inner_iterations, b.inner_iterations);
@@ -310,7 +311,7 @@ proptest! {
         let set = ScenarioSet::perturbed_loads(gridsim_grid::cases::case9(), k, 0.03, seed);
         let nets = set.networks().unwrap();
         let params = AdmmParams { max_outer: 2, max_inner: 25, ..AdmmParams::default() };
-        let reference = ScenarioBatch::new(params.clone()).solve(&nets);
+        let reference = ScenarioBatch::new(params.clone()).run(FleetRequest::over(&nets));
 
         let mut rotated = nets.clone();
         rotated.rotate_left(rotate % k);
@@ -320,7 +321,7 @@ proptest! {
             _ => DevicePool::vectorized(devices),
         };
         let scheduler = ScenarioScheduler::with_pool(params, pool).with_lanes(lanes);
-        let sched = scheduler.solve(&rotated);
+        let sched = scheduler.run(FleetRequest::over(&rotated));
         prop_assert_eq!(sched.results.len(), k);
         for (i, r) in sched.results.iter().enumerate() {
             let b = &reference.results[(i + rotate % k) % k];
@@ -346,7 +347,7 @@ proptest! {
         let net = gridsim_grid::cases::case9().scale_load(mult).compile().unwrap();
         let params = AdmmParams { max_outer, max_inner: 40, ..AdmmParams::default() };
         let single = AdmmSolver::new(params.clone()).solve(&net);
-        let batch = ScenarioBatch::new(params).solve(std::slice::from_ref(&net));
+        let batch = ScenarioBatch::new(params).run(FleetRequest::over(std::slice::from_ref(&net)));
         prop_assert_eq!(batch.results.len(), 1);
         let r = &batch.results[0];
         prop_assert_eq!(r.inner_iterations, single.inner_iterations);

@@ -5,6 +5,7 @@
 
 use gridadmm::prelude::*;
 use gridsim_batch::Device;
+use gridsim_engine::FleetRequest;
 use gridsim_grid::cases;
 
 /// A mixed scenario set exercising all three scenario families.
@@ -32,9 +33,10 @@ fn batch_is_bitwise_identical_across_backends() {
         max_inner: 40,
         ..AdmmParams::test_profile()
     };
-    let seq = ScenarioBatch::with_device(params.clone(), Device::sequential()).solve(&nets);
+    let seq = ScenarioBatch::with_device(params.clone(), Device::sequential())
+        .run(FleetRequest::over(&nets));
     for dev in [Device::parallel(), Device::vectorized()] {
-        let got = ScenarioBatch::with_device(params.clone(), dev).solve(&nets);
+        let got = ScenarioBatch::with_device(params.clone(), dev).run(FleetRequest::over(&nets));
         assert_eq!(got.ticks, seq.ticks);
         for (a, b) in got.results.iter().zip(&seq.results) {
             assert_eq!(a.status, b.status);
@@ -55,7 +57,7 @@ fn outaged_branch_carries_no_flow() {
     let base = cases::case9();
     let set = ScenarioSet::branch_outages(base.clone(), 2);
     let nets = set.networks().unwrap();
-    let batch = ScenarioBatch::new(AdmmParams::test_profile()).solve(&nets);
+    let batch = ScenarioBatch::new(AdmmParams::test_profile()).run(FleetRequest::over(&nets));
     for ((r, scen), net) in batch.results.iter().zip(&set.scenarios).zip(&nets) {
         assert!(
             r.quality.max_violation() < 5e-2,
@@ -83,7 +85,7 @@ fn batch_statuses_and_masking_are_reported_per_scenario() {
     let nets = mixed_set(&base, 3).networks().unwrap();
     let batcher = ScenarioBatch::new(AdmmParams::test_profile());
     let before = batcher.device.stats().snapshot();
-    let batch = batcher.solve(&nets);
+    let batch = batcher.run(FleetRequest::over(&nets));
     let delta = batcher.device.stats().snapshot().since(&before);
     // Ticks equal the slowest scenario; per-scenario counts differ, and the
     // masked launches only bill active scenarios for kernel work.
@@ -120,7 +122,7 @@ fn chained_warm_start_beats_cold_batch_on_a_load_ramp() {
     let nets = set.networks().unwrap();
     let batcher = ScenarioBatch::new(params);
     let chained = batcher.solve_chained(&nets, &cold_nominal.warm_state, 0.05);
-    let cold = batcher.solve(&nets);
+    let cold = batcher.run(FleetRequest::over(&nets));
     assert!(
         chained.total_inner_iterations() < cold.total_inner_iterations(),
         "chained {} vs cold {}",
@@ -200,10 +202,14 @@ fn pegase1354_scaled100_store_admission_holds_the_pin() {
     let net = case.compile().unwrap();
     let params = AdmmParams::for_case(TableICase::Pegase1354, 100);
     let scheduler = ScenarioScheduler::new(params);
-    let plain = scheduler.solve(std::slice::from_ref(&net));
+    let plain = scheduler.run(FleetRequest::over(std::slice::from_ref(&net)));
 
     let mut store: SolutionStore<WarmState> = SolutionStore::new();
-    let cold = scheduler.solve_with_store(&case.name, std::slice::from_ref(&net), &mut store);
+    let cold = scheduler.run(
+        FleetRequest::over(std::slice::from_ref(&net))
+            .case(&case.name)
+            .store(&mut store),
+    );
     assert_eq!(cold.store.hits, 0);
     assert_eq!(cold.store.misses, 1);
     let (a, b) = (&cold.results[0], &plain.results[0]);
@@ -220,7 +226,11 @@ fn pegase1354_scaled100_store_admission_holds_the_pin() {
     );
     assert_eq!(store.len(), 1, "the converged solve must be committed");
 
-    let warm = scheduler.solve_with_store(&case.name, std::slice::from_ref(&net), &mut store);
+    let warm = scheduler.run(
+        FleetRequest::over(std::slice::from_ref(&net))
+            .case(&case.name)
+            .store(&mut store),
+    );
     assert_eq!(
         warm.store.hits, 1,
         "identical scenario must hit at distance 0"

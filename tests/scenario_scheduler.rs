@@ -9,7 +9,7 @@
 
 use gridadmm::prelude::*;
 use gridsim_batch::Device;
-use gridsim_engine::plan;
+use gridsim_engine::{plan, FleetRequest};
 use gridsim_grid::cases;
 
 fn mixed_set(base: &Case, k: usize) -> ScenarioSet {
@@ -63,8 +63,8 @@ fn env_pool_matches_single_device_batch_bitwise() {
         "pool must honor GRIDSIM_DEVICES"
     );
     let nets = mixed_set(&cases::case9(), 5).networks().unwrap();
-    let sched = scheduler.solve(&nets);
-    let batch = ScenarioBatch::new(params).solve(&nets);
+    let sched = scheduler.run(FleetRequest::over(&nets));
+    let batch = ScenarioBatch::new(params).run(FleetRequest::over(&nets));
     assert_bitwise(&sched, &batch);
 }
 
@@ -84,8 +84,9 @@ fn env_pool_backend_matches_resolution_bitwise() {
     );
     assert_ne!(scheduler.pool.backend(), ExecutionMode::Auto);
     let nets = mixed_set(&cases::case9(), 4).networks().unwrap();
-    let sched = scheduler.solve(&nets);
-    let batch = ScenarioBatch::with_device(params, Device::sequential()).solve(&nets);
+    let sched = scheduler.run(FleetRequest::over(&nets));
+    let batch =
+        ScenarioBatch::with_device(params, Device::sequential()).run(FleetRequest::over(&nets));
     assert_bitwise(&sched, &batch);
 }
 
@@ -95,7 +96,7 @@ fn env_pool_backend_matches_resolution_bitwise() {
 fn all_shard_and_lane_configs_are_bitwise_identical() {
     let params = short_params();
     let nets = mixed_set(&cases::case9(), 5).networks().unwrap();
-    let reference = ScenarioBatch::new(params.clone()).solve(&nets);
+    let reference = ScenarioBatch::new(params.clone()).run(FleetRequest::over(&nets));
     for devices in 1..=4 {
         for lanes in [Some(1), Some(2), None] {
             let mut scheduler =
@@ -103,7 +104,7 @@ fn all_shard_and_lane_configs_are_bitwise_identical() {
             if let Some(l) = lanes {
                 scheduler = scheduler.with_lanes(l);
             }
-            let sched = scheduler.solve(&nets);
+            let sched = scheduler.run(FleetRequest::over(&nets));
             assert_bitwise(&sched, &reference);
         }
     }
@@ -121,7 +122,7 @@ fn streaming_admission_bills_the_same_kernel_work() {
     let scheduler =
         ScenarioScheduler::with_pool(params.clone(), DevicePool::parallel(1)).with_lanes(2);
     let before = scheduler.pool.combined_snapshot();
-    let sched = scheduler.solve(&nets);
+    let sched = scheduler.run(FleetRequest::over(&nets));
     let delta = scheduler.pool.combined_snapshot().since(&before);
 
     let expected: u64 = sched
@@ -132,7 +133,7 @@ fn streaming_admission_bills_the_same_kernel_work() {
     assert_eq!(delta.kernels["branch_tron"].blocks, expected);
     // With 2 lanes for 5 scenarios the device must run more ticks than the
     // widest batch (it streams 3 refills through the same slots)...
-    let batch = ScenarioBatch::new(params).solve(&nets);
+    let batch = ScenarioBatch::new(params).run(FleetRequest::over(&nets));
     assert!(sched.ticks > batch.ticks, "streaming must reuse slots");
     // ...but never idles below full occupancy while work is pending: the
     // billed block count per tick stays near 2 lanes' worth.
@@ -147,7 +148,7 @@ fn streamed_refills_transfer_per_admission_not_per_tick() {
     let nets = mixed_set(&cases::case9(), 4).networks().unwrap();
     let scheduler = ScenarioScheduler::with_pool(params, DevicePool::parallel(1)).with_lanes(1);
     let before = scheduler.pool.combined_snapshot();
-    let sched = scheduler.solve(&nets);
+    let sched = scheduler.run(FleetRequest::over(&nets));
     let delta = scheduler.pool.combined_snapshot().since(&before);
     assert!(sched.ticks > 40, "want a run with many ticks");
     // 9 bulk uploads at setup + 8 ranged uploads per refilled scenario —
@@ -169,7 +170,7 @@ fn sharded_work_is_billed_per_device() {
     let nets = mixed_set(&cases::case9(), 4).networks().unwrap();
     let nbranch = nets[0].nbranch as u64;
     let scheduler = ScenarioScheduler::with_pool(params, DevicePool::parallel(2));
-    let sched = scheduler.solve(&nets);
+    let sched = scheduler.run(FleetRequest::over(&nets));
     let snaps = scheduler.pool.snapshots();
     assert_eq!(snaps.len(), 2);
     for (d, snap) in snaps.iter().enumerate() {
@@ -210,7 +211,7 @@ fn k1_through_scheduler_equals_single_solver() {
     let single = AdmmSolver::new(params.clone()).solve(&net);
     for devices in [1, 3] {
         let scheduler = ScenarioScheduler::with_pool(params.clone(), DevicePool::parallel(devices));
-        let sched = scheduler.solve(std::slice::from_ref(&net));
+        let sched = scheduler.run(FleetRequest::over(std::slice::from_ref(&net)));
         assert_eq!(sched.results.len(), 1);
         let r = &sched.results[0];
         assert_eq!(r.inner_iterations, single.inner_iterations);
@@ -251,15 +252,16 @@ fn all_backends_agree_through_the_scheduler() {
     let nets = mixed_set(&cases::case9(), 4).networks().unwrap();
     let seq = ScenarioScheduler::with_pool(params.clone(), DevicePool::sequential(2))
         .with_lanes(1)
-        .solve(&nets);
+        .run(FleetRequest::over(&nets));
     for pool in [DevicePool::parallel(2), DevicePool::vectorized(2)] {
         let got = ScenarioScheduler::with_pool(params.clone(), pool)
             .with_lanes(1)
-            .solve(&nets);
+            .run(FleetRequest::over(&nets));
         assert_bitwise(&got, &seq);
     }
     // And the single-device sequential batch agrees too.
-    let batch = ScenarioBatch::with_device(params, Device::sequential()).solve(&nets);
+    let batch =
+        ScenarioBatch::with_device(params, Device::sequential()).run(FleetRequest::over(&nets));
     assert_bitwise(&seq, &batch);
 }
 

@@ -7,6 +7,7 @@
 
 use gridadmm::prelude::*;
 use gridsim_admm::AdmmStatus;
+use gridsim_engine::FleetRequest;
 use gridsim_grid::cases;
 use proptest::prelude::*;
 
@@ -122,9 +123,9 @@ fn empty_store_runs_match_plain_runs_bitwise() {
 
     // ADMM scenario scheduler.
     let scheduler = ScenarioScheduler::new(AdmmParams::test_profile());
-    let plain = scheduler.solve(&nets);
+    let plain = scheduler.run(FleetRequest::over(&nets));
     let mut store: SolutionStore<WarmState> = SolutionStore::new();
-    let stored = scheduler.solve_with_store("case9", &nets, &mut store);
+    let stored = scheduler.run(FleetRequest::over(&nets).case("case9").store(&mut store));
     assert_eq!(stored.store.hits, 0);
     assert_eq!(stored.store.misses, 4);
     for (a, b) in stored.results.iter().zip(&plain.results) {
@@ -145,9 +146,9 @@ fn empty_store_runs_match_plain_runs_bitwise() {
 
     // Interior-point fleet.
     let solver = IpmFleetSolver::new(condensed_options());
-    let plain = solver.solve(&nets);
+    let plain = solver.run(FleetRequest::over(&nets));
     let mut store: SolutionStore<IpmWarmStart> = SolutionStore::new();
-    let stored = solver.solve_with_store("case9", &nets, &mut store);
+    let stored = solver.run(FleetRequest::over(&nets).case("case9").store(&mut store));
     assert_eq!(stored.store.hits, 0);
     assert_eq!(stored.store.misses, 4);
     for (a, b) in stored.results.iter().zip(&plain.results) {
@@ -179,7 +180,11 @@ fn store_seeded_scheduler_is_bitwise_across_configurations() {
 
     // Prime once on the reference configuration.
     let mut primed: SolutionStore<WarmState> = SolutionStore::new();
-    ScenarioScheduler::new(params.clone()).solve_with_store("case9", &prime_nets, &mut primed);
+    ScenarioScheduler::new(params.clone()).run(
+        FleetRequest::over(&prime_nets)
+            .case("case9")
+            .store(&mut primed),
+    );
     assert!(!primed.is_empty(), "priming stored nothing");
 
     let mut reference: Option<(ScenarioBatchResult, SolutionStore<WarmState>)> = None;
@@ -187,13 +192,21 @@ fn store_seeded_scheduler_is_bitwise_across_configurations() {
         // Each configuration starts from its own copy of the primed
         // contents, rebuilt by replaying the same inserts.
         let mut store: SolutionStore<WarmState> = SolutionStore::new();
-        ScenarioScheduler::new(params.clone()).solve_with_store("case9", &prime_nets, &mut store);
+        ScenarioScheduler::new(params.clone()).run(
+            FleetRequest::over(&prime_nets)
+                .case("case9")
+                .store(&mut store),
+        );
         let mut scheduler =
             ScenarioScheduler::with_pool(params.clone(), DevicePool::parallel(devices));
         if let Some(l) = lanes {
             scheduler = scheduler.with_lanes(l);
         }
-        let result = scheduler.solve_with_store("case9", &eval_nets, &mut store);
+        let result = scheduler.run(
+            FleetRequest::over(&eval_nets)
+                .case("case9")
+                .store(&mut store),
+        );
         assert!(
             result.store.hits > 0,
             "devices={devices} lanes={lanes:?}: expected store hits at sigma 2%"
@@ -245,15 +258,23 @@ fn warm_started_ipm_matches_cold_solutions() {
         condensed_options(),
         Engine::with_pool(DevicePool::parallel(2)).with_lanes(1),
     );
-    let cold = solver.solve(&eval_nets);
+    let cold = solver.run(FleetRequest::over(&eval_nets));
     assert!(cold.all_optimal());
 
     let mut store: SolutionStore<IpmWarmStart> = SolutionStore::new();
-    let primed = solver.solve_with_store("case14", &prime_nets, &mut store);
+    let primed = solver.run(
+        FleetRequest::over(&prime_nets)
+            .case("case14")
+            .store(&mut store),
+    );
     assert!(primed.all_optimal());
     assert_eq!(primed.store.inserts, 6);
 
-    let warm = solver.solve_with_store("case14", &eval_nets, &mut store);
+    let warm = solver.run(
+        FleetRequest::over(&eval_nets)
+            .case("case14")
+            .store(&mut store),
+    );
     assert!(warm.all_optimal(), "a store-seeded solve failed");
     assert!(warm.store.hits > 0, "no hits at sigma 2% with 6 neighbors");
     for (w, c) in warm.results.iter().zip(&cold.results) {
