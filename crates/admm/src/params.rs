@@ -138,6 +138,30 @@ impl AdmmParams {
         }
     }
 
+    /// The contingency-screening profile: a deliberately *cheap, inexact*
+    /// pass — two outer rounds at loose tolerances — whose job is not to
+    /// solve scenarios but to *rank* them by constraint stress so a funnel
+    /// can decide which ones deserve a full-tolerance solve. The operating
+    /// point it reaches is accurate enough that line/voltage/bound
+    /// violations separate benign contingencies from stressed ones, at a
+    /// small fraction of the full profile's iterations; its warm state also
+    /// seeds the graduated scenarios' full solves through the solution
+    /// store. Used by `gridsim-screen`'s `ContingencyFunnel`.
+    pub fn screening_profile() -> AdmmParams {
+        AdmmParams {
+            eps_outer: 5e-3,
+            eps_inner: 1e-4,
+            max_outer: 2,
+            max_inner: 150,
+            tron: TronOptions {
+                max_iter: 30,
+                gtol: 1e-6,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
     /// Scale both penalties by a common factor (used by the penalty-sweep
     /// ablation).
     pub fn scaled_penalties(&self, factor: f64) -> AdmmParams {
@@ -182,6 +206,17 @@ mod tests {
         assert_eq!(scaled.rho_pq, 18.0);
         assert_eq!(scaled.rho_va, 1e3);
         assert_eq!(scaled.beta_factor, 7.0);
+    }
+
+    #[test]
+    fn screening_profile_is_strictly_cheaper_than_test_profile() {
+        let s = AdmmParams::screening_profile();
+        let t = AdmmParams::test_profile();
+        assert!(s.max_outer < t.max_outer);
+        assert!(s.max_inner < t.max_inner);
+        assert!(s.eps_outer > t.eps_outer);
+        assert!(s.eps_inner > t.eps_inner);
+        assert!(s.tron.max_iter < t.tron.max_iter);
     }
 
     #[test]

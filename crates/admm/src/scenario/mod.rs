@@ -59,7 +59,7 @@ use gridsim_acopf::violations::SolutionQuality;
 use gridsim_batch::{Device, DevicePool};
 use gridsim_engine::FleetRequest;
 use gridsim_grid::network::Network;
-use gridsim_store::{SolutionStore, StoreRunStats};
+use gridsim_store::StoreRunStats;
 use std::time::{Duration, Instant};
 
 /// Result of one scenario inside a batched solve. Field-for-field the
@@ -177,12 +177,6 @@ impl ScenarioBatch {
         self.scheduler().run(request)
     }
 
-    /// Solve all scenarios from a cold start.
-    #[deprecated(note = "build a FleetRequest and call ScenarioBatch::run")]
-    pub fn solve(&self, nets: &[Network]) -> ScenarioBatchResult {
-        self.run(FleetRequest::over(nets))
-    }
-
     /// Solve all scenarios warm-started from one shared [`WarmState`] (e.g.
     /// the solved nominal case), optionally with per-scenario ramp-limited
     /// generator bounds (`pg_bounds[s]` applies to scenario `s`).
@@ -197,7 +191,7 @@ impl ScenarioBatch {
 
     /// Solve the scenarios in order, seeding scenario `k` from scenario
     /// `k−1`'s warm state with ramp-limited generator bounds (`base` seeds
-    /// scenario 0). This trades the batch width of [`ScenarioBatch::solve`]
+    /// scenario 0). This trades the batch width of [`ScenarioBatch::run`]
     /// for warm-start depth — each solve is a K=1 batch — and fits ordered
     /// sweeps such as monotone load ramps, where adjacent scenarios are
     /// nearly identical.
@@ -226,17 +220,6 @@ impl ScenarioBatch {
             ticks,
             store: StoreRunStats::default(),
         }
-    }
-
-    /// Solve all scenarios against a live warm-start solution store.
-    #[deprecated(note = "build a FleetRequest and call ScenarioBatch::run")]
-    pub fn solve_with_store(
-        &self,
-        case_id: &str,
-        nets: &[Network],
-        store: &mut SolutionStore<WarmState>,
-    ) -> ScenarioBatchResult {
-        self.run(FleetRequest::over(nets).case(case_id).store(store))
     }
 }
 

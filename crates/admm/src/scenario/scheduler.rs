@@ -33,7 +33,7 @@ use gridsim_batch::{Device, DeviceBuffer, DeviceConfig, DevicePool};
 use gridsim_engine::{Engine, FleetRequest, LaneSolver, StoreAccess};
 use gridsim_grid::fingerprint::ScenarioFingerprint;
 use gridsim_grid::network::Network;
-use gridsim_store::{SolutionStore, StoreRunStats, StoreView};
+use gridsim_store::{StoreRunStats, StoreView};
 use gridsim_tron::TronSolver;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -218,24 +218,6 @@ impl ScenarioScheduler {
                 result
             }
         }
-    }
-
-    /// Solve all scenarios from a cold start.
-    #[deprecated(note = "build a FleetRequest and call ScenarioScheduler::run")]
-    pub fn solve(&self, nets: &[Network]) -> ScenarioBatchResult {
-        self.run(FleetRequest::over(nets))
-    }
-
-    /// Solve with a live warm-start store (freeze-at-start lookups,
-    /// post-run commits under `case_id`).
-    #[deprecated(note = "build a FleetRequest and call ScenarioScheduler::run")]
-    pub fn solve_with_store(
-        &self,
-        case_id: &str,
-        nets: &[Network],
-        store: &mut SolutionStore<WarmState>,
-    ) -> ScenarioBatchResult {
-        self.run(FleetRequest::over(nets).case(case_id).store(store))
     }
 
     /// Solve all scenarios warm-started from one shared [`WarmState`],

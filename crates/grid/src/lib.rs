@@ -15,8 +15,10 @@
 //!   exact component counts of the paper's Table I ([`synthetic`]),
 //! * time-varying load profiles for the warm-start tracking experiment
 //!   ([`load_profile`]),
-//! * scenario-set generation (load ramps, per-bus perturbations, N−1
-//!   branch outages) for batched multi-scenario solves ([`scenario`]),
+//! * scenario-set generation (load ramps, per-bus perturbations, N−1/N−2
+//!   branch and generator outages) for batched multi-scenario solves
+//!   ([`scenario`]), plus spec-driven expansion into thousand-scenario
+//!   contingency sweeps ([`contingency`]),
 //! * scenario fingerprints (load vector + structure signature) keying the
 //!   warm-start solution store ([`fingerprint`]),
 //! * and a compiled, per-unit, internally-indexed [`Network`] with branch
@@ -26,6 +28,7 @@
 pub mod branch;
 pub mod bus;
 pub mod cases;
+pub mod contingency;
 pub mod error;
 pub mod fingerprint;
 pub mod generator;
@@ -39,6 +42,7 @@ pub mod synthetic;
 pub use branch::Branch;
 pub use bus::{Bus, BusType};
 pub use cases::{case14, case30_like, case5, case9, two_bus};
+pub use contingency::{ContingencyManifest, ContingencySpec};
 pub use error::GridError;
 pub use fingerprint::ScenarioFingerprint;
 pub use generator::{GenCost, Generator};

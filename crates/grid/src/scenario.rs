@@ -3,17 +3,27 @@
 //! A *scenario* is a perturbation of one base case that leaves the network's
 //! dimensions and topology untouched — the property the batched ADMM driver
 //! needs so that all `K` scenarios share one constraint layout and can run
-//! through scenario-major buffers in single kernel launches. Three scenario
+//! through scenario-major buffers in single kernel launches. The scenario
 //! families cover the common studies:
 //!
 //! * **load ramps** — one uniform load multiplier per scenario,
 //! * **per-bus perturbations** — independent random multipliers per bus
 //!   (deterministic in the seed),
-//! * **single-branch outages** — N−1 contingencies. An outage keeps the
-//!   branch record in place (so branch indexing and the consensus layout are
-//!   unchanged) and opens the line electrically: series impedance driven to
-//!   `OUTAGE_REACTANCE`, charging removed, rating lifted, so the branch
-//!   carries ~zero flow and never binds.
+//! * **branch outages** — N−1 single-branch and N−2 branch-pair
+//!   contingencies. An outage keeps the branch record in place (so branch
+//!   indexing and the consensus layout are unchanged) and opens the line
+//!   electrically: series impedance driven to [`OUTAGE_REACTANCE`], charging
+//!   removed, rating lifted, so the branch carries ~zero flow and never
+//!   binds,
+//! * **generator outages** — a unit taken out of service by collapsing its
+//!   active/reactive bounds to zero. The record (and therefore the variable
+//!   layout) stays in place; the unit simply cannot dispatch.
+//!
+//! Every outage family is screened so the derived cases stay *solvable by
+//! construction*: branch outages never island the network (bridges are
+//! skipped for N−1; pairs are additionally connectivity-checked for N−2),
+//! and generator outages keep enough remaining capacity to serve the load
+//! (see [`GEN_OUTAGE_CAPACITY_MARGIN`]).
 
 use crate::error::GridError;
 use crate::network::{Case, Network};
@@ -25,7 +35,14 @@ use rand::{Rng, SeedableRng};
 /// small enough to stay far from f64 overflow in the admittance math.
 pub const OUTAGE_REACTANCE: f64 = 1e7;
 
-/// One scenario: per-bus load multipliers plus an optional branch outage.
+/// Minimum ratio of remaining generation capacity (Σ pmax over in-service
+/// units excluding the outaged one) to total real load for a generator
+/// outage to be considered: an outage below this margin is an energy-
+/// deficient system, not a meaningful screening scenario.
+pub const GEN_OUTAGE_CAPACITY_MARGIN: f64 = 1.1;
+
+/// One scenario: per-bus load multipliers plus optional branch/generator
+/// outages.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Scenario name (used as the derived case's name).
@@ -33,9 +50,12 @@ pub struct Scenario {
     /// Per-bus multiplier applied to both `pd` and `qd`; length must equal
     /// the base case's bus count.
     pub bus_load_scale: Vec<f64>,
-    /// Index (into the base case's branch list) of a branch taken out of
+    /// Indices (into the base case's branch list) of branches taken out of
+    /// service: empty for no outage, one entry for N−1, two for N−2.
+    pub branch_outages: Vec<usize>,
+    /// Index (into the base case's generator list) of a unit taken out of
     /// service, if any.
-    pub outage: Option<usize>,
+    pub gen_outage: Option<usize>,
 }
 
 impl Scenario {
@@ -44,7 +64,8 @@ impl Scenario {
         Scenario {
             name: name.into(),
             bus_load_scale: vec![factor; nbus],
-            outage: None,
+            branch_outages: Vec::new(),
+            gen_outage: None,
         }
     }
 
@@ -53,7 +74,33 @@ impl Scenario {
         Scenario {
             name: name.into(),
             bus_load_scale: vec![1.0; nbus],
-            outage: Some(l),
+            branch_outages: vec![l],
+            gen_outage: None,
+        }
+    }
+
+    /// A nominal-load N−2 scenario with branches `a` and `b` out of service.
+    pub fn branch_pair_outage(
+        name: impl Into<String>,
+        nbus: usize,
+        a: usize,
+        b: usize,
+    ) -> Scenario {
+        Scenario {
+            name: name.into(),
+            bus_load_scale: vec![1.0; nbus],
+            branch_outages: vec![a, b],
+            gen_outage: None,
+        }
+    }
+
+    /// A nominal-load scenario with generator `g` out of service.
+    pub fn generator_outage(name: impl Into<String>, nbus: usize, g: usize) -> Scenario {
+        Scenario {
+            name: name.into(),
+            bus_load_scale: vec![1.0; nbus],
+            branch_outages: Vec::new(),
+            gen_outage: Some(g),
         }
     }
 
@@ -74,7 +121,7 @@ impl Scenario {
             bus.pd *= f;
             bus.qd *= f;
         }
-        if let Some(l) = self.outage {
+        for &l in &self.branch_outages {
             assert!(
                 l < case.branches.len(),
                 "scenario '{}' outages branch {} of {}",
@@ -89,6 +136,24 @@ impl Scenario {
             br.rate_a = 0.0; // unlimited: the open line must never bind
             br.tap = 0.0;
             br.shift = 0.0;
+        }
+        if let Some(g) = self.gen_outage {
+            assert!(
+                g < case.generators.len(),
+                "scenario '{}' outages generator {} of {}",
+                self.name,
+                g,
+                case.generators.len()
+            );
+            // Keep the record (and with it the variable layout) in place;
+            // collapsing the bounds to zero pins the unit's dispatch at 0.
+            let gen = &mut case.generators[g];
+            gen.pg = 0.0;
+            gen.qg = 0.0;
+            gen.pmin = 0.0;
+            gen.pmax = 0.0;
+            gen.qmin = 0.0;
+            gen.qmax = 0.0;
         }
         case
     }
@@ -136,29 +201,51 @@ impl ScenarioSet {
                 bus_load_scale: (0..nbus)
                     .map(|_| 1.0 + rng.gen_range(-sigma..sigma))
                     .collect(),
-                outage: None,
+                branch_outages: Vec::new(),
+                gen_outage: None,
             })
             .collect();
         ScenarioSet { base, scenarios }
     }
 
     /// Up to `k` single-branch-outage (N−1) scenarios at nominal load,
-    /// spread evenly over the eligible branches. Bridges of the base
-    /// topology are skipped — outaging a bridge islands part of the system
-    /// (typically a generator or load pocket), which is not a meaningful
-    /// N−1 screen — so the set may hold fewer than `k` scenarios (empty if
-    /// the topology is a tree).
+    /// spread evenly over the eligible branches (see
+    /// [`eligible_branch_outages`]); the set may hold fewer than `k`
+    /// scenarios (empty if the topology is a tree).
     pub fn branch_outages(base: Case, k: usize) -> ScenarioSet {
         assert!(k > 0, "need at least one scenario");
         let nbus = base.buses.len();
-        let bridge = bridges(&base);
-        let eligible: Vec<usize> = (0..base.branches.len()).filter(|&l| !bridge[l]).collect();
-        let k = k.min(eligible.len());
-        let scenarios = (0..k)
-            .map(|i| {
-                let l = eligible[i * eligible.len() / k];
-                Scenario::branch_outage(format!("{}_outage{}", base.name, l), nbus, l)
+        let scenarios = spread(&eligible_branch_outages(&base), k)
+            .into_iter()
+            .map(|l| Scenario::branch_outage(format!("{}_outage{}", base.name, l), nbus, l))
+            .collect();
+        ScenarioSet { base, scenarios }
+    }
+
+    /// Up to `k` branch-pair-outage (N−2) scenarios at nominal load, spread
+    /// evenly over the eligible pairs (see [`eligible_branch_pairs`]); the
+    /// set may hold fewer than `k` scenarios.
+    pub fn branch_pair_outages(base: Case, k: usize) -> ScenarioSet {
+        assert!(k > 0, "need at least one scenario");
+        let nbus = base.buses.len();
+        let scenarios = spread(&eligible_branch_pairs(&base), k)
+            .into_iter()
+            .map(|(a, b)| {
+                Scenario::branch_pair_outage(format!("{}_outage{}x{}", base.name, a, b), nbus, a, b)
             })
+            .collect();
+        ScenarioSet { base, scenarios }
+    }
+
+    /// Up to `k` single-generator-outage scenarios at nominal load, spread
+    /// evenly over the eligible units (see [`eligible_generator_outages`]);
+    /// the set may hold fewer than `k` scenarios.
+    pub fn generator_outages(base: Case, k: usize) -> ScenarioSet {
+        assert!(k > 0, "need at least one scenario");
+        let nbus = base.buses.len();
+        let scenarios = spread(&eligible_generator_outages(&base), k)
+            .into_iter()
+            .map(|g| Scenario::generator_outage(format!("{}_genout{}", base.name, g), nbus, g))
             .collect();
         ScenarioSet { base, scenarios }
     }
@@ -188,6 +275,96 @@ impl ScenarioSet {
     pub fn networks(&self) -> Result<Vec<Network>, GridError> {
         self.cases().iter().map(|c| c.compile()).collect()
     }
+}
+
+/// Evenly-spread selection of up to `k` items from `eligible`, in eligible
+/// order — the deterministic subsampling rule shared by the outage
+/// constructors.
+fn spread<T: Copy>(eligible: &[T], k: usize) -> Vec<T> {
+    let k = k.min(eligible.len());
+    (0..k).map(|i| eligible[i * eligible.len() / k]).collect()
+}
+
+/// Branch indices whose single outage keeps the network connected: every
+/// non-bridge branch, in index order. Outaging a bridge islands part of the
+/// system (typically a generator or load pocket), which is not a meaningful
+/// N−1 screen.
+pub fn eligible_branch_outages(case: &Case) -> Vec<usize> {
+    let bridge = bridges(case);
+    (0..case.branches.len()).filter(|&l| !bridge[l]).collect()
+}
+
+/// Branch pairs `(a, b)` with `a < b` whose joint outage keeps the network
+/// connected, in lexicographic order. Both branches must individually be
+/// non-bridges (otherwise the single outage already islands), and the pair
+/// is connectivity-checked on the graph minus both edges — two non-bridges
+/// can still island jointly (e.g. the two parallel paths of a ring).
+pub fn eligible_branch_pairs(case: &Case) -> Vec<(usize, usize)> {
+    let bridge = bridges(case);
+    let singles: Vec<usize> = (0..case.branches.len()).filter(|&l| !bridge[l]).collect();
+    let mut pairs = Vec::new();
+    for (i, &a) in singles.iter().enumerate() {
+        for &b in &singles[i + 1..] {
+            if connected_without(case, &[a, b]) {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+/// Generator indices whose outage leaves enough capacity to serve the load:
+/// in-service units whose removal keeps
+/// `Σ pmax ≥ `[`GEN_OUTAGE_CAPACITY_MARGIN`]` × Σ pd` over the remaining
+/// in-service units, in index order. A unit that is the only in-service
+/// generator is never eligible.
+pub fn eligible_generator_outages(case: &Case) -> Vec<usize> {
+    let total_load: f64 = case.buses.iter().map(|b| b.pd.max(0.0)).sum();
+    let in_service: Vec<usize> = (0..case.generators.len())
+        .filter(|&g| case.generators[g].status)
+        .collect();
+    let total_pmax: f64 = in_service.iter().map(|&g| case.generators[g].pmax).sum();
+    in_service
+        .iter()
+        .copied()
+        .filter(|&g| {
+            in_service.len() > 1
+                && total_pmax - case.generators[g].pmax >= GEN_OUTAGE_CAPACITY_MARGIN * total_load
+        })
+        .collect()
+}
+
+/// True when the case's topology stays connected after removing the
+/// branches in `skip` (union-find over the remaining in-service branches).
+fn connected_without(case: &Case, skip: &[usize]) -> bool {
+    let n = case.buses.len();
+    let idx: std::collections::HashMap<usize, usize> = case
+        .buses
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.id, i))
+        .collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    let mut components = n;
+    for (l, br) in case.branches.iter().enumerate() {
+        if skip.contains(&l) || !br.status {
+            continue;
+        }
+        let a = find(&mut parent, idx[&br.from]);
+        let b = find(&mut parent, idx[&br.to]);
+        if a != b {
+            parent[a] = b;
+            components -= 1;
+        }
+    }
+    components == 1
 }
 
 /// Per-branch bridge flags of a case's topology, via an iterative low-link
@@ -275,6 +452,8 @@ mod tests {
         let base = cases::case14();
         let mut set = ScenarioSet::perturbed_loads(base.clone(), 3, 0.05, 42);
         set.extend(ScenarioSet::branch_outages(base.clone(), 3));
+        set.extend(ScenarioSet::branch_pair_outages(base.clone(), 3));
+        set.extend(ScenarioSet::generator_outages(base.clone(), 2));
         let base_net = base.compile().unwrap();
         for net in set.networks().unwrap() {
             assert_eq!(net.nbus, base_net.nbus);
@@ -307,7 +486,7 @@ mod tests {
         // are skipped, leaving the six ring branches.
         assert_eq!(set.len(), 6);
         let case = set.scenarios[0].apply(&base);
-        let l = set.scenarios[0].outage.unwrap();
+        let l = set.scenarios[0].branch_outages[0];
         let y = case.branches[l].admittance();
         assert!(y.gii.abs() < 1e-6 && y.bii.abs() < 1e-6);
         assert!(y.gij.abs() < 1e-6 && y.bij.abs() < 1e-6);
@@ -324,8 +503,68 @@ mod tests {
         // bridge; ring branches are not.
         assert_eq!(bridge.iter().filter(|&&b| b).count(), 3);
         for s in &ScenarioSet::branch_outages(base, 9).scenarios {
-            assert!(!bridge[s.outage.unwrap()]);
+            assert!(!bridge[s.branch_outages[0]]);
         }
+    }
+
+    #[test]
+    fn branch_pairs_keep_the_network_connected() {
+        let base = cases::case9();
+        // The six ring branches: removing any two of them splits the ring,
+        // EXCEPT there is no such exception on a single cycle — every pair
+        // of ring-edge removals islands it, so no pair is eligible.
+        assert!(eligible_branch_pairs(&base).is_empty());
+        // case14 is meshed: eligible pairs exist and all stay connected.
+        let meshed = cases::case14();
+        let pairs = eligible_branch_pairs(&meshed);
+        assert!(!pairs.is_empty(), "case14 should admit N−2 pairs");
+        for &(a, b) in &pairs {
+            assert!(a < b);
+            assert!(connected_without(&meshed, &[a, b]), "pair ({a}, {b})");
+        }
+        let set = ScenarioSet::branch_pair_outages(meshed.clone(), 5);
+        assert!(set.len() <= 5 && !set.is_empty());
+        // The pair outage opens both branches electrically.
+        let case = set.scenarios[0].apply(&meshed);
+        for &l in &set.scenarios[0].branch_outages {
+            assert_eq!(case.branches[l].x, OUTAGE_REACTANCE);
+        }
+    }
+
+    #[test]
+    fn generator_outages_keep_capacity_margin() {
+        let base = cases::case9();
+        let eligible = eligible_generator_outages(&base);
+        // case9: three units of 250/300/270 MW against 315 MW of load —
+        // losing any one unit leaves ≥ 520 MW, all three are eligible.
+        assert_eq!(eligible, vec![0, 1, 2]);
+        let total_load: f64 = base.buses.iter().map(|b| b.pd.max(0.0)).sum();
+        for &g in &eligible {
+            let remaining: f64 = base
+                .generators
+                .iter()
+                .enumerate()
+                .filter(|&(i, gen)| i != g && gen.status)
+                .map(|(_, gen)| gen.pmax)
+                .sum();
+            assert!(remaining >= GEN_OUTAGE_CAPACITY_MARGIN * total_load);
+        }
+        // The outage zeroes the unit's bounds without dropping the record.
+        let set = ScenarioSet::generator_outages(base.clone(), 3);
+        assert_eq!(set.len(), 3);
+        let case = set.scenarios[1].apply(&base);
+        assert_eq!(case.generators.len(), base.generators.len());
+        let g = set.scenarios[1].gen_outage.unwrap();
+        assert_eq!(case.generators[g].pmax, 0.0);
+        assert_eq!(case.generators[g].qmin, 0.0);
+        assert!(case.generators[g].status, "record stays in service");
+    }
+
+    #[test]
+    fn single_generator_case_yields_no_outage_scenarios() {
+        // two_bus has one generator: taking it out is never eligible.
+        let set = ScenarioSet::generator_outages(cases::two_bus(), 5);
+        assert!(set.is_empty());
     }
 
     #[test]
@@ -333,6 +572,7 @@ mod tests {
         // two_bus is a single line (a bridge): no eligible N−1 scenarios.
         let set = ScenarioSet::branch_outages(cases::two_bus(), 10);
         assert!(set.is_empty());
+        assert!(ScenarioSet::branch_pair_outages(cases::two_bus(), 10).is_empty());
     }
 
     #[test]

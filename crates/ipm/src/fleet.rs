@@ -40,11 +40,11 @@ use gridsim_batch::{Device, DeviceConfig, DevicePool};
 use gridsim_engine::{Engine, FleetRequest, LaneSolver, StoreAccess};
 use gridsim_grid::fingerprint::ScenarioFingerprint;
 use gridsim_grid::network::Network;
-use gridsim_store::{SolutionStore, StoreRunStats, StoreView};
+use gridsim_store::{StoreRunStats, StoreView};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
-/// The interior-point payload a [`SolutionStore`] keeps per solved
+/// The interior-point payload a [`gridsim_store::SolutionStore`] keeps per solved
 /// scenario: the converged primal point, the stacked
 /// equality-then-inequality multipliers, and the bound multipliers —
 /// exactly what [`IpmOptions::initial_point`] /
@@ -115,7 +115,7 @@ pub struct FleetReport {
     /// Solution-store traffic for this run: admissions seeded from a stored
     /// neighbor (hits), admissions that consulted the store without being
     /// seeded from it (misses), and converged solves committed back
-    /// (inserts). All zero for [`IpmFleetSolver::solve`] (no store).
+    /// (inserts). All zero for a store-less request.
     pub store: StoreRunStats,
 }
 
@@ -313,24 +313,6 @@ impl IpmFleetSolver {
             store,
         }
     }
-
-    /// Solve all scenarios with no store and no overrides.
-    #[deprecated(note = "build a FleetRequest and call IpmFleetSolver::run")]
-    pub fn solve(&self, nets: &[Network]) -> FleetReport {
-        self.run(FleetRequest::over(nets))
-    }
-
-    /// Solve with a live warm-start store (freeze-at-start lookups,
-    /// post-run commits under `case_id`).
-    #[deprecated(note = "build a FleetRequest and call IpmFleetSolver::run")]
-    pub fn solve_with_store(
-        &self,
-        case_id: &str,
-        nets: &[Network],
-        store: &mut SolutionStore<IpmWarmStart>,
-    ) -> FleetReport {
-        self.run(FleetRequest::over(nets).case(case_id).store(store))
-    }
 }
 
 /// The store side of one fleet run: the frozen lookup snapshot, the
@@ -498,6 +480,7 @@ mod tests {
     use gridsim_batch::DevicePool;
     use gridsim_grid::cases;
     use gridsim_grid::scenario::ScenarioSet;
+    use gridsim_store::SolutionStore;
 
     fn condensed() -> IpmOptions {
         IpmOptions {

@@ -20,12 +20,18 @@ fn usage() -> ExitCode {
         "usage:\n  \
          gridsim-served --dir STATE submit NAME CASE KIND COUNT SOLVER \\\n      \
          [--priority P] [--chunk-size C] [--max-lanes L] [--retries R] \\\n      \
-         [--backoff-ms MS] [--load-scale F] [--lo F] [--hi F] [--sigma F] [--seed S]\n  \
+         [--backoff-ms MS] [--load-scale F] [--lo F] [--hi F] [--sigma F] [--seed S] \\\n      \
+         [--levels N] [--draws N] [--n2-pairs N] [--gen-outages N] \\\n      \
+         [--screen] [--benign B] [--violating V]\n  \
          gridsim-served --dir STATE run [--slots N]\n  \
          gridsim-served --dir STATE status\n\n\
          CASE:   two_bus | case5 | case9 | case14 | case30_like\n\
-         KIND:   load_ramp | perturbed | outages\n\
-         SOLVER: admm | ipm"
+         KIND:   load_ramp | perturbed | outages | contingency\n\
+         SOLVER: admm | ipm\n\n\
+         For `contingency`, COUNT caps the N-1 outage columns; the set is\n\
+         levels x (1 + draws) x (base + N-1 + N-2 + gen) scenarios.\n\
+         `--screen` runs the job through the two-tier screening funnel\n\
+         (admm only; thresholds default to the gridsim-screen defaults)."
     );
     ExitCode::FAILURE
 }
@@ -148,49 +154,65 @@ fn main() -> ExitCode {
             };
             // Flag defaults, overridable below.
             let (mut lo, mut hi, mut sigma, mut seed) = (0.95f64, 1.05f64, 0.02f64, 1u64);
+            let (mut levels, mut draws, mut n2_pairs, mut gen_outages) = (3usize, 0usize, 0, 0);
             let mut opts: Vec<(String, String)> = Vec::new();
             let mut it = rest[1 + pos.len()..].iter();
             while let Some(a) = it.next() {
+                if a == "--screen" {
+                    opts.push((a.clone(), String::new()));
+                    continue;
+                }
                 let Some(v) = it.next() else { return usage() };
                 opts.push((a.clone(), v.clone()));
             }
             for (k, v) in &opts {
-                match k.as_str() {
-                    "--lo" => {
-                        lo = if let Ok(x) = v.parse() {
-                            x
-                        } else {
-                            return usage();
-                        }
-                    }
-                    "--hi" => {
-                        hi = if let Ok(x) = v.parse() {
-                            x
-                        } else {
-                            return usage();
-                        }
-                    }
-                    "--sigma" => {
-                        sigma = if let Ok(x) = v.parse() {
-                            x
-                        } else {
-                            return usage();
-                        }
-                    }
+                let target: &mut f64 = match k.as_str() {
+                    "--lo" => &mut lo,
+                    "--hi" => &mut hi,
+                    "--sigma" => &mut sigma,
                     "--seed" => {
                         seed = if let Ok(x) = v.parse() {
                             x
                         } else {
                             return usage();
-                        }
+                        };
+                        continue;
                     }
-                    _ => {}
-                }
+                    "--levels" | "--draws" | "--n2-pairs" | "--gen-outages" => {
+                        let Ok(x) = v.parse::<usize>() else {
+                            return usage();
+                        };
+                        match k.as_str() {
+                            "--levels" => levels = x,
+                            "--draws" => draws = x,
+                            "--n2-pairs" => n2_pairs = x,
+                            _ => gen_outages = x,
+                        }
+                        continue;
+                    }
+                    _ => continue,
+                };
+                *target = if let Ok(x) = v.parse() {
+                    x
+                } else {
+                    return usage();
+                };
             }
             let scenarios = match kind.as_str() {
                 "load_ramp" => ScenarioSpec::load_ramp(count, lo, hi),
                 "perturbed" => ScenarioSpec::perturbed(count, sigma, seed),
                 "outages" => ScenarioSpec::outages(count),
+                "contingency" => ScenarioSpec::contingency(
+                    levels,
+                    lo,
+                    hi,
+                    draws,
+                    sigma,
+                    seed,
+                    count,
+                    n2_pairs,
+                    gen_outages,
+                ),
                 _ => return usage(),
             };
             let mut spec = JobSpec::new(name.clone(), case, scenarios, solver);
@@ -239,7 +261,23 @@ fn main() -> ExitCode {
                             return usage();
                         }
                     }
-                    "--lo" | "--hi" | "--sigma" | "--seed" => {}
+                    "--screen" => spec.screen = true,
+                    "--benign" => {
+                        spec.benign_threshold = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--violating" => {
+                        spec.violating_threshold = if let Ok(x) = v.parse() {
+                            x
+                        } else {
+                            return usage();
+                        }
+                    }
+                    "--lo" | "--hi" | "--sigma" | "--seed" | "--levels" | "--draws"
+                    | "--n2-pairs" | "--gen-outages" => {}
                     _ => return usage(),
                 }
             }

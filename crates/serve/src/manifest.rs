@@ -73,7 +73,7 @@ impl JobManifest {
     /// A fresh manifest for the `submitted`-th job: every scenario
     /// pending, no results.
     pub fn new(spec: JobSpec, submitted: u64) -> JobManifest {
-        let n = spec.scenarios.count;
+        let n = spec.scenario_count();
         JobManifest {
             spec,
             submitted,
@@ -217,7 +217,7 @@ impl Deserialize for JobManifest {
             store_committed: serde::field(v, "store_committed")?,
             submitted: serde::field(v, "submitted")?,
         };
-        if m.records.len() != m.spec.scenarios.count || m.results.len() != m.records.len() {
+        if m.records.len() != m.spec.scenario_count() || m.results.len() != m.records.len() {
             return Err(DeError::custom("manifest record/result arity mismatch"));
         }
         Ok(m)

@@ -16,6 +16,7 @@ use gridsim_batch::{Device, DevicePool};
 use gridsim_engine::{Engine, FleetRequest};
 use gridsim_grid::network::Network;
 use gridsim_ipm::{IpmFleetSolver, IpmOptions, IpmWarmStart};
+use gridsim_screen::{Band, ContingencyFunnel, FullResults, FullTier, FunnelConfig};
 use gridsim_store::{ScenarioFingerprint, SolutionStore, StoreRunStats, StoreView};
 use serde::{Deserialize, Serialize, Value};
 
@@ -92,6 +93,68 @@ pub fn run_chunk(
     let chunk_nets: Vec<Network> = indices.iter().map(|&i| nets[i].clone()).collect();
     let case_id = spec.case.id();
     match spec.solver {
+        SolverFamily::Admm if spec.screen => {
+            // The funnel ignores the job's frozen snapshot: its full tier
+            // is seeded from this chunk's own screening solutions (an
+            // internal snapshot), so the chunk remains a pure function of
+            // (spec, indices) and the resume rule is unaffected.
+            let funnel = ContingencyFunnel::with_pool(
+                FunnelConfig {
+                    full: AdmmParams::test_profile(),
+                    tier: FullTier::Admm,
+                    benign_threshold: spec.benign_threshold,
+                    violating_threshold: spec.violating_threshold,
+                    ..Default::default()
+                },
+                DevicePool::single(Device::default()),
+            );
+            let report = funnel.run(case_id, &chunk_nets);
+            let FullResults::Admm(full) = &report.full else {
+                // Nothing graduated: every scenario keeps its screening
+                // result and is durably done.
+                let scenarios = indices
+                    .iter()
+                    .zip(&report.screening.results)
+                    .map(|(&index, r)| ScenarioOutcome {
+                        index,
+                        converged: true,
+                        result: r.to_value(),
+                    })
+                    .collect();
+                return ChunkOutcome {
+                    scenarios,
+                    stats: report.screening.store,
+                };
+            };
+            let scenarios = indices
+                .iter()
+                .enumerate()
+                .map(|(chunk_i, &index)| match report.full_index_of(chunk_i) {
+                    Some(g) => {
+                        let r = &full.results[g];
+                        ScenarioOutcome {
+                            index,
+                            converged: r.status == AdmmStatus::Converged,
+                            result: r.to_value(),
+                        }
+                    }
+                    None => {
+                        // Benign: the screening result is the final word.
+                        let r = &report.screening.results[chunk_i];
+                        debug_assert_eq!(report.screened[chunk_i].band, Band::Benign);
+                        ScenarioOutcome {
+                            index,
+                            converged: true,
+                            result: r.to_value(),
+                        }
+                    }
+                })
+                .collect();
+            ChunkOutcome {
+                scenarios,
+                stats: full.store,
+            }
+        }
         SolverFamily::Admm => {
             let scheduler = ScenarioScheduler::with_pool(
                 AdmmParams::test_profile(),

@@ -8,6 +8,7 @@
 //! restarted daemon resume a half-finished job and still produce bitwise
 //! the results an uninterrupted run would have.
 
+use gridsim_grid::contingency::ContingencySpec;
 use gridsim_grid::network::{Case, Network};
 use gridsim_grid::scenario::ScenarioSet;
 use gridsim_grid::GridError;
@@ -61,6 +62,12 @@ pub enum ScenarioKind {
     PerturbedLoads,
     /// Single-branch (N−1) outages of the first `count` removable branches.
     BranchOutages,
+    /// Spec-driven N−k contingency expansion: a load-level grid (`levels`
+    /// levels over `[lo, hi]`) × seeded perturbation draws (`draws`,
+    /// `sigma`, `seed`) × outage columns (`count` N−1 branches, `n2_pairs`
+    /// branch pairs, `gen_outages` generator outages, plus the base
+    /// column). See [`gridsim_grid::contingency::ContingencySpec`].
+    Contingency,
 }
 
 /// How to generate the job's scenario set from the base case. Parameters
@@ -70,16 +77,25 @@ pub enum ScenarioKind {
 pub struct ScenarioSpec {
     /// Which recipe to run.
     pub kind: ScenarioKind,
-    /// Number of scenarios.
+    /// Number of scenarios (`LoadRamp`, `PerturbedLoads`, `BranchOutages`);
+    /// for `Contingency` it caps the N−1 outage columns instead.
     pub count: usize,
-    /// Ramp lower scale factor (`LoadRamp`).
+    /// Ramp lower scale factor (`LoadRamp`, `Contingency`).
     pub lo: f64,
-    /// Ramp upper scale factor (`LoadRamp`).
+    /// Ramp upper scale factor (`LoadRamp`, `Contingency`).
     pub hi: f64,
-    /// Relative load noise (`PerturbedLoads`).
+    /// Relative load noise (`PerturbedLoads`, `Contingency`).
     pub sigma: f64,
-    /// RNG seed (`PerturbedLoads`).
+    /// RNG seed (`PerturbedLoads`, `Contingency`).
     pub seed: u64,
+    /// Load levels in the contingency grid (`Contingency`).
+    pub levels: usize,
+    /// Perturbation draws per load level (`Contingency`).
+    pub draws: usize,
+    /// Cap on N−2 branch-pair outage columns (`Contingency`).
+    pub n2_pairs: usize,
+    /// Cap on generator-outage columns (`Contingency`).
+    pub gen_outages: usize,
 }
 
 impl ScenarioSpec {
@@ -92,6 +108,10 @@ impl ScenarioSpec {
             hi,
             sigma: 0.0,
             seed: 0,
+            levels: 0,
+            draws: 0,
+            n2_pairs: 0,
+            gen_outages: 0,
         }
     }
 
@@ -104,6 +124,10 @@ impl ScenarioSpec {
             hi: 1.0,
             sigma,
             seed,
+            levels: 0,
+            draws: 0,
+            n2_pairs: 0,
+            gen_outages: 0,
         }
     }
 
@@ -116,6 +140,62 @@ impl ScenarioSpec {
             hi: 1.0,
             sigma: 0.0,
             seed: 0,
+            levels: 0,
+            draws: 0,
+            n2_pairs: 0,
+            gen_outages: 0,
+        }
+    }
+
+    /// A full N−k contingency expansion: `levels` load levels over
+    /// `[lo, hi]`, `draws` seeded perturbation draws per level, and outage
+    /// columns capped at `n1` single branches, `n2_pairs` branch pairs,
+    /// and `gen_outages` generator outages (plus the no-outage column).
+    #[allow(clippy::too_many_arguments)]
+    pub fn contingency(
+        levels: usize,
+        lo: f64,
+        hi: f64,
+        draws: usize,
+        sigma: f64,
+        seed: u64,
+        n1: usize,
+        n2_pairs: usize,
+        gen_outages: usize,
+    ) -> ScenarioSpec {
+        ScenarioSpec {
+            kind: ScenarioKind::Contingency,
+            count: n1,
+            lo,
+            hi,
+            sigma,
+            seed,
+            levels,
+            draws,
+            n2_pairs,
+            gen_outages,
+        }
+    }
+
+    /// The equivalent [`ContingencySpec`] of a `Contingency` recipe.
+    pub fn contingency_spec(&self) -> ContingencySpec {
+        let mut spec = ContingencySpec::load_grid(self.levels.max(1), self.lo, self.hi).outages(
+            self.count,
+            self.n2_pairs,
+            self.gen_outages,
+        );
+        if self.draws > 0 {
+            spec = spec.perturbed(self.draws, self.sigma, self.seed);
+        }
+        spec
+    }
+
+    /// Number of scenarios the recipe expands to for `base`. Matches
+    /// [`build`](Self::build)'s set length without instantiating it.
+    pub fn total(&self, base: &Case) -> usize {
+        match self.kind {
+            ScenarioKind::Contingency => self.contingency_spec().count(base),
+            _ => self.count,
         }
     }
 
@@ -127,6 +207,7 @@ impl ScenarioSpec {
                 ScenarioSet::perturbed_loads(base, self.count, self.sigma, self.seed)
             }
             ScenarioKind::BranchOutages => ScenarioSet::branch_outages(base, self.count),
+            ScenarioKind::Contingency => self.contingency_spec().expand(&base),
         }
     }
 }
@@ -169,6 +250,18 @@ pub struct JobSpec {
     pub max_retries: usize,
     /// Base retry backoff in milliseconds; doubles per failed attempt.
     pub retry_backoff_ms: u64,
+    /// Run each chunk through the contingency screening funnel
+    /// ([`gridsim_screen::ContingencyFunnel`]) instead of a flat
+    /// full-tolerance solve: scenarios the cheap pass certifies benign keep
+    /// their screening result, the rest graduate to the full solve seeded
+    /// from their screening solutions. ADMM jobs only.
+    pub screen: bool,
+    /// Screening margin at or below which a scenario is benign
+    /// (`screen` jobs).
+    pub benign_threshold: f64,
+    /// Screening margin at or above which a scenario is violating
+    /// (`screen` jobs).
+    pub violating_threshold: f64,
 }
 
 impl JobSpec {
@@ -191,7 +284,20 @@ impl JobSpec {
             max_lanes: 0,
             max_retries: 1,
             retry_backoff_ms: 10,
+            screen: false,
+            benign_threshold: gridsim_screen::DEFAULT_BENIGN_THRESHOLD,
+            violating_threshold: gridsim_screen::DEFAULT_VIOLATING_THRESHOLD,
         }
+    }
+
+    /// Enable the screening funnel with explicit band thresholds (builder
+    /// style; ADMM jobs only — rejected by [`validate`](JobSpec::validate)
+    /// otherwise).
+    pub fn screened(mut self, benign_threshold: f64, violating_threshold: f64) -> JobSpec {
+        self.screen = true;
+        self.benign_threshold = benign_threshold;
+        self.violating_threshold = violating_threshold;
+        self
     }
 
     /// Set the scheduling priority (builder style).
@@ -226,15 +332,24 @@ impl JobSpec {
         self
     }
 
-    /// Compile the job's scenario networks, in scenario order. Pure
-    /// function of the spec — the resume determinism anchor.
-    pub fn networks(&self) -> Result<Vec<Network>, GridError> {
-        let base = if self.load_scale == 1.0 {
+    fn scaled_base(&self) -> Case {
+        if self.load_scale == 1.0 {
             self.case.base()
         } else {
             self.case.base().scale_load(self.load_scale)
-        };
-        self.scenarios.build(base).networks()
+        }
+    }
+
+    /// Number of scenarios the job expands to — the manifest's record
+    /// arity. Pure function of the spec, like [`networks`](Self::networks).
+    pub fn scenario_count(&self) -> usize {
+        self.scenarios.total(&self.scaled_base())
+    }
+
+    /// Compile the job's scenario networks, in scenario order. Pure
+    /// function of the spec — the resume determinism anchor.
+    pub fn networks(&self) -> Result<Vec<Network>, GridError> {
+        self.scenarios.build(self.scaled_base()).networks()
     }
 
     /// Sanity-check the knobs; called on submit so a bad spec is rejected
@@ -253,14 +368,43 @@ impl JobSpec {
                 self.name
             ));
         }
-        if self.scenarios.count == 0 {
-            return Err("scenario count must be at least 1".to_string());
+        match self.scenarios.kind {
+            ScenarioKind::Contingency => {
+                if self.scenarios.levels == 0 {
+                    return Err("contingency recipe needs at least one load level".to_string());
+                }
+                self.scenarios
+                    .contingency_spec()
+                    .validate()
+                    .map_err(|e| format!("contingency recipe: {e}"))?;
+            }
+            _ => {
+                if self.scenarios.count == 0 {
+                    return Err("scenario count must be at least 1".to_string());
+                }
+            }
         }
         if self.chunk_size == 0 {
             return Err("chunk_size must be at least 1".to_string());
         }
         if !(self.load_scale.is_finite() && self.load_scale > 0.0) {
             return Err("load_scale must be positive and finite".to_string());
+        }
+        if self.screen {
+            if self.solver != SolverFamily::Admm {
+                return Err(
+                    "the screening funnel requires the Admm solver family (the manifest \
+                     records one result type per job)"
+                        .to_string(),
+                );
+            }
+            let cfg = gridsim_screen::FunnelConfig {
+                benign_threshold: self.benign_threshold,
+                violating_threshold: self.violating_threshold,
+                ..Default::default()
+            };
+            cfg.validate()
+                .map_err(|e| format!("funnel thresholds: {e}"))?;
         }
         Ok(())
     }
@@ -307,6 +451,57 @@ mod tests {
                 fy.loads.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn contingency_spec_round_trips_and_expands() {
+        let spec = JobSpec::new(
+            "sweep",
+            CaseName::Case14,
+            ScenarioSpec::contingency(3, 0.95, 1.05, 2, 0.02, 42, 4, 3, 2),
+            SolverFamily::Admm,
+        )
+        .screened(0.02, 0.1);
+        assert!(spec.validate().is_ok());
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        // levels × (1 + draws) × (base + n1 + n2 + gens) scenario networks.
+        let nets = spec.networks().unwrap();
+        let expected = spec.scenarios.contingency_spec().count(&spec.case.base());
+        assert_eq!(nets.len(), expected);
+        assert!(nets.len() >= 3 * 3 * 5);
+    }
+
+    #[test]
+    fn screen_requires_admm_and_ordered_thresholds() {
+        let base = JobSpec::new(
+            "s",
+            CaseName::Case9,
+            ScenarioSpec::contingency(2, 0.95, 1.05, 1, 0.02, 7, 3, 0, 1),
+            SolverFamily::Admm,
+        );
+        assert!(base.clone().screened(0.02, 0.1).validate().is_ok());
+        let mut ipm = base.clone().screened(0.02, 0.1);
+        ipm.solver = SolverFamily::Ipm;
+        assert!(ipm.validate().is_err());
+        assert!(base.clone().screened(0.1, 0.1).validate().is_err());
+        assert!(base.screened(f64::NAN, 0.1).validate().is_err());
+    }
+
+    #[test]
+    fn contingency_validation_catches_bad_recipes() {
+        let mut spec = JobSpec::new(
+            "c",
+            CaseName::Case9,
+            ScenarioSpec::contingency(2, 0.95, 1.05, 1, 0.02, 7, 3, 0, 1),
+            SolverFamily::Admm,
+        );
+        spec.scenarios.levels = 0;
+        assert!(spec.validate().is_err());
+        spec.scenarios.levels = 2;
+        spec.scenarios.sigma = 0.0; // draws without noise
+        assert!(spec.validate().is_err());
     }
 
     #[test]

@@ -152,6 +152,46 @@ fn interrupted_run_resumes_bitwise_identical_without_resolving() {
 }
 
 #[test]
+fn screened_contingency_job_drains_and_is_deterministic() {
+    let spec = || {
+        JobSpec::new(
+            "sweep",
+            CaseName::Case9,
+            ScenarioSpec::contingency(2, 0.97, 1.0, 2, 0.01, 7, 2, 0, 1),
+            SolverFamily::Admm,
+        )
+        .screened(2e-2, 1e-1)
+        .chunk_size(5)
+    };
+
+    let dir = fresh_dir("screen");
+    let daemon = ServeDaemon::open(&dir, 2).unwrap();
+    let handle = daemon.submit(spec()).unwrap();
+    daemon.run_until_idle().unwrap();
+    let s = handle.status();
+    assert!(s.complete, "incomplete: {:?}", s.counts);
+    assert_eq!(s.counts.failed, 0);
+    assert!(s.store_committed);
+    let m = JobManifest::load(&dir.join("jobs/sweep.json")).unwrap();
+    // 2 levels x (uniform + 2 perturbed draws) x (base + 2 branch
+    // outages + 1 gen outage).
+    assert_eq!(m.records.len(), 24);
+    assert!(m.records.iter().all(|r| r.state == ScenarioState::Done));
+    // Every Done scenario carries a ScenarioResult the commit replayed.
+    assert_eq!(s.store.inserts, 24);
+
+    // Chunks mix benign (screening-only) and graduated scenarios, yet the
+    // whole ledger is a pure function of the spec: a second daemon in a
+    // fresh directory produces the same results bitwise.
+    let dir2 = fresh_dir("screen-again");
+    let daemon2 = ServeDaemon::open(&dir2, 1).unwrap();
+    daemon2.submit(spec()).unwrap();
+    daemon2.run_until_idle().unwrap();
+    let m2 = JobManifest::load(&dir2.join("jobs/sweep.json")).unwrap();
+    assert_eq!(results_without_times(&m2), results_without_times(&m));
+}
+
+#[test]
 fn priority_wins_the_first_free_slot() {
     let dir = fresh_dir("priority");
     let daemon = ServeDaemon::open(&dir, 1).unwrap();

@@ -69,6 +69,15 @@ pub struct StoreConfig {
     /// load). Coarser buckets scan more entries per ring; finer buckets
     /// walk more rings.
     pub bucket_width: f64,
+    /// Capacity cap on the total entry count across all groups; `0` means
+    /// unbounded. When an insert would exceed the cap, the entry with the
+    /// oldest insertion stamp (LRU by insertion; replacing an entry in
+    /// place keeps its original stamp) is evicted — a deterministic order,
+    /// so two stores fed the same insert sequence always hold the same
+    /// surviving keys. Matters for long-lived daemons, whose stores now
+    /// persist across process lifetimes and would otherwise grow without
+    /// bound.
+    pub max_entries: usize,
 }
 
 impl Default for StoreConfig {
@@ -76,6 +85,7 @@ impl Default for StoreConfig {
         StoreConfig {
             max_relative_distance: 0.1,
             bucket_width: 0.05,
+            max_entries: 0,
         }
     }
 }
@@ -172,6 +182,9 @@ struct GroupKey {
 #[derive(Debug)]
 struct Group<P> {
     entries: Vec<Arc<StoredEntry<P>>>,
+    /// Store-wide insertion stamps, parallel to `entries` — the eviction
+    /// order key (smallest stamp = oldest insertion = first evicted).
+    stamps: Vec<u64>,
     /// bucket id (`floor(norm / bucket_width)`) → entry indices, ascending.
     buckets: BTreeMap<i64, Vec<usize>>,
 }
@@ -180,7 +193,20 @@ impl<P> Group<P> {
     fn new() -> Group<P> {
         Group {
             entries: Vec::new(),
+            stamps: Vec::new(),
             buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuild the norm buckets from scratch (after an eviction compacted
+    /// the entry indices).
+    fn rebuild_buckets(&mut self, width: f64) {
+        self.buckets.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            self.buckets
+                .entry(bucket_of(e.norm, width))
+                .or_default()
+                .push(i);
         }
     }
 }
@@ -189,6 +215,7 @@ impl<P> Clone for Group<P> {
     fn clone(&self) -> Group<P> {
         Group {
             entries: self.entries.iter().map(Arc::clone).collect(),
+            stamps: self.stamps.clone(),
             buckets: self.buckets.clone(),
         }
     }
@@ -200,6 +227,9 @@ impl<P> Clone for Group<P> {
 pub struct SolutionStore<P> {
     config: StoreConfig,
     groups: HashMap<GroupKey, Group<P>>,
+    /// The next insertion stamp; monotone over the store's lifetime (and
+    /// persisted, so eviction order survives a save/load round trip).
+    next_stamp: u64,
 }
 
 impl<P> Default for SolutionStore<P> {
@@ -227,6 +257,7 @@ impl<P> SolutionStore<P> {
         SolutionStore {
             config,
             groups: HashMap::new(),
+            next_stamp: 0,
         }
     }
 
@@ -252,8 +283,11 @@ impl<P> SolutionStore<P> {
 
     /// Store a solved scenario's payload under its fingerprint. An existing
     /// entry with bitwise-identical loads (necessarily in the same norm
-    /// bucket) is replaced in place, keeping its insertion index so all
-    /// tie-breaks are unchanged; otherwise the entry is appended.
+    /// bucket) is replaced in place, keeping its insertion index *and its
+    /// insertion stamp* so all tie-breaks and the eviction order are
+    /// unchanged; otherwise the entry is appended. When the store's
+    /// [`StoreConfig::max_entries`] cap is exceeded, the oldest-stamped
+    /// entry store-wide is evicted.
     pub fn insert(&mut self, case_id: &str, fp: &ScenarioFingerprint, payload: P) -> InsertOutcome {
         let key = GroupKey {
             case_id: case_id.to_string(),
@@ -281,8 +315,46 @@ impl<P> SolutionStore<P> {
             norm,
             payload,
         }));
+        group.stamps.push(self.next_stamp);
+        self.next_stamp += 1;
         group.buckets.entry(bucket).or_default().push(index);
+        if self.config.max_entries > 0 {
+            while self.len() > self.config.max_entries {
+                self.evict_oldest();
+            }
+        }
         InsertOutcome::Inserted(index)
+    }
+
+    /// Evict the entry with the smallest insertion stamp store-wide.
+    /// Stamps are unique, so the victim — and therefore the surviving key
+    /// set — is deterministic regardless of hash-map iteration order. The
+    /// victim's group is compacted (later entries shift down one insertion
+    /// index, preserving their relative tie-break order) and dropped when
+    /// it empties.
+    fn evict_oldest(&mut self) {
+        let victim = self
+            .groups
+            .iter()
+            .filter_map(|(key, g)| {
+                g.stamps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &s)| s)
+                    .map(|(i, &s)| (s, key.clone(), i))
+            })
+            .min_by_key(|&(s, _, _)| s);
+        let Some((_, key, index)) = victim else {
+            return;
+        };
+        let group = self.groups.get_mut(&key).expect("victim group exists");
+        group.entries.remove(index);
+        group.stamps.remove(index);
+        if group.entries.is_empty() {
+            self.groups.remove(&key);
+        } else {
+            group.rebuild_buckets(self.config.bucket_width);
+        }
     }
 
     /// Nearest eligible stored neighbor of `fp` (see [`StoreView::nearest`]
@@ -639,6 +711,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn eviction_pins_which_keys_survive() {
+        let mut store = SolutionStore::with_config(StoreConfig {
+            max_entries: 3,
+            ..Default::default()
+        });
+        // Five inserts across two structure groups; cap 3 evicts the two
+        // oldest stamps (the first two inserts), wherever they live.
+        let one = ScenarioFingerprint {
+            loads: vec![1.0, 1.0],
+            structure: 1,
+        };
+        let two = ScenarioFingerprint {
+            loads: vec![1.5, 1.5],
+            structure: 2,
+        };
+        store.insert("c", &one, 0u32); // stamp 0 — evicted
+        store.insert("c", &two, 1u32); // stamp 1 — evicted
+        let survivors = [fp(&[2.0, 2.0]), fp(&[3.0, 3.0]), fp(&[4.0, 4.0])];
+        for (i, f) in survivors.iter().enumerate() {
+            store.insert("c", f, 2 + i as u32);
+        }
+        assert_eq!(store.len(), 3);
+        // The two oldest entries (in groups 1 and 2) are gone — group 2
+        // emptied and was dropped entirely.
+        assert!(store.nearest("c", &one).is_none());
+        assert!(store.nearest("c", &two).is_none());
+        assert_eq!(store.group_count(), 1);
+        for (i, f) in survivors.iter().enumerate() {
+            let hit = store.nearest("c", f).expect("survivor stays findable");
+            assert_eq!(hit.distance, 0.0);
+            assert_eq!(hit.entry.payload, 2 + i as u32);
+        }
+    }
+
+    #[test]
+    fn replacement_keeps_the_original_stamp() {
+        let mut store = SolutionStore::with_config(StoreConfig {
+            max_entries: 2,
+            ..Default::default()
+        });
+        let a = fp(&[1.0, 1.0]);
+        let b = fp(&[2.0, 2.0]);
+        store.insert("c", &a, 1u32); // stamp 0
+        store.insert("c", &b, 2u32); // stamp 1
+                                     // Replacing `a` keeps stamp 0: it is still the oldest, so the next
+                                     // insert evicts `a`, not `b`.
+        assert_eq!(store.insert("c", &a, 3u32), InsertOutcome::Replaced(0));
+        store.insert("c", &fp(&[3.0, 3.0]), 4u32); // stamp 2, evicts `a`
+        assert_eq!(store.len(), 2);
+        assert!(store.nearest("c", &a).is_none());
+        assert_eq!(store.nearest("c", &b).unwrap().entry.payload, 2);
+    }
+
+    #[test]
+    fn eviction_preserves_index_lookup_equivalence() {
+        // After evictions compact a group, the vantage index must still
+        // agree with the linear reference scan.
+        let mut store = SolutionStore::with_config(StoreConfig {
+            max_entries: 6,
+            ..Default::default()
+        });
+        for i in 0..12 {
+            let v = 0.5 + 0.11 * i as f64;
+            store.insert("c", &fp(&[v, v + 0.01]), i as u32);
+        }
+        assert_eq!(store.len(), 6);
+        let view = store.view();
+        for i in 0..14 {
+            let v = 0.45 + 0.1 * i as f64;
+            let q = fp(&[v, v]);
+            let fast = view
+                .nearest("c", &q)
+                .map(|h| (h.index, h.distance.to_bits()));
+            let slow = view
+                .nearest_linear("c", &q)
+                .map(|h| (h.index, h.distance.to_bits()));
+            assert_eq!(fast, slow, "query {v}");
+        }
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let mut store = SolutionStore::new();
+        for i in 0..100 {
+            store.insert("c", &fp(&[i as f64, 1.0]), i as u32);
+        }
+        assert_eq!(store.len(), 100);
     }
 
     #[test]

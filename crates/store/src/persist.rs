@@ -34,7 +34,9 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// On-disk format version; see the [module docs](self) for the contract.
-pub const FORMAT_VERSION: u64 = 1;
+/// Version 2 added the eviction state: `max_entries` in the config, one
+/// insertion stamp per entry, and the store-level `next_stamp` counter.
+pub const FORMAT_VERSION: u64 = 2;
 
 impl<P: Serialize> Serialize for SolutionStore<P> {
     fn to_value(&self) -> Value {
@@ -45,13 +47,16 @@ impl<P: Serialize> Serialize for SolutionStore<P> {
         let groups = keys
             .into_iter()
             .map(|key| {
-                let entries = self.groups[key]
+                let group = &self.groups[key];
+                let entries = group
                     .entries
                     .iter()
-                    .map(|e| {
+                    .zip(&group.stamps)
+                    .map(|(e, &stamp)| {
                         Value::Map(vec![
                             ("loads".to_string(), e.loads.to_value()),
                             ("norm".to_string(), e.norm.to_value()),
+                            ("stamp".to_string(), Value::Num(stamp as f64)),
                             ("payload".to_string(), e.payload.to_value()),
                         ])
                     })
@@ -82,8 +87,13 @@ impl<P: Serialize> Serialize for SolutionStore<P> {
                         "bucket_width".to_string(),
                         self.config.bucket_width.to_value(),
                     ),
+                    (
+                        "max_entries".to_string(),
+                        Value::Num(self.config.max_entries as f64),
+                    ),
                 ]),
             ),
+            ("next_stamp".to_string(), Value::Num(self.next_stamp as f64)),
             ("groups".to_string(), Value::Seq(groups)),
         ])
     }
@@ -103,7 +113,9 @@ impl<P: Deserialize> Deserialize for SolutionStore<P> {
         let config = StoreConfig {
             max_relative_distance: serde::field(config_v, "max_relative_distance")?,
             bucket_width: serde::field(config_v, "bucket_width")?,
+            max_entries: serde::field(config_v, "max_entries")?,
         };
+        let next_stamp: u64 = serde::field(v, "next_stamp")?;
         let groups_v = match v.get("groups") {
             Some(Value::Seq(items)) => items,
             _ => return Err(DeError::custom("expected sequence for `groups`")),
@@ -124,6 +136,7 @@ impl<P: Deserialize> Deserialize for SolutionStore<P> {
             for ev in entries_v {
                 let loads: Vec<f64> = serde::field(ev, "loads")?;
                 let norm: f64 = serde::field(ev, "norm")?;
+                let stamp: u64 = serde::field(ev, "stamp")?;
                 let payload_v = ev
                     .get("payload")
                     .ok_or_else(|| DeError::custom("missing field `payload`"))?;
@@ -135,6 +148,7 @@ impl<P: Deserialize> Deserialize for SolutionStore<P> {
                     norm,
                     payload,
                 }));
+                group.stamps.push(stamp);
                 group
                     .buckets
                     .entry(bucket_of(norm, config.bucket_width))
@@ -150,7 +164,11 @@ impl<P: Deserialize> Deserialize for SolutionStore<P> {
                 group,
             );
         }
-        Ok(SolutionStore { config, groups })
+        Ok(SolutionStore {
+            config,
+            groups,
+            next_stamp,
+        })
     }
 }
 
@@ -207,6 +225,7 @@ mod tests {
         let mut store = SolutionStore::with_config(StoreConfig {
             max_relative_distance: 0.2,
             bucket_width: 0.03,
+            max_entries: 0,
         });
         // Several groups, several buckets, a replaced entry, and awkward
         // float values (negative zero, subnormal-ish magnitudes).
@@ -277,10 +296,48 @@ mod tests {
     fn version_mismatch_is_rejected() {
         let store = sample_store();
         let text = serde_json::to_string(&store).unwrap();
-        let bumped = text.replacen("\"version\":1", "\"version\":2", 1);
+        let bumped = text.replacen("\"version\":2", "\"version\":3", 1);
         assert_ne!(text, bumped, "version field not found in snapshot");
         let err = serde_json::from_str::<SolutionStore<f64>>(&bumped).unwrap_err();
         assert!(err.to_string().contains("format version"), "{err}");
+    }
+
+    #[test]
+    fn eviction_order_survives_a_round_trip() {
+        let mut store = SolutionStore::with_config(StoreConfig {
+            max_entries: 3,
+            ..Default::default()
+        });
+        store.insert("c", &fp(&[1.0, 1.0], 7), 1.0);
+        store.insert("c", &fp(&[2.0, 2.0], 7), 2.0);
+        store.insert("c", &fp(&[3.0, 3.0], 7), 3.0);
+
+        let dir = std::env::temp_dir().join("gridsim-store-persist-evict");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+        let mut loaded: SolutionStore<f64> = SolutionStore::load(&path).unwrap();
+
+        // The reloaded store continues the same eviction order: the next
+        // insert evicts the oldest persisted entry, exactly as it would
+        // have in the original process.
+        loaded.insert("c", &fp(&[4.0, 4.0], 7), 4.0);
+        store.insert("c", &fp(&[4.0, 4.0], 7), 4.0);
+        assert_eq!(loaded.len(), 3);
+        for (s, l) in [
+            (
+                store.nearest("c", &fp(&[1.0, 1.0], 7)),
+                loaded.nearest("c", &fp(&[1.0, 1.0], 7)),
+            ),
+            (
+                store.nearest("c", &fp(&[2.0, 2.0], 7)),
+                loaded.nearest("c", &fp(&[2.0, 2.0], 7)),
+            ),
+        ] {
+            assert_eq!(s.is_some(), l.is_some());
+        }
+        assert!(loaded.nearest("c", &fp(&[1.0, 1.0], 7)).is_none());
+        assert!(loaded.nearest("c", &fp(&[4.0, 4.0], 7)).is_some());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * [`acopf`] — the shared ACOPF model (flows, violations, starts),
 //! * [`ipm`] — the centralized interior-point baseline (Ipopt substitute),
 //!   plus its scenario fleet driver on the engine,
-//! * [`admm`] — the paper's component-based two-level ADMM solver.
+//! * [`admm`] — the paper's component-based two-level ADMM solver,
+//! * [`screen`] — the hierarchical N−k contingency-screening funnel
+//!   (cheap-pass ADMM ranking, warm-seeded full-tier graduation).
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end walkthrough.
 
@@ -30,6 +32,7 @@ pub use gridsim_batch as batch;
 pub use gridsim_engine as engine;
 pub use gridsim_grid as grid;
 pub use gridsim_ipm as ipm;
+pub use gridsim_screen as screen;
 pub use gridsim_sparse as sparse;
 pub use gridsim_store as store;
 pub use gridsim_tron as tron;
@@ -44,12 +47,15 @@ pub mod prelude {
     pub use gridsim_batch::{Device, DevicePool, ExecutionMode};
     pub use gridsim_engine::{Engine, LaneSolver};
     pub use gridsim_grid::{
-        Case, LoadProfile, Network, Scenario, ScenarioFingerprint, ScenarioSet, SyntheticSpec,
-        TableICase,
+        Case, ContingencySpec, LoadProfile, Network, Scenario, ScenarioFingerprint, ScenarioSet,
+        SyntheticSpec, TableICase,
     };
     pub use gridsim_ipm::{
         AcopfNlp, FleetReport, IpmFleetSolver, IpmOptions, IpmSolver, IpmWarmStart, KktCache,
         KktStrategy,
+    };
+    pub use gridsim_screen::{
+        Band, ContingencyFunnel, FullResults, FullTier, FunnelConfig, FunnelReport,
     };
     pub use gridsim_store::{SolutionStore, StoreConfig, StoreRunStats, StoreView};
 }

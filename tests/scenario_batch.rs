@@ -65,7 +65,7 @@ fn outaged_branch_carries_no_flow() {
             r.name,
             r.quality.max_violation()
         );
-        let l = scen.outage.unwrap();
+        let l = scen.branch_outages[0];
         let flows = r.solution.branch_flows(net);
         // The open line's admittance is ~1e-7, so its flows are numerically
         // zero while the rest of the network reroutes around it.

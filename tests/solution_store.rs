@@ -77,6 +77,7 @@ proptest! {
         let mut store: SolutionStore<usize> = SolutionStore::with_config(StoreConfig {
             max_relative_distance: max_rel,
             bucket_width,
+            max_entries: 0,
         });
         for (i, loads) in entries.iter().enumerate() {
             // Re-insert every dup_every-th entry's loads under a new payload
